@@ -1,0 +1,46 @@
+# Convenience targets for the HyLo reproduction.
+
+GO ?= go
+
+.PHONY: all build test race vet cover bench bench-tables experiments report examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/dist/ ./internal/nn/ ./internal/train/ ./internal/core/ ./internal/sngd/ ./internal/kfac/
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Root benchmarks: one testing.B benchmark per paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full experiment suite as text tables (minutes).
+experiments:
+	$(GO) run ./cmd/hylo-bench -exp all
+
+# Markdown reproduction report with accuracy sparklines.
+report:
+	$(GO) run ./cmd/hylo-report -o report.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cnn_classification
+	$(GO) run ./examples/segmentation
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/checkpointing
+	$(GO) run ./examples/vit_attention
+
+clean:
+	$(GO) clean ./...
+	rm -f report.md test_output.txt bench_output.txt

@@ -1,0 +1,257 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper through testing.B, one benchmark per experiment:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs its experiment in quick mode and reports the
+// headline quantity the paper's figure communicates as a custom metric
+// (e.g. KFAC-vs-HyLo time ratios, switching speedup, kernel rank
+// fraction), so `go test -bench` output doubles as a miniature
+// reproduction report. cmd/hylo-bench runs the same experiments at full
+// scale with complete tables.
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dist"
+	"repro/internal/models"
+)
+
+func cfg() bench.RunConfig { return bench.RunConfig{Quick: true, Seed: 7} }
+
+// BenchmarkFig2LayerDims regenerates the layer-dimension distribution.
+func BenchmarkFig2LayerDims(b *testing.B) {
+	var maxDim float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig2LayerDims(cfg())
+		v, _ := strconv.ParseFloat(tb.Rows[0][6], 64)
+		maxDim = v
+	}
+	b.ReportMetric(maxDim, "max-layer-dim")
+}
+
+// BenchmarkFig3MethodScaling regenerates the KFAC/SNGD/HyLo scale sweep
+// and reports the 64-GPU KFAC-over-HyLo total-time ratio (paper: 28x).
+func BenchmarkFig3MethodScaling(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		md := models.ResNet50Desc()
+		cm := dist.V100Cluster(64)
+		kfac := bench.KFACSchedule(md, cm, 80)
+		kid := bench.HyLoKIDSchedule(md, cm, 80, 0.1)
+		kis := bench.HyLoKISSchedule(md, cm, 80, 0.1)
+		hylo := 0.3*kid.Total() + 0.7*kis.Total()
+		ratio = kfac.Total() / hylo
+	}
+	b.ReportMetric(ratio, "kfac/hylo-x")
+}
+
+// BenchmarkFig4SingleGPU trains the single-GPU comparison (Fig. 4) and
+// reports HyLo's best accuracy.
+func BenchmarkFig4SingleGPU(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig4SingleGPU(cfg())
+		v, _ := strconv.ParseFloat(tb.Rows[0][2], 64)
+		acc = v
+	}
+	b.ReportMetric(acc, "hylo-best-acc")
+}
+
+// BenchmarkFig5TimeToAccuracy trains the multi-worker comparison (Fig. 5).
+func BenchmarkFig5TimeToAccuracy(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig5TimeToAccuracy(cfg())
+		v, _ := strconv.ParseFloat(tb.Rows[0][3], 64)
+		acc = v
+	}
+	b.ReportMetric(acc, "hylo-best-acc")
+}
+
+// BenchmarkFig6AccuracyPerEpoch regenerates the per-epoch curves (Fig. 6).
+func BenchmarkFig6AccuracyPerEpoch(b *testing.B) {
+	var rows float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig6AccuracyPerEpoch(cfg())
+		rows = float64(len(tb.Rows))
+	}
+	b.ReportMetric(rows, "curve-points")
+}
+
+// BenchmarkFig7Breakdown regenerates the phase breakdown and reports the
+// ResNet-50 KAISA-over-HyLo-KIS factorization ratio (paper: 350x).
+func BenchmarkFig7Breakdown(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		md := models.ResNet50Desc()
+		cm := dist.V100Cluster(64)
+		kaisa := bench.KFACSchedule(md, cm, 80)
+		kis := bench.HyLoKISSchedule(md, cm, 80, 0.1)
+		ratio = kaisa.Factorize / kis.Factorize
+	}
+	b.ReportMetric(ratio, "factorize-x")
+}
+
+// BenchmarkFig8Speedup regenerates the HyLo-over-SGD speedup projection.
+func BenchmarkFig8Speedup(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig8Speedup(cfg())
+		last := tb.Rows[3] // ResNet-50 at the largest P
+		v, _ := strconv.ParseFloat(last[2], 64)
+		sp = v
+	}
+	b.ReportMetric(sp, "speedup-r10")
+}
+
+// BenchmarkFig9Scalability regenerates HyLo's scaling curve and reports
+// parallel efficiency at the largest ResNet-50 scale.
+func BenchmarkFig9Scalability(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig9Scalability(cfg())
+		for _, row := range tb.Rows {
+			if row[0] == "ResNet-50" && row[1] == "64" {
+				v, _ := strconv.ParseFloat(row[3], 64)
+				eff = v
+			}
+		}
+	}
+	b.ReportMetric(eff, "efficiency@64")
+}
+
+// BenchmarkFig10KernelRank measures the kernel-rank analysis and reports
+// the median rank as a fraction of the largest batch (paper: 8.5-22%).
+func BenchmarkFig10KernelRank(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig10KernelRank(cfg())
+		last := tb.Rows[len(tb.Rows)-1]
+		batch, _ := strconv.ParseFloat(last[1], 64)
+		med, _ := strconv.ParseFloat(last[3], 64)
+		frac = med / batch
+	}
+	b.ReportMetric(frac, "rank/batch")
+}
+
+// BenchmarkFig11GradNorms runs the gradient-norm trace.
+func BenchmarkFig11GradNorms(b *testing.B) {
+	var rows float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig11GradNorms(cfg())
+		rows = float64(len(tb.Rows))
+	}
+	b.ReportMetric(rows, "trace-points")
+}
+
+// BenchmarkFig12GradError measures the KID/KIS gradient-error probes and
+// reports the mean KID/KIS error ratio (paper: ~0.1).
+func BenchmarkFig12GradError(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Fig12GradError(cfg())
+		var sum float64
+		var n int
+		for _, row := range tb.Rows {
+			kid, _ := strconv.ParseFloat(row[2], 64)
+			kis, _ := strconv.ParseFloat(row[3], 64)
+			if kis > 0 {
+				sum += kid / kis
+				n++
+			}
+		}
+		if n > 0 {
+			ratio = sum / float64(n)
+		}
+	}
+	b.ReportMetric(ratio, "kid/kis-err")
+}
+
+// BenchmarkTable1Complexity verifies the complexity table's scaling
+// exponents and reports the measured KFAC-inversion exponent (theory: 3).
+func BenchmarkTable1Complexity(b *testing.B) {
+	var exp float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Table1Complexity(cfg())
+		v, _ := strconv.ParseFloat(tb.Rows[0][2], 64)
+		exp = v
+	}
+	b.ReportMetric(exp, "kfac-inv-exponent")
+}
+
+// BenchmarkTable2Models regenerates the model/dataset inventory.
+func BenchmarkTable2Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2Models(cfg())
+	}
+}
+
+// BenchmarkTable3Switching runs the HyLo-vs-Random ablation and reports
+// Random's slowdown factor (paper: 1.08-1.91x).
+func BenchmarkTable3Switching(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Table3Switching(cfg())
+		row := tb.Rows[0]
+		h := parseSeconds(row[3])
+		r := parseSeconds(row[4])
+		if h > 0 {
+			slowdown = r / h
+		}
+	}
+	b.ReportMetric(slowdown, "random/hylo-time")
+}
+
+// BenchmarkTable4Memory regenerates the memory-footprint table and reports
+// the U-Net KAISA-over-HyLo ratio (paper: ~20x).
+func BenchmarkTable4Memory(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tb := bench.Table4Memory(cfg())
+		for _, row := range tb.Rows {
+			if row[0] == "U-Net" {
+				h := parseMB(row[1])
+				k := parseMB(row[2])
+				if h > 0 {
+					ratio = k / h
+				}
+			}
+		}
+	}
+	b.ReportMetric(ratio, "kaisa/hylo-mem")
+}
+
+func parseSeconds(s string) float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(s[:len(s)-1], 64)
+	return v
+}
+
+func parseMB(s string) float64 {
+	var v float64
+	_, err := fmtSscanf(s, &v)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// fmtSscanf avoids importing fmt solely for one call site.
+func fmtSscanf(s string, v *float64) (int, error) {
+	i := 0
+	for i < len(s) && (s[i] == '.' || s[i] == '-' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	f, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}

@@ -1,0 +1,83 @@
+// Command hylo-bench regenerates the paper's tables and figures.
+//
+//	hylo-bench -exp fig7            # one experiment
+//	hylo-bench -exp all             # everything (minutes)
+//	hylo-bench -exp fig4 -quick     # reduced workloads
+//	hylo-bench -list                # enumerate experiment ids
+//	hylo-bench -exp fig3 -csv out/  # also write CSV
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2..fig12, table1..table4) or 'all'")
+	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
+	seed := flag.Uint64("seed", 7, "deterministic seed")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.RunConfig{Quick: *quick, Seed: *seed}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Registry()
+	} else {
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tbl := e.Run(cfg)
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

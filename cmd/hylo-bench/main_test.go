@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &bench.Table{
+		ID:      "demo",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x"}, {"2", "y"}},
+	}
+	if err := writeCSV(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "demo.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "a" || rows[2][1] != "y" {
+		t.Fatalf("csv rows = %v", rows)
+	}
+}
+
+func TestWriteCSVCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "deeper")
+	tbl := &bench.Table{ID: "x", Headers: []string{"h"}, Rows: [][]string{{"v"}}}
+	if err := writeCSV(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "x.csv")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseBatches(t *testing.T) {
+	bs, err := parseBatches("8, 16,32")
+	if err != nil || len(bs) != 3 || bs[0] != 8 || bs[2] != 32 {
+		t.Fatalf("parseBatches = %v, %v", bs, err)
+	}
+	if _, err := parseBatches("8,x"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	if _, err := parseBatches("1"); err == nil {
+		t.Fatal("batch < 2 accepted")
+	}
+}
+
+func TestRunRankAnalysis(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runRankAnalysis(&buf, "3c1f", []int{16, 32}, 0.9, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "batch") || !strings.Contains(out, "conv") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// Every rank column must be a sane integer ≤ batch.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few output lines: %d", len(lines))
+	}
+}
+
+func TestRunRankAnalysisUnknownModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runRankAnalysis(&buf, "nope", []int{8}, 0.9, 2, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunRankAnalysisOversizedBatchSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runRankAnalysis(&buf, "3c1f", []int{100000}, 0.9, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipping") {
+		t.Fatal("oversized batch not reported as skipped")
+	}
+}

@@ -1,0 +1,49 @@
+// Command hylo-report runs a set of experiments and writes a single
+// markdown reproduction report (tables + accuracy sparklines).
+//
+//	hylo-report -o report.md                     # everything
+//	hylo-report -exp fig5,fig6,table3 -quick     # selected, fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "reduced workloads")
+	seed := flag.Uint64("seed", 7, "deterministic seed")
+	flag.Parse()
+
+	var ids []string
+	if *exps == "" {
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	md, err := bench.Report(bench.RunConfig{Quick: *quick, Seed: *seed}, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *out == "" {
+		fmt.Print(md)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}

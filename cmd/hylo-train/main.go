@@ -1,0 +1,243 @@
+// Command hylo-train runs end-to-end training of a substitute model with a
+// chosen optimizer, mirroring the paper artifact's training scripts. The
+// analysis flags follow the artifact: -profiling prints the phase-time
+// breakdown, -grad-norm logs accumulated gradient norms, -rank-analysis
+// reports kernel ranks.
+//
+//	hylo-train -model 3c1f -optimizer hylo -epochs 10
+//	hylo-train -model resnet -optimizer kaisa -workers 4 -profiling
+//	hylo-train -model unet -optimizer hylo -workers 4 -csv run.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/kbfgs"
+	"repro/internal/kfac"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/sngd"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "3c1f", "3c1f | mlp | resnet | densenet | unet | vit")
+		optimizer = flag.String("optimizer", "hylo", "sgd | adam | kfac | kaisa | ekfac | kbfgs | sngd | hylo | hylo-kid | hylo-kis | hylo-random")
+		epochs    = flag.Int("epochs", 10, "training epochs")
+		batch     = flag.Int("batch", 32, "per-worker batch size")
+		workers   = flag.Int("workers", 1, "simulated GPUs (data-parallel)")
+		lr        = flag.Float64("lr", 0.03, "base learning rate")
+		decayAt   = flag.String("decay-at", "", "comma-separated epochs for 10x LR decay")
+		momentum  = flag.Float64("momentum", 0.9, "SGD momentum")
+		wd        = flag.Float64("weight-decay", 0, "weight decay")
+		damping   = flag.Float64("damping", 0.1, "preconditioner damping alpha")
+		freq      = flag.Int("freq", 5, "second-order update frequency (iterations)")
+		rankFrac  = flag.Float64("rank-frac", 0.1, "HyLo rank as a fraction of the global batch")
+		eta       = flag.Float64("eta", 0.25, "HyLo switching threshold")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		classes   = flag.Int("classes", 8, "synthetic dataset classes")
+		samples   = flag.Int("samples", 64, "synthetic samples per class")
+		profiling = flag.Bool("profiling", false, "print the phase-time breakdown (artifact --profiling)")
+		gradNorm  = flag.Bool("grad-norm", false, "print HyLo per-epoch mode choices (artifact --grad-norm)")
+		csvPath   = flag.String("csv", "", "write per-epoch stats to this CSV file")
+		augment   = flag.Bool("augment", false, "random flip/crop augmentation on training batches")
+		patience  = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
+		clip      = flag.Float64("clip", 0, "max global gradient norm (0 = off)")
+	)
+	flag.Parse()
+
+	var decays []int
+	if *decayAt != "" {
+		for _, s := range strings.Split(*decayAt, ",") {
+			var e int
+			fmt.Sscanf(s, "%d", &e)
+			decays = append(decays, e)
+		}
+		sort.Ints(decays)
+	}
+
+	cfg := train.Config{
+		Epochs: *epochs, BatchSize: *batch,
+		LR:       opt.LRSchedule{Base: *lr, DecayAt: decays, Gamma: 0.1},
+		Momentum: *momentum, WeightDecay: *wd,
+		UpdateFreq: *freq, Damping: *damping, Seed: *seed,
+		Adam:     *optimizer == "adam",
+		Patience: *patience, MaxGradNorm: *clip,
+	}
+
+	build, trainSet, testSet, task, target := buildWorkload(*model, *classes, *samples, *seed)
+	if *augment {
+		shape := trainSet.Shape
+		cfg.Augment = func(rng *mat.RNG) *data.Augmenter {
+			return data.NewAugmenter(rng, shape, true, 2)
+		}
+	}
+	pre := precondFactory(*optimizer, *damping, *rankFrac, *eta)
+
+	var res train.Result
+	if *workers > 1 {
+		res = train.RunDistributed(*workers, cfg, build, trainSet, testSet, task, pre, target)
+	} else {
+		res = train.Run(cfg, build, trainSet, testSet, task, pre, target)
+	}
+
+	fmt.Printf("model=%s optimizer=%s workers=%d\n", *model, res.Method, *workers)
+	fmt.Printf("%-6s %-12s %-12s %-10s\n", "epoch", "train loss", "test metric", "elapsed")
+	for _, st := range res.Stats {
+		fmt.Printf("%-6d %-12.4f %-12.4f %-10.2fs\n",
+			st.Epoch, st.TrainLoss, st.Metric, st.Elapsed.Seconds())
+	}
+	fmt.Printf("best metric: %.4f   state: %.2f MB\n", res.Best, float64(res.StateBytes)/(1<<20))
+	if res.TimeToTarget > 0 {
+		fmt.Printf("time-to-target(%.2f): %.2fs\n", target, res.TimeToTarget.Seconds())
+	}
+	if *gradNorm && len(res.EpochModes) > 0 {
+		fmt.Printf("hylo per-epoch modes: %s\n", strings.Join(res.EpochModes, " "))
+	}
+	if *profiling {
+		fmt.Println("\nphase breakdown (rank 0):")
+		fmt.Print(res.Timeline.String())
+	}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func buildWorkload(model string, classes, perClass int, seed uint64) (
+	func(rng *mat.RNG) *nn.Network, *data.Dataset, *data.Dataset, train.Task, float64) {
+
+	switch model {
+	case "mlp":
+		ds := data.SynthVectors(mat.NewRNG(seed+100), classes, perClass*4, 32, 0.3)
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return func(rng *mat.RNG) *nn.Network {
+			return models.MLP(nn.Vec(32), []int{64, 32}, classes, rng)
+		}, tr, te, train.Classification(), 0.9
+	case "3c1f":
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return func(rng *mat.RNG) *nn.Network {
+			return models.ThreeC1F(shape, 8, classes, rng)
+		}, tr, te, train.Classification(), 0.9
+	case "resnet":
+		shape := nn.Shape{C: 3, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return func(rng *mat.RNG) *nn.Network {
+			return models.ResNetCIFAR(shape, 2, 8, classes, rng)
+		}, tr, te, train.Classification(), 0.85
+	case "densenet":
+		shape := nn.Shape{C: 3, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return func(rng *mat.RNG) *nn.Network {
+			return models.DenseNetLite(shape, 6, classes, rng)
+		}, tr, te, train.Classification(), 0.75
+	case "vit":
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return func(rng *mat.RNG) *nn.Network {
+			return models.TransformerLite(shape, 4, 12, 2, classes, rng)
+		}, tr, te, train.Classification(), 0.85
+	case "unet":
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds := data.SynthSegmentation(mat.NewRNG(seed+100), data.SegSpec{
+			N: classes * perClass, Shape: shape, Noise: 0.4})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return func(rng *mat.RNG) *nn.Network {
+			return models.MiniUNet(shape, 4, rng)
+		}, tr, te, train.Segmentation(), 0.8
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", model)
+		os.Exit(2)
+		return nil, nil, nil, train.Task{}, 0
+	}
+}
+
+func precondFactory(optimizer string, damping, rankFrac, eta float64) train.PrecondFactory {
+	hylo := func(policy core.SwitchPolicy) train.PrecondFactory {
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			h := core.NewHyLo(net, damping, rankFrac, c, tl, rng)
+			if policy != nil {
+				h.Policy = policy
+			}
+			return h
+		}
+	}
+	switch optimizer {
+	case "sgd", "adam":
+		return nil
+	case "kfac", "kaisa":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return kfac.NewKFAC(net, damping, c, tl)
+		}
+	case "ekfac":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return kfac.NewEKFAC(net, damping, c, tl)
+		}
+	case "kbfgs":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return kbfgs.NewKBFGSL(net, 0.01, 10)
+		}
+	case "sngd":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return sngd.New(net, damping, c, tl)
+		}
+	case "hylo":
+		return hylo(core.GradientSwitch{Eta: eta})
+	case "hylo-kid":
+		return hylo(core.FixedSwitch{Mode: core.ModeKID})
+	case "hylo-kis":
+		return hylo(core.FixedSwitch{Mode: core.ModeKIS})
+	case "hylo-random":
+		return hylo(core.RandomSwitch{})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown optimizer %q\n", optimizer)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func writeCSV(path string, res train.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"epoch", "train_loss", "test_metric", "elapsed_s"}); err != nil {
+		return err
+	}
+	for _, st := range res.Stats {
+		if err := w.Write([]string{
+			fmt.Sprint(st.Epoch),
+			fmt.Sprintf("%.6f", st.TrainLoss),
+			fmt.Sprintf("%.6f", st.Metric),
+			fmt.Sprintf("%.3f", st.Elapsed.Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+)
+
+func TestBuildWorkloadAllModels(t *testing.T) {
+	for _, model := range []string{"mlp", "3c1f", "resnet", "densenet", "unet", "vit"} {
+		build, tr, te, task, target := buildWorkload(model, 3, 8, 1)
+		if build == nil || tr == nil || te == nil || task.Loss == nil {
+			t.Fatalf("%s: incomplete workload", model)
+		}
+		if target <= 0 || target > 1 {
+			t.Fatalf("%s: target %g out of range", model, target)
+		}
+		// The builder must produce a net compatible with the data.
+		net := build(mat.NewRNG(1))
+		x, _ := tr.Batch([]int{0})
+		out := net.Forward(x, false)
+		if out.Rows() != 1 {
+			t.Fatalf("%s: forward produced %d rows", model, out.Rows())
+		}
+	}
+}
+
+func TestPrecondFactoryAllOptimizers(t *testing.T) {
+	firstOrder := map[string]bool{"sgd": true, "adam": true}
+	for _, o := range []string{"sgd", "adam", "kfac", "kaisa", "ekfac", "kbfgs",
+		"sngd", "hylo", "hylo-kid", "hylo-kis", "hylo-random"} {
+		f := precondFactory(o, 0.1, 0.1, 0.25)
+		if firstOrder[o] {
+			if f != nil {
+				t.Fatalf("%s: expected nil factory", o)
+			}
+			continue
+		}
+		if f == nil {
+			t.Fatalf("%s: nil factory", o)
+		}
+		build, _, _, _, _ := buildWorkload("mlp", 3, 8, 2)
+		net := build(mat.NewRNG(2))
+		pre := f(net, dist.Local(), nil, mat.NewRNG(3))
+		if pre == nil || pre.Name() == "" {
+			t.Fatalf("%s: factory produced invalid preconditioner", o)
+		}
+	}
+}

@@ -1,0 +1,637 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() RunConfig { return RunConfig{Quick: true, Seed: 7} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "table1", "table1-real", "table2", "table3", "table4",
+		"abl-eta", "abl-rank", "abl-freq", "abl-randid", "abl-rescale", "abl-capture", "abl-topology", "abl-seeds", "ext-vit", "ext-reductions", "ext-fim", "abl-straggler", "abl-damping"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments; want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %q; want %q", i, reg[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown id succeeded")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Headers: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("n = %d", 3)
+	s := tb.String()
+	for _, frag := range []string{"demo", "a", "bb", "note: n = 3"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered table missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestFig2LayerDimsLarge(t *testing.T) {
+	tb := Fig2LayerDims(quickCfg())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fig2 rows = %d; want 5 models", len(tb.Rows))
+	}
+	// The paper's point: max layer dim is ≥ 1024 for the big models.
+	for _, row := range tb.Rows {
+		if row[0] == "ResNet-50" {
+			maxD, _ := strconv.Atoi(row[6])
+			if maxD < 4000 {
+				t.Fatalf("ResNet-50 max dim = %d; want ≥ 4000", maxD)
+			}
+		}
+	}
+}
+
+// Fig. 3's shape: HyLo beats KFAC and SNGD at every scale, and SNGD's cost
+// blows up with P while HyLo's stays flat.
+func TestFig3Shape(t *testing.T) {
+	tb := Fig3MethodScaling(quickCfg())
+	totals := map[string]map[int]float64{}
+	for _, row := range tb.Rows {
+		p, _ := strconv.Atoi(row[0])
+		tot, _ := strconv.ParseFloat(row[4], 64)
+		if totals[row[1]] == nil {
+			totals[row[1]] = map[int]float64{}
+		}
+		totals[row[1]][p] = tot
+	}
+	for _, p := range []int{8, 16, 32, 64} {
+		if totals["HyLo"][p] >= totals["KFAC"][p] {
+			t.Fatalf("P=%d: HyLo %.3f not below KFAC %.3f", p, totals["HyLo"][p], totals["KFAC"][p])
+		}
+		if totals["HyLo"][p] >= totals["SNGD"][p] {
+			t.Fatalf("P=%d: HyLo %.3f not below SNGD %.3f", p, totals["HyLo"][p], totals["SNGD"][p])
+		}
+	}
+	if totals["SNGD"][64] < 4*totals["SNGD"][8] {
+		t.Fatalf("SNGD should blow up with P: %.3f at 8 vs %.3f at 64",
+			totals["SNGD"][8], totals["SNGD"][64])
+	}
+	if totals["HyLo"][64] > 20*totals["HyLo"][8] {
+		t.Fatalf("HyLo should stay nearly flat with P: %.3f at 8 vs %.3f at 64",
+			totals["HyLo"][8], totals["HyLo"][64])
+	}
+}
+
+// Fig. 7's shape: HyLo-KIS factorization is far cheaper than KAISA's, and
+// HyLo's inversion is orders of magnitude below KAISA's on ResNet-50.
+func TestFig7Shape(t *testing.T) {
+	tb := Fig7Breakdown(quickCfg())
+	get := func(model, method, col string) float64 {
+		cols := map[string]int{"factorize": 3, "invert": 4, "gather": 5, "broadcast": 6}
+		for _, row := range tb.Rows {
+			if row[0] == model && row[2] == method {
+				v, _ := strconv.ParseFloat(row[cols[col]], 64)
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s not found", model, method)
+		return 0
+	}
+	if r := get("ResNet-50", "KAISA", "factorize") / get("ResNet-50", "HyLo-KIS", "factorize"); r < 20 {
+		t.Fatalf("KAISA/KIS factorization ratio = %.1f; want large (paper: 350x)", r)
+	}
+	if r := get("ResNet-50", "KAISA", "invert") / get("ResNet-50", "HyLo-KID", "invert"); r < 20 {
+		t.Fatalf("KAISA/HyLo inversion ratio = %.1f; want large (paper: 135x)", r)
+	}
+	if r := get("ResNet-50", "KAISA", "gather") / get("ResNet-50", "HyLo-KIS", "gather"); r < 2 {
+		t.Fatalf("KAISA/KIS gather ratio = %.1f; want > 2 (paper: 10.7x)", r)
+	}
+	// U-Net shows the biggest inversion gain (paper: 600x).
+	if r := get("U-Net", "KAISA", "invert") / get("U-Net", "HyLo-KID", "invert"); r < 50 {
+		t.Fatalf("U-Net inversion ratio = %.1f; want very large (paper: 600x)", r)
+	}
+}
+
+// Fig. 8's shape: speedup over SGD grows (or at least does not shrink)
+// with the number of GPUs and decreases with the rank fraction.
+func TestFig8Shape(t *testing.T) {
+	tb := Fig8Speedup(quickCfg())
+	var prevP float64
+	var prevModel string
+	for _, row := range tb.Rows {
+		s10, _ := strconv.ParseFloat(row[2], 64)
+		s40, _ := strconv.ParseFloat(row[4], 64)
+		if s40 > s10*1.05 {
+			t.Fatalf("%s P=%s: r=40%% speedup %.2f above r=10%% %.2f", row[0], row[1], s40, s10)
+		}
+		if row[0] == prevModel && s10 < prevP*0.8 {
+			t.Fatalf("%s: speedup fell sharply with P: %.2f -> %.2f", row[0], prevP, s10)
+		}
+		prevModel, prevP = row[0], s10
+	}
+}
+
+func TestFig9ScalabilityShape(t *testing.T) {
+	tb := Fig9Scalability(quickCfg())
+	for _, row := range tb.Rows {
+		p, _ := strconv.Atoi(row[1])
+		sp, _ := strconv.ParseFloat(row[2], 64)
+		if p == 1 && (sp < 0.999 || sp > 1.001) {
+			t.Fatalf("%s: speedup at P=1 is %.3f; want 1", row[0], sp)
+		}
+		if sp < 0.5 {
+			t.Fatalf("%s P=%d: speedup %.2f collapsed", row[0], p, sp)
+		}
+	}
+}
+
+func TestTable1Exponents(t *testing.T) {
+	tb := Table1Complexity(quickCfg())
+	for _, row := range tb.Rows {
+		theory, _ := strconv.ParseFloat(row[1], 64)
+		meas, _ := strconv.ParseFloat(row[2], 64)
+		if meas < theory-0.35 || meas > theory+0.35 {
+			t.Fatalf("%s: measured exponent %.2f vs theory %.0f", row[0], meas, theory)
+		}
+	}
+}
+
+func TestFig10RanksAreLow(t *testing.T) {
+	tb := Fig10KernelRank(quickCfg())
+	if len(tb.Rows) == 0 {
+		t.Fatal("fig10 produced no rows")
+	}
+	for _, row := range tb.Rows {
+		batch, _ := strconv.Atoi(row[1])
+		med, _ := strconv.Atoi(row[3])
+		if med > batch/2 {
+			t.Fatalf("%s batch %d: median rank %d not low-rank", row[0], batch, med)
+		}
+	}
+}
+
+func TestFig12KIDBeatsKIS(t *testing.T) {
+	tb := Fig12GradError(quickCfg())
+	wins, total := 0, 0
+	for _, row := range tb.Rows {
+		kid, _ := strconv.ParseFloat(row[2], 64)
+		kis, _ := strconv.ParseFloat(row[3], 64)
+		total++
+		if kid <= kis {
+			wins++
+		}
+	}
+	if total == 0 {
+		t.Fatal("fig12 produced no rows")
+	}
+	if wins*3 < total*2 {
+		t.Fatalf("KID beat KIS on only %d/%d probes", wins, total)
+	}
+}
+
+func TestTable2Inventory(t *testing.T) {
+	tb := Table2Models(quickCfg())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("table2 rows = %d; want 5", len(tb.Rows))
+	}
+}
+
+func TestTable4MemoryOrdering(t *testing.T) {
+	tb := Table4Memory(quickCfg())
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(s, " MB"), 64)
+		return v
+	}
+	for _, row := range tb.Rows {
+		hylo, kaisa, adam, sgd := parse(row[1]), parse(row[2]), parse(row[3]), parse(row[4])
+		if sgd >= adam {
+			t.Fatalf("%s: SGD %f not below ADAM %f", row[0], sgd, adam)
+		}
+		if row[0] == "ResNet-50" && hylo >= kaisa {
+			t.Fatalf("ResNet-50: HyLo %f not below KAISA %f", hylo, kaisa)
+		}
+		if row[0] == "U-Net" && hylo*5 >= kaisa {
+			t.Fatalf("U-Net: HyLo %f not far below KAISA %f (paper: 20x)", hylo, kaisa)
+		}
+	}
+}
+
+// The training-based experiments are heavier; run them in quick mode and
+// check structural sanity plus the headline orderings that should be
+// robust even at toy scale.
+func TestFig4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := Fig4SingleGPU(quickCfg())
+	if len(tb.Rows) != 12 {
+		t.Fatalf("fig4 rows = %d; want 12 (2 models x 6 methods)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		acc, _ := strconv.ParseFloat(row[2], 64)
+		if acc <= 0 || acc > 1 {
+			t.Fatalf("%s/%s: accuracy %g out of range", row[0], row[1], acc)
+		}
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := Fig5TimeToAccuracy(quickCfg())
+	if len(tb.Rows) != 12 {
+		t.Fatalf("fig5 rows = %d; want 12 (3 workloads x 4 methods)", len(tb.Rows))
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := Table3Switching(quickCfg())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("table3 rows = %d; want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.ContainsAny(row[5], "DS") {
+			t.Fatalf("%s: empty mode string", row[0])
+		}
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := Fig11GradNorms(quickCfg())
+	if len(tb.Rows) == 0 {
+		t.Fatal("fig11 produced no rows")
+	}
+}
+
+func TestAblationRegistryIncluded(t *testing.T) {
+	for _, id := range []string{"abl-eta", "abl-rank", "abl-freq", "abl-randid", "abl-rescale", "abl-capture", "abl-topology", "abl-seeds", "ext-vit", "ext-reductions", "ext-fim", "abl-straggler", "abl-damping"} {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("ablation %q missing from registry", id)
+		}
+	}
+}
+
+func TestAblationKISRescaleReducesError(t *testing.T) {
+	tb := AblationKISRescale(quickCfg())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d; want 2", len(tb.Rows))
+	}
+	rescaled, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	plain, _ := strconv.ParseFloat(tb.Rows[1][1], 64)
+	if rescaled <= 0 || plain <= 0 {
+		t.Fatalf("non-positive errors: %g %g", rescaled, plain)
+	}
+	// Rescaling should not be dramatically worse; typically it is better.
+	if rescaled > 2*plain {
+		t.Fatalf("rescaled error %g far above plain %g", rescaled, plain)
+	}
+}
+
+func TestAblationEtaRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := AblationEta(quickCfg())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("abl-eta rows = %d; want 4", len(tb.Rows))
+	}
+	// Monotonicity of KID usage: smaller eta must use at least as many
+	// KID epochs as larger eta.
+	var prev = 1 << 30
+	for _, row := range tb.Rows {
+		var kid, total int
+		fmt.Sscanf(row[3], "%d/%d", &kid, &total)
+		if kid > prev {
+			t.Fatalf("KID epochs increased as eta grew: %v", tb.Rows)
+		}
+		prev = kid
+	}
+}
+
+func TestAblationRandomizedIDRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := AblationRandomizedID(quickCfg())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("abl-randid rows = %d; want 2", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if acc, _ := strconv.ParseFloat(row[1], 64); acc <= 0 {
+			t.Fatalf("%s: accuracy %s not positive", row[0], row[1])
+		}
+	}
+}
+
+func TestAblationCaptureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := AblationCapture(quickCfg())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("abl-capture rows = %d; want 2", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if acc, _ := strconv.ParseFloat(row[1], 64); acc <= 0.3 {
+			t.Fatalf("%s: accuracy %s too low", row[0], row[1])
+		}
+	}
+}
+
+func TestAblationTopology(t *testing.T) {
+	tb := AblationTopology(quickCfg())
+	if len(tb.Rows) != 8 {
+		t.Fatalf("abl-topology rows = %d; want 8", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		ratio, _ := strconv.ParseFloat(row[4], 64)
+		if ratio <= 0 {
+			t.Fatalf("P=%s %s: non-positive flat/hier ratio %s", row[0], row[1], row[4])
+		}
+	}
+}
+
+func TestTable1RealRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tb := Table1RealMeasured(quickCfg())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("table1-real rows = %d; want 4", len(tb.Rows))
+	}
+	// Loose shape check: the cubic kernels must measure clearly
+	// superlinear, the linear kernel clearly subcubic.
+	for _, row := range tb.Rows {
+		meas, _ := strconv.ParseFloat(row[3], 64)
+		theory, _ := strconv.ParseFloat(row[1], 64)
+		if theory == 3 && meas < 1.5 {
+			t.Errorf("%s: measured exponent %.2f far below cubic", row[0], meas)
+		}
+		if theory == 1 && meas > 2.5 {
+			t.Errorf("%s: measured exponent %.2f far above linear", row[0], meas)
+		}
+	}
+}
+
+func TestAblationSeedsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := AblationSeeds(quickCfg())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("abl-seeds rows = %d; want 2", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		mean, _ := strconv.ParseFloat(row[2], 64)
+		std, _ := strconv.ParseFloat(row[3], 64)
+		if mean <= 0.3 {
+			t.Fatalf("%s: mean accuracy %g too low", row[0], mean)
+		}
+		if std > 0.4 {
+			t.Fatalf("%s: accuracy std %g suspiciously large", row[0], std)
+		}
+	}
+}
+
+func TestExtensionViTRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := ExtensionViT(quickCfg())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("ext-vit rows = %d; want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		acc, _ := strconv.ParseFloat(row[1], 64)
+		if acc <= 0.3 {
+			t.Fatalf("%s on ViT: accuracy %g too low", row[0], acc)
+		}
+	}
+}
+
+func TestExtensionReductions(t *testing.T) {
+	tb := ExtensionReductions(quickCfg())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("ext-reductions rows = %d; want 3", len(tb.Rows))
+	}
+	// Errors must decrease (not grow) with rank for every method.
+	var prev [3]float64
+	for ri, row := range tb.Rows {
+		for c := 1; c <= 3; c++ {
+			v, _ := strconv.ParseFloat(row[c], 64)
+			if v < 0 {
+				t.Fatalf("negative error %v", row)
+			}
+			if ri > 0 && v > prev[c-1]*2+0.05 {
+				t.Fatalf("col %d error grew sharply with rank: %g -> %g", c, prev[c-1], v)
+			}
+			prev[c-1] = v
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline length = %d; want 3", len(runes))
+	}
+	if runes[0] >= runes[2] {
+		t.Fatalf("sparkline not increasing: %q", s)
+	}
+	// Constant series renders without dividing by zero.
+	if got := []rune(Sparkline([]float64{2, 2, 2})); len(got) != 3 {
+		t.Fatal("constant sparkline wrong length")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	tb.AddNote("hello")
+	md := tb.Markdown()
+	for _, frag := range []string{"### x — demo", "| a | b |", "| 1 | 2 |", "> hello"} {
+		if !strings.Contains(md, frag) {
+			t.Fatalf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+}
+
+func TestReportSelectedExperiments(t *testing.T) {
+	md, err := Report(quickCfg(), []string{"fig2", "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"# HyLo reproduction report", "### fig2", "### table2"} {
+		if !strings.Contains(md, frag) {
+			t.Fatalf("report missing %q", frag)
+		}
+	}
+	if _, err := Report(quickCfg(), []string{"nope"}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestExtensionFIMQuality(t *testing.T) {
+	tb := ExtensionFIMQuality(quickCfg())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("ext-fim rows = %d; want 5", len(tb.Rows))
+	}
+	errs := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		errs[row[0]] = v
+	}
+	if errs["SNGD (SMW, exact)"] > 1e-6 {
+		t.Fatalf("SMW error %g; must be ≈0", errs["SNGD (SMW, exact)"])
+	}
+	// Every reduced method must beat random noise but exceed exact SMW.
+	for name, v := range errs {
+		if name == "SNGD (SMW, exact)" {
+			continue
+		}
+		if v <= 0 || v > 10 {
+			t.Fatalf("%s: implausible error %g", name, v)
+		}
+	}
+}
+
+func TestAblationStraggler(t *testing.T) {
+	tb := AblationStraggler(quickCfg())
+	if len(tb.Rows) != 6 {
+		t.Fatalf("abl-straggler rows = %d; want 6", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		sigma, _ := strconv.ParseFloat(row[0], 64)
+		for c := 3; c <= 5; c++ {
+			eff, _ := strconv.ParseFloat(row[c], 64)
+			if eff <= 0 || eff > 1.0001 {
+				t.Fatalf("efficiency %g out of range in %v", eff, row)
+			}
+			if sigma == 0 && eff < 0.9999 {
+				t.Fatalf("zero jitter should give efficiency 1: %v", row)
+			}
+		}
+	}
+}
+
+// TestHeadlineClaim asserts the paper's central result end-to-end on real
+// training: HyLo reaches the target accuracy faster than KAISA
+// (paper: 1.4-2.1x on 64 GPUs; here on the ResNet-32 substitute at 4
+// simulated workers).
+func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	cfg := RunConfig{Quick: false, Seed: 7}
+	w := resnet32Workload(cfg)
+	hylo := runMethod(w, methodSet([]string{"HyLo"})[0])
+	kaisa := runMethod(w, methodSet([]string{"KFAC"})[0])
+	if hylo.TimeToTarget == 0 {
+		t.Fatalf("HyLo never reached the %.2f target (best %.3f)", w.target, hylo.Best)
+	}
+	if kaisa.TimeToTarget != 0 && hylo.TimeToTarget >= kaisa.TimeToTarget {
+		t.Fatalf("HyLo time-to-target %v not below KAISA %v",
+			hylo.TimeToTarget, kaisa.TimeToTarget)
+	}
+	t.Logf("HyLo %v vs KAISA %v (%.2fx)", hylo.TimeToTarget, kaisa.TimeToTarget,
+		float64(kaisa.TimeToTarget)/float64(hylo.TimeToTarget))
+}
+
+// Golden regression for the deterministic cost model: the fig3 table's
+// structure and headline ratio must not drift silently.
+func TestFig3Golden(t *testing.T) {
+	tb := Fig3MethodScaling(RunConfig{Seed: 7})
+	if len(tb.Rows) != 12 {
+		t.Fatalf("fig3 rows = %d; want 12", len(tb.Rows))
+	}
+	// The analytic model is pure arithmetic: lock the P=64 HyLo total to
+	// its current value within float tolerance so cost-model edits are
+	// conscious decisions.
+	var hylo64 float64
+	for _, row := range tb.Rows {
+		if row[0] == "64" && row[1] == "HyLo" {
+			hylo64, _ = strconv.ParseFloat(row[4], 64)
+		}
+	}
+	const golden = 71.206 // ms, from the reference run in results/
+	if hylo64 < golden*0.999 || hylo64 > golden*1.001 {
+		t.Fatalf("fig3 HyLo@64 total = %.3f ms; golden %.3f (cost model changed — update golden + EXPERIMENTS.md)", hylo64, golden)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	out := AsciiChart([]Series{
+		{Label: "up", Values: []float64{0, 0.5, 1}},
+		{Label: "down", Values: []float64{1, 0.5, 0}},
+	}, 24, 6)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	for _, frag := range []string{"*=up", "o=down", "1.000", "0.000", "+---"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("chart missing %q:\n%s", frag, out)
+		}
+	}
+	// Degenerate inputs are safe.
+	if AsciiChart(nil, 24, 6) != "" {
+		t.Fatal("nil series should render empty")
+	}
+	if AsciiChart([]Series{{Label: "x"}}, 24, 6) != "" {
+		t.Fatal("empty values should render empty")
+	}
+	// Constant series must not divide by zero.
+	if AsciiChart([]Series{{Label: "c", Values: []float64{2, 2}}}, 24, 6) == "" {
+		t.Fatal("constant series should render")
+	}
+}
+
+// Golden-file regression: the fig2 table is pure shape arithmetic over the
+// published architectures and must render identically forever (update
+// testdata/fig2.golden consciously if an inventory changes).
+func TestFig2GoldenFile(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig2.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Fig2LayerDims(RunConfig{Seed: 7}).String()
+	if strings.TrimSpace(got) != strings.TrimSpace(string(want)) {
+		t.Fatalf("fig2 output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestAblationDampingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	tb := AblationDamping(quickCfg())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("abl-damping rows = %d; want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for c := 1; c <= 2; c++ {
+			acc, _ := strconv.ParseFloat(row[c], 64)
+			if acc <= 0 || acc > 1 {
+				t.Fatalf("accuracy %s out of range in %v", row[c], row)
+			}
+		}
+	}
+}

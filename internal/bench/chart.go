@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled line of an AsciiChart.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// AsciiChart renders multiple series as a terminal line chart with a
+// shared y-axis, one plot glyph per series, and a legend — the report
+// generator uses it for the accuracy-vs-epoch curves (Fig. 6).
+func AsciiChart(series []Series, width, height int) string {
+	if len(series) == 0 || width < 8 || height < 3 {
+		return ""
+	}
+	glyphs := []byte("*o+x#@%&")
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return ""
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			col := 0
+			if maxLen > 1 {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int((maxV - v) / (maxV - minV) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3f ", maxV)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3f ", minV)
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", width) + "\n")
+	// Legend, stable order.
+	idx := make([]int, len(series))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return series[idx[a]].Label < series[idx[b]].Label })
+	b.WriteString(strings.Repeat(" ", 9))
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%c=%s  ", glyphs[i%len(glyphs)], series[i].Label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

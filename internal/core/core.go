@@ -1,0 +1,269 @@
+// Package core implements HyLo, the paper's contribution: a hybrid
+// low-rank natural-gradient preconditioner that reduces the per-sample
+// factors A and G to rank-r KID or KIS factors before the SMW kernel
+// inversion, with a gradient-based heuristic switching between the two
+// per epoch (Algorithm 1).
+//
+// The same code path runs single-process (dist.Local()) and on the
+// simulated cluster (dist.Worker): per-worker factors are reduced locally,
+// gathered, the owning worker inverts the r×r reduced kernel, and the
+// result is broadcast — exactly the distributed schedule of Fig. 1.
+package core
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Mode selects the low-rank reduction used in an epoch.
+type Mode int
+
+// The two reduction algorithms of Sec. III.
+const (
+	// ModeKID is the Khatri-Rao interpolative decomposition (Algorithm 2):
+	// higher accuracy, higher cost; used for critical epochs.
+	ModeKID Mode = iota
+	// ModeKIS is Khatri-Rao importance sampling (Algorithm 3): cheap
+	// norm-based sampling; used for non-critical epochs.
+	ModeKIS
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeKID {
+		return "KID"
+	}
+	return "KIS"
+}
+
+// KIDFactors implements Algorithm 2: it reduces per-sample factors
+// (a, g ∈ R^{m×d·}) to rank-r KID factors via an interpolative
+// decomposition of the Gram (kernel) matrix Q = a aᵀ ∘ g gᵀ.
+//
+// It returns the selected rows aˢ = a[S,:], gˢ = g[S,:] and the projected
+// residual correction Y = Pᵀ (R + αI)⁻¹ P with R = Q − P·Q[S,:].
+func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense) {
+	m := a.Rows()
+	if g.Rows() != m {
+		panic("core: KIDFactors row mismatch")
+	}
+	if r > m {
+		r = m
+	}
+	// (1) Gram matrix of the Khatri-Rao rows.
+	q := mat.KernelMatrix(a, g)
+	// (2) Row interpolative decomposition Q ≈ P Q[S,:].
+	p, s := mat.InterpolativeDecomp(q, r)
+	// (3) Residue.
+	res := mat.Sub(q, mat.Mul(p, q.SelectRows(s)))
+	// (4) KID factors. (R+αI) is a general matrix; fall back to growing
+	// damping if it is numerically singular.
+	damped := res.AddDiag(alpha) // res is owned here; mutate in place
+	var rinv *mat.Dense
+	for boost := 0.0; ; {
+		var err error
+		rinv, err = mat.Inv(damped)
+		if err == nil {
+			break
+		}
+		if boost == 0 {
+			boost = math.Max(alpha, 1e-8)
+		} else {
+			boost *= 10
+		}
+		damped.AddDiag(boost)
+	}
+	y = mat.MulTA(p, mat.Mul(rinv, p))
+	return a.SelectRows(s), g.SelectRows(s), y
+}
+
+// AdaptiveKIDRank chooses the smallest rank whose interpolative
+// decomposition residual falls below tol, by inspecting the decay of the
+// column-pivoted QR diagonal of the Gram matrix: |R[k,k]| bounds the
+// spectral norm of the rank-k residual, so the first k with
+// |R[k,k]| ≤ tol·|R[0,0]| suffices. This extends the paper's fixed
+// r = 10%·batch rule with an error-driven rule (future-work direction).
+// maxRank caps the answer; the returned rank is always ≥ 1.
+func AdaptiveKIDRank(a, g *mat.Dense, tol float64, maxRank int) int {
+	q := mat.KernelMatrix(a, g)
+	f := mat.FactorQRPivot(q.T())
+	r := f.R()
+	n := min(r.Rows(), maxRank)
+	d0 := math.Abs(r.At(0, 0))
+	if d0 == 0 {
+		return 1
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(r.At(k, k)) <= tol*d0 {
+			return k
+		}
+	}
+	return n
+}
+
+// KIDFactorsRand is KIDFactors with the interpolative decomposition
+// replaced by the Gaussian-sketch randomized ID of the paper's reference
+// [33] (Biagioni & Beylkin): the pivoted QR runs on an m×(r+oversample)
+// sketch instead of the full m×m Gram matrix, trading a small accuracy
+// loss for an asymptotically cheaper factorization.
+func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversample int) (as, gs, y *mat.Dense) {
+	m := a.Rows()
+	if g.Rows() != m {
+		panic("core: KIDFactorsRand row mismatch")
+	}
+	if r > m {
+		r = m
+	}
+	q := mat.KernelMatrix(a, g)
+	p, s := mat.RandomizedID(rng, q, r, oversample)
+	res := mat.Sub(q, mat.Mul(p, q.SelectRows(s)))
+	damped := res.AddDiag(alpha)
+	var rinv *mat.Dense
+	for boost := 0.0; ; {
+		var err error
+		rinv, err = mat.Inv(damped)
+		if err == nil {
+			break
+		}
+		if boost == 0 {
+			boost = math.Max(alpha, 1e-8)
+		} else {
+			boost *= 10
+		}
+		damped.AddDiag(boost)
+	}
+	y = mat.MulTA(p, mat.Mul(rinv, p))
+	return a.SelectRows(s), g.SelectRows(s), y
+}
+
+// KISFactors implements Algorithm 3: norm-based importance sampling of r
+// rows. The score of sample j is ‖a_j‖·‖g_j‖ — the Khatri-Rao structure
+// makes this the exact row norm of the Jacobian U = a ⊙ g. Sampling is
+// without replacement, weighted by the normalized scores (Efraimidis-
+// Spirakis keys), and selected rows are rescaled by (r·q_j)^(-1/4) on both
+// factors so the reduced kernel is an unbiased estimate of the full one
+// (Drineas-Kannan-Mahoney); pass rescale=false for the plain row
+// selection written in the paper's pseudocode.
+func KISFactors(rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (as, gs *mat.Dense) {
+	m := a.Rows()
+	if g.Rows() != m {
+		panic("core: KISFactors row mismatch")
+	}
+	if r > m {
+		r = m
+	}
+	na := mat.RowNorms(a)
+	ng := mat.RowNorms(g)
+	scores := make([]float64, m)
+	var total float64
+	for j := range scores {
+		scores[j] = na[j] * ng[j]
+		total += scores[j]
+	}
+	if total == 0 {
+		// Degenerate batch: uniform sampling.
+		for j := range scores {
+			scores[j] = 1
+		}
+		total = float64(m)
+	}
+	idx := weightedSampleWithoutReplacement(rng, scores, r)
+	as = a.SelectRows(idx)
+	gs = g.SelectRows(idx)
+	if rescale {
+		for k, j := range idx {
+			qj := scores[j] / total
+			c := math.Pow(float64(r)*qj, -0.25)
+			rowScale(as.Row(k), c)
+			rowScale(gs.Row(k), c)
+		}
+	}
+	return as, gs
+}
+
+func rowScale(row []float64, c float64) {
+	for i := range row {
+		row[i] *= c
+	}
+}
+
+// weightedSampleWithoutReplacement draws r indices with probability
+// proportional to weights, without replacement, using exponential keys
+// (Efraimidis & Spirakis): pick the r smallest e_j/w_j with e_j ~ Exp(1).
+func weightedSampleWithoutReplacement(rng *mat.RNG, weights []float64, r int) []int {
+	type kv struct {
+		key float64
+		idx int
+	}
+	keys := make([]kv, 0, len(weights))
+	for j, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		u := rng.Float64()
+		if u == 0 {
+			u = 1e-300
+		}
+		keys = append(keys, kv{key: -math.Log(u) / w, idx: j})
+	}
+	if r > len(keys) {
+		r = len(keys)
+	}
+	// Partial selection of the r smallest keys.
+	for i := 0; i < r; i++ {
+		best := i
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j].key < keys[best].key {
+				best = j
+			}
+		}
+		keys[i], keys[best] = keys[best], keys[i]
+	}
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = keys[i].idx
+	}
+	return out
+}
+
+// SwitchPolicy decides the reduction mode for an epoch. ratio is the
+// relative change R of accumulated-gradient norms (Eq. 10); it is NaN for
+// the first two epochs, before enough history exists.
+type SwitchPolicy interface {
+	Choose(epoch int, lrDecayed bool, ratio float64, rng *mat.RNG) Mode
+}
+
+// GradientSwitch is the paper's heuristic: KID on critical epochs — when
+// the learning rate decays or R ≥ Eta — and KIS otherwise. Epochs without
+// history default to KID (the paper's runs use KID for the initial epochs,
+// where gradients change rapidly).
+type GradientSwitch struct {
+	Eta float64
+}
+
+// Choose implements SwitchPolicy.
+func (s GradientSwitch) Choose(epoch int, lrDecayed bool, ratio float64, _ *mat.RNG) Mode {
+	if lrDecayed || math.IsNaN(ratio) || ratio >= s.Eta {
+		return ModeKID
+	}
+	return ModeKIS
+}
+
+// RandomSwitch is the Table III ablation: a fair coin each epoch.
+type RandomSwitch struct{}
+
+// Choose implements SwitchPolicy.
+func (RandomSwitch) Choose(_ int, _ bool, _ float64, rng *mat.RNG) Mode {
+	if rng.Float64() < 0.5 {
+		return ModeKID
+	}
+	return ModeKIS
+}
+
+// FixedSwitch always selects one mode (used by the KID-only / KIS-only
+// ablations and the per-method profiling of Fig. 7).
+type FixedSwitch struct{ Mode Mode }
+
+// Choose implements SwitchPolicy.
+func (f FixedSwitch) Choose(_ int, _ bool, _ float64, _ *mat.RNG) Mode { return f.Mode }

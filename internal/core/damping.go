@@ -1,0 +1,57 @@
+package core
+
+// DampingAdapter implements the Levenberg-Marquardt-style damping schedule
+// the original KFAC paper uses: the damping shrinks while the loss keeps
+// improving (trusting the curvature model more) and grows when a step
+// fails to reduce the loss (falling back towards plain gradient descent).
+// It extends the paper's fixed-α HyLo with the standard trust-region
+// adjustment.
+type DampingAdapter struct {
+	// Min/Max clamp the damping range.
+	Min, Max float64
+	// Grow and Shrink are the multiplicative adjustments (defaults 1.5 and
+	// 0.9 when zero).
+	Grow, Shrink float64
+
+	prevLoss float64
+	seen     bool
+}
+
+// Observe feeds the adapter one training-loss observation and returns the
+// adjusted damping.
+func (d *DampingAdapter) Observe(damping, loss float64) float64 {
+	grow, shrink := d.Grow, d.Shrink
+	if grow <= 1 {
+		grow = 1.5
+	}
+	if shrink <= 0 || shrink >= 1 {
+		shrink = 0.9
+	}
+	if d.seen {
+		if loss > d.prevLoss {
+			damping *= grow
+		} else {
+			damping *= shrink
+		}
+	}
+	d.prevLoss = loss
+	d.seen = true
+	if d.Min > 0 && damping < d.Min {
+		damping = d.Min
+	}
+	if d.Max > 0 && damping > d.Max {
+		damping = d.Max
+	}
+	return damping
+}
+
+// SetDamping updates HyLo's damping α (used by the LM adapter between
+// epochs; takes effect at the next Update).
+func (h *HyLo) SetDamping(alpha float64) {
+	if alpha > 0 {
+		h.Damping = alpha
+	}
+}
+
+// CurrentDamping returns HyLo's damping α.
+func (h *HyLo) CurrentDamping() float64 { return h.Damping }

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// HyLo is the hybrid low-rank natural-gradient preconditioner
+// (Algorithm 1). It implements opt.Preconditioner plus an epoch hook the
+// trainer calls so the gradient-based switching heuristic (Eq. 10) can
+// pick KID or KIS for the coming epoch.
+type HyLo struct {
+	// Damping is α in Eqs. (8) and (9).
+	Damping float64
+	// RankFrac sets the reduced rank r as a fraction of the global batch
+	// (the paper uses 10%).
+	RankFrac float64
+	// Policy selects the per-epoch mode; defaults to the paper's
+	// GradientSwitch with η = 0.25 when nil.
+	Policy SwitchPolicy
+	// RandomizedKID switches the KID path to the Gaussian-sketch
+	// randomized ID (reference [33]); Oversample controls the sketch
+	// width (default 8 when zero).
+	RandomizedKID bool
+	// Oversample is the randomized-ID oversampling parameter.
+	Oversample int
+	// AdaptiveRank replaces the fixed per-worker rank ρ = r/P with the
+	// error-driven rule of AdaptiveKIDRank (KID epochs only): the rank is
+	// the smallest value whose ID residual falls below AdaptiveTol,
+	// capped at ρ. Each worker adapts independently; the gathered factor
+	// sizes may differ across workers, which the gather/block-diagonal
+	// assembly handles naturally.
+	AdaptiveRank bool
+	// AdaptiveTol is the relative residual tolerance (default 1e-3).
+	AdaptiveTol float64
+	// CommMantissaBits, when in [1, 51], quantizes the factors to that
+	// many mantissa bits before the gather — simulating the
+	// reduced-precision collectives of production implementations (Ueno et
+	// al.'s 21-bit format uses 12 mantissa bits). 0 disables quantization.
+	CommMantissaBits int
+
+	layers   []nn.KernelLayer
+	comm     dist.Comm
+	timeline *dist.Timeline
+	rng      *mat.RNG
+	// policyRNG drives the switching policy. It is seeded identically on
+	// every worker: the per-epoch mode is a COLLECTIVE decision — workers
+	// choosing different modes would issue mismatched collective sequences
+	// and deadlock, exactly as divergent control flow would under NCCL.
+	policyRNG *mat.RNG
+	state     []*hyloState
+
+	mode       Mode
+	delta      [][]float64 // per-layer accumulated gradient Δₑ
+	prevNorms  []float64   // history of ‖Δₑ‖
+	epochModes []Mode      // record of chosen modes (Table III / analysis)
+}
+
+type hyloState struct {
+	as, gs *mat.Dense // gathered reduced factors (normalized)
+	m      *mat.Dense // KID: M = Y − Y(K̂⁻¹+Y)⁻¹Y; KIS: (K̂+αI)⁻¹
+}
+
+// NewHyLo builds the preconditioner over the network's kernel layers.
+// comm may be dist.Local(); timeline is optional; rng drives KIS sampling
+// and the Random ablation policy.
+func NewHyLo(net *nn.Network, damping, rankFrac float64, comm dist.Comm, timeline *dist.Timeline, rng *mat.RNG) *HyLo {
+	h := &HyLo{
+		Damping:   damping,
+		RankFrac:  rankFrac,
+		Policy:    GradientSwitch{Eta: 0.25},
+		layers:    net.KernelLayers(),
+		comm:      comm,
+		timeline:  timeline,
+		rng:       rng,
+		policyRNG: mat.NewRNG(0xC0FFEE),
+		mode:      ModeKID,
+	}
+	h.state = make([]*hyloState, len(h.layers))
+	h.delta = make([][]float64, len(h.layers))
+	for i, l := range h.layers {
+		h.state[i] = &hyloState{}
+		dIn, dOut := l.Dims()
+		h.delta[i] = make([]float64, dIn*dOut)
+	}
+	return h
+}
+
+// Name implements opt.Preconditioner.
+func (h *HyLo) Name() string { return "HyLo" }
+
+// Mode returns the reduction currently in use.
+func (h *HyLo) Mode() Mode { return h.mode }
+
+// EpochModes returns the mode chosen for each epoch so far.
+func (h *HyLo) EpochModes() []Mode { return h.epochModes }
+
+// ModeStrings returns EpochModes rendered as strings; the trainer uses it
+// to report the switching pattern without importing this package.
+func (h *HyLo) ModeStrings() []string {
+	out := make([]string, len(h.epochModes))
+	for i, m := range h.epochModes {
+		out[i] = m.String()
+	}
+	return out
+}
+
+func (h *HyLo) record(phase string, start time.Time) {
+	if h.timeline != nil && h.comm.ID() == 0 {
+		h.timeline.Add(phase, time.Since(start).Seconds())
+	}
+}
+
+// OnEpochStart implements the trainer's epoch hook: it folds the finished
+// epoch's accumulated gradient into the norm history, computes the
+// relative change R (Eq. 10), and lets the policy choose the mode.
+func (h *HyLo) OnEpochStart(epoch int, lrDecayed bool) {
+	if epoch > 0 {
+		// Close out Δ of the epoch that just finished.
+		var s float64
+		for _, d := range h.delta {
+			for _, v := range d {
+				s += v * v
+			}
+			for j := range d {
+				d[j] = 0
+			}
+		}
+		h.prevNorms = append(h.prevNorms, math.Sqrt(s))
+	}
+	ratio := math.NaN()
+	if n := len(h.prevNorms); n >= 2 {
+		d1, d2 := h.prevNorms[n-1], h.prevNorms[n-2]
+		if d2 > 0 {
+			ratio = math.Abs(d1-d2) / d2
+		}
+	}
+	policy := h.Policy
+	if policy == nil {
+		policy = GradientSwitch{Eta: 0.25}
+	}
+	h.mode = policy.Choose(epoch, lrDecayed, ratio, h.policyRNG)
+	h.epochModes = append(h.epochModes, h.mode)
+}
+
+// Update implements opt.Preconditioner: lines 5-11 (KID) or 16-22 (KIS) of
+// Algorithm 1 for every layer.
+func (h *HyLo) Update() {
+	p := h.comm.Size()
+	for i, l := range h.layers {
+		a, g := l.Capture()
+		if a == nil {
+			continue
+		}
+		mLocal := a.Rows()
+		mGlob := mLocal * p
+		r := int(h.RankFrac * float64(mGlob))
+		if r < 1 {
+			r = 1
+		}
+		rho := r / p // per-worker reduced rows ρ = r/P
+		if rho < 1 {
+			rho = 1
+		}
+		if rho > mLocal {
+			rho = mLocal
+		}
+		// Normalize so the reduced kernel approximates the mean Fisher
+		// kernel: scaling both factors by mGlob^(-1/4) scales K by 1/mGlob.
+		scale := math.Pow(float64(mGlob), -0.25)
+		an := a.Clone().Scale(scale)
+		gn := g.Clone().Scale(scale)
+
+		st := h.state[i]
+		switch h.mode {
+		case ModeKID:
+			h.updateKID(i, st, an, gn, rho, p)
+		case ModeKIS:
+			h.updateKIS(i, st, an, gn, rho, p)
+		}
+	}
+}
+
+func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int) {
+	if h.AdaptiveRank {
+		tol := h.AdaptiveTol
+		if tol <= 0 {
+			tol = 1e-3
+		}
+		if ar := AdaptiveKIDRank(an, gn, tol, rho); ar < rho {
+			rho = ar
+		}
+	}
+	// Local factorization (Algorithm 2), optionally with the randomized ID.
+	t0 := time.Now()
+	var as, gs, y *mat.Dense
+	if h.RandomizedKID {
+		over := h.Oversample
+		if over <= 0 {
+			over = 8
+		}
+		as, gs, y = KIDFactorsRand(h.rng, an, gn, rho, h.Damping, over)
+	} else {
+		as, gs, y = KIDFactors(an, gn, rho, h.Damping)
+	}
+	h.record(dist.PhaseFactorize, t0)
+
+	// Gather KID factors; Y is block-diagonal across workers (line 7).
+	t0 = time.Now()
+	h.quantize(as, gs, y)
+	aParts := h.comm.AllGatherMat(as)
+	gParts := h.comm.AllGatherMat(gs)
+	yParts := h.comm.AllGatherMat(y)
+	h.record(dist.PhaseGather, t0)
+	st.as = mat.VStack(aParts...)
+	st.gs = mat.VStack(gParts...)
+	yBlk := mat.BlockDiag(yParts...)
+
+	// Inversion on the owning worker (lines 9-10): build
+	// M = Y − Y(K̂⁻¹+Y)⁻¹Y, computed in the equivalent single-inverse form
+	// M = (I + Y·K̂)⁻¹ Y, which avoids inverting a possibly rank-deficient K̂.
+	owner := layer % p
+	var m *mat.Dense
+	if h.comm.ID() == owner {
+		t0 = time.Now()
+		khat := mat.KernelMatrix(st.as, st.gs)
+		iyk := mat.Mul(yBlk, khat)
+		iyk.AddDiag(1)
+		inv, err := mat.Inv(iyk)
+		if err != nil {
+			iyk.AddDiag(1e-8)
+			inv = mat.InvSPDDamped(mat.Mul(iyk.T(), iyk), 0) // last-resort PSD fallback
+			inv = mat.Mul(inv, iyk.T())
+		}
+		m = mat.Mul(inv, yBlk)
+		h.record(dist.PhaseInvert, t0)
+	}
+
+	// Broadcast (line 11).
+	t0 = time.Now()
+	st.m = h.comm.BroadcastMat(owner, m)
+	h.record(dist.PhaseBroadcast, t0)
+}
+
+func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int) {
+	// Local importance sampling (Algorithm 3).
+	t0 := time.Now()
+	as, gs := KISFactors(h.rng, an, gn, rho, true)
+	h.record(dist.PhaseFactorize, t0)
+
+	// Gather KIS factors (line 18).
+	t0 = time.Now()
+	h.quantize(as, gs)
+	aParts := h.comm.AllGatherMat(as)
+	gParts := h.comm.AllGatherMat(gs)
+	h.record(dist.PhaseGather, t0)
+	st.as = mat.VStack(aParts...)
+	st.gs = mat.VStack(gParts...)
+
+	// Inversion on the owning worker (lines 20-21): K̂ = AˢAˢᵀ∘GˢGˢᵀ + αI.
+	owner := layer % p
+	var kinv *mat.Dense
+	if h.comm.ID() == owner {
+		t0 = time.Now()
+		k := mat.KernelMatrix(st.as, st.gs).AddDiag(h.Damping)
+		kinv = mat.InvSPDDamped(k, 0)
+		h.record(dist.PhaseInvert, t0)
+	}
+
+	// Broadcast (line 22).
+	t0 = time.Now()
+	st.m = h.comm.BroadcastMat(owner, kinv)
+	h.record(dist.PhaseBroadcast, t0)
+}
+
+// quantize reduces the factors' mantissa precision before communication
+// when CommMantissaBits is configured.
+func (h *HyLo) quantize(ms ...*mat.Dense) {
+	if h.CommMantissaBits <= 0 || h.CommMantissaBits >= 52 {
+		return
+	}
+	for _, m := range ms {
+		dist.QuantizeBits(m, h.CommMantissaBits)
+	}
+}
+
+// Precondition implements opt.Preconditioner, applying Eq. (8) (KID) or
+// Eq. (9) (KIS) — both have the form (1/α)(g − Uˢᵀ M Uˢ g) and differ only
+// in M. It also accumulates Δₑ += g for the switching heuristic.
+func (h *HyLo) Precondition() {
+	for i, l := range h.layers {
+		w := l.Weight()
+		gd := w.Grad.Data()
+		// Accumulate the raw gradient before transforming (Alg. 1, l. 13).
+		acc := h.delta[i]
+		for j, v := range gd {
+			acc[j] += v
+		}
+		st := h.state[i]
+		if st.m == nil {
+			continue
+		}
+		y := mat.KhatriRaoApply(st.as, st.gs, gd)
+		z := mat.MulVec(st.m, y)
+		corr := mat.KhatriRaoApplyT(st.as, st.gs, z)
+		inv := 1 / h.Damping
+		for j := range gd {
+			gd[j] = inv * (gd[j] - corr[j])
+		}
+	}
+}
+
+// StateBytes implements opt.Preconditioner: the gathered r×d factors plus
+// the r×r reduced kernel per layer — Table I's O(rd + r² + d²) storage.
+func (h *HyLo) StateBytes() int {
+	var n int
+	for _, st := range h.state {
+		if st.as != nil {
+			n += st.as.Rows()*st.as.Cols() + st.gs.Rows()*st.gs.Cols()
+		}
+		if st.m != nil {
+			n += st.m.Rows() * st.m.Cols()
+		}
+	}
+	return n * 8
+}

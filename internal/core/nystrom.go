@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// NystromFactors computes a rank-r Nyström approximation of the kernel
+// K = AAᵀ ∘ GGᵀ: it samples r landmark rows S (norm-weighted, like KIS)
+// and returns C = K[:, S] (m×r) and W = K[S, S] (r×r), with K ≈ C W⁺ Cᵀ.
+//
+// Nyström is the third classical low-rank kernel reduction besides
+// interpolative decomposition and row sampling; it is included as an
+// extension for comparison — its C factor has the batch dimension m, so a
+// distributed version would gather O(ρ·m) values per worker instead of
+// HyLo's O(ρ·d), which is why the paper's factorizations are the better
+// fit at scale.
+func NystromFactors(rng *mat.RNG, a, g *mat.Dense, r int) (c, w *mat.Dense, s []int) {
+	m := a.Rows()
+	if r > m {
+		r = m
+	}
+	k := mat.KernelMatrix(a, g)
+	// Norm-weighted landmark selection (scores as in Algorithm 3).
+	na := mat.RowNorms(a)
+	ng := mat.RowNorms(g)
+	scores := make([]float64, m)
+	for j := range scores {
+		scores[j] = na[j] * ng[j]
+	}
+	s = weightedSampleWithoutReplacement(rng, scores, r)
+	if len(s) < r {
+		// Degenerate scores: fill uniformly.
+		seen := map[int]bool{}
+		for _, i := range s {
+			seen[i] = true
+		}
+		for j := 0; j < m && len(s) < r; j++ {
+			if !seen[j] {
+				s = append(s, j)
+			}
+		}
+	}
+	c = mat.NewDense(m, len(s))
+	w = mat.NewDense(len(s), len(s))
+	for col, j := range s {
+		for i := 0; i < m; i++ {
+			c.Set(i, col, k.At(i, j))
+		}
+		for row, i := range s {
+			w.Set(row, col, k.At(i, j))
+		}
+	}
+	return c, w, s
+}
+
+// PreconditionNystrom applies Eq. (7) with the kernel inverse replaced by
+// the Nyström-Woodbury identity
+//
+//	(C W⁺ Cᵀ + αI)⁻¹ = (1/α)(I − C (αW + CᵀC)⁻¹ Cᵀ),
+//
+// so only an r×r system is solved. At r = m this is exactly Eq. (7).
+func PreconditionNystrom(a, g *mat.Dense, grad []float64, alpha float64, r int, rng *mat.RNG) []float64 {
+	scale := math.Pow(float64(a.Rows()), -0.25)
+	an := a.Clone().Scale(scale)
+	gn := g.Clone().Scale(scale)
+	c, w, _ := NystromFactors(rng, an, gn, r)
+
+	// y = U g; inner solve (αW + CᵀC) t = Cᵀ y; z = (y − C t)/α;
+	// result = (g − Uᵀ z)/α.
+	y := mat.KhatriRaoApply(an, gn, grad)
+	cty := mat.MulVecT(c, y)
+	inner := mat.MulTA(c, c)
+	inner.AddScaled(w, alpha)
+	tSol := mat.CGSolveColumns(inner.AddDiag(1e-12), mat.NewDenseData(len(cty), 1, cty), 1e-12, 50*len(cty))
+	tvec := make([]float64, len(cty))
+	for i := range tvec {
+		tvec[i] = tSol.At(i, 0)
+	}
+	ct := mat.MulVec(c, tvec)
+	z := make([]float64, len(y))
+	for i := range z {
+		z[i] = (y[i] - ct[i]) / alpha
+	}
+	corr := mat.KhatriRaoApplyT(an, gn, z)
+	out := make([]float64, len(grad))
+	inv := 1 / alpha
+	for j := range grad {
+		out[j] = inv * (grad[j] - corr[j])
+	}
+	return out
+}

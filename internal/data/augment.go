@@ -1,0 +1,61 @@
+package data
+
+import (
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Augmenter applies the standard small-image training augmentations
+// (random horizontal flip, random shifted crop with zero padding) to a
+// batch in place of the raw samples. Evaluation uses the raw data.
+type Augmenter struct {
+	Shape nn.Shape
+	// Flip enables random horizontal flips (p = 0.5).
+	Flip bool
+	// Pad is the crop-shift radius in pixels (0 disables).
+	Pad int
+
+	rng *mat.RNG
+}
+
+// NewAugmenter returns an augmenter for samples of the given shape.
+func NewAugmenter(rng *mat.RNG, shape nn.Shape, flip bool, pad int) *Augmenter {
+	return &Augmenter{Shape: shape, Flip: flip, Pad: pad, rng: rng}
+}
+
+// Apply returns an augmented copy of the batch (one independent draw per
+// sample).
+func (a *Augmenter) Apply(x *mat.Dense) *mat.Dense {
+	out := mat.NewDense(x.Rows(), x.Cols())
+	h, w := a.Shape.H, a.Shape.W
+	for i := 0; i < x.Rows(); i++ {
+		src, dst := x.Row(i), out.Row(i)
+		flip := a.Flip && a.rng.Float64() < 0.5
+		dy, dx := 0, 0
+		if a.Pad > 0 {
+			dy = a.rng.Intn(2*a.Pad+1) - a.Pad
+			dx = a.rng.Intn(2*a.Pad+1) - a.Pad
+		}
+		for c := 0; c < a.Shape.C; c++ {
+			base := c * h * w
+			for y := 0; y < h; y++ {
+				sy := y + dy
+				if sy < 0 || sy >= h {
+					continue // shifted-in rows stay zero (zero padding)
+				}
+				for xx := 0; xx < w; xx++ {
+					sx := xx + dx
+					if sx < 0 || sx >= w {
+						continue
+					}
+					tx := xx
+					if flip {
+						tx = w - 1 - xx
+					}
+					dst[base+y*w+tx] = src[base+sy*w+sx]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package data
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+func TestIDXImagesRoundTrip(t *testing.T) {
+	rng := mat.NewRNG(1)
+	shape := nn.Shape{C: 1, H: 6, W: 5}
+	x := mat.RandUniform(rng, 7, 30, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, x, shape); err != nil {
+		t.Fatal(err)
+	}
+	got, gotShape, err := ReadIDXImages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotShape != shape {
+		t.Fatalf("shape = %v; want %v", gotShape, shape)
+	}
+	// Quantization to uint8 bounds the round-trip error by 1/255.
+	if d := mat.MaxAbsDiff(got, x); d > 1.0/255+1e-9 {
+		t.Fatalf("round-trip error %g above quantization bound", d)
+	}
+}
+
+func TestIDXLabelsRoundTrip(t *testing.T) {
+	labels := []int{0, 3, 9, 255, 1}
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDXLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(labels) {
+		t.Fatalf("len = %d; want %d", len(got), len(labels))
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("label %d = %d; want %d", i, got[i], labels[i])
+		}
+	}
+}
+
+func TestIDXLabelsRejectOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, []int{300}); err == nil {
+		t.Fatal("expected error for label > 255")
+	}
+}
+
+func TestIDXRejectsBadMagic(t *testing.T) {
+	if _, _, err := ReadIDXImages(bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0})); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadIDXLabels(bytes.NewReader([]byte{0, 0, 8, 3})); err == nil {
+		t.Fatal("expected IDX1 dimensionality error")
+	}
+}
+
+func TestIDXRejectsTruncated(t *testing.T) {
+	// Valid header claiming 2 samples of 2x2 but only 1 sample of data.
+	raw := []byte{
+		0, 0, 8, 3,
+		0, 0, 0, 2, // n=2
+		0, 0, 0, 2, // h=2
+		0, 0, 0, 2, // w=2
+		1, 2, 3, 4, // only one sample
+	}
+	if _, _, err := ReadIDXImages(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLoadIDXDatasetEndToEnd(t *testing.T) {
+	// Export a synthetic dataset to IDX files, then load it back and train
+	// compatibility: shapes/labels/classes intact.
+	rng := mat.NewRNG(2)
+	shape := nn.Shape{C: 1, H: 8, W: 8}
+	// Clamp synthetic images into [0,1] for the uint8 format.
+	src := SynthImages(rng, ClassSpec{Classes: 3, PerClass: 5, Shape: shape, Noise: 0.1})
+	for _, v := range src.X.Data() {
+		_ = v
+	}
+	xd := src.X.Data()
+	for i, v := range xd {
+		if v < 0 {
+			xd[i] = 0
+		}
+		if v > 1 {
+			xd[i] = 1
+		}
+	}
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "images.idx3")
+	labPath := filepath.Join(dir, "labels.idx1")
+	imgF, err := os.Create(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXImages(imgF, src.X, shape); err != nil {
+		t.Fatal(err)
+	}
+	imgF.Close()
+	labF, err := os.Create(labPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(labF, src.Labels); err != nil {
+		t.Fatal(err)
+	}
+	labF.Close()
+
+	ds, err := LoadIDXDataset(imgPath, labPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 15 || ds.Shape != shape || ds.Classes != 3 {
+		t.Fatalf("loaded dataset: len=%d shape=%v classes=%d", ds.Len(), ds.Shape, ds.Classes)
+	}
+	for i := range ds.Labels {
+		if ds.Labels[i] != src.Labels[i] {
+			t.Fatal("labels corrupted through IDX round trip")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package dist
+
+import "repro/internal/mat"
+
+// Comm abstracts the collective-communication surface the second-order
+// preconditioners use, so the identical algorithm code runs single-process
+// (Local) and on a simulated cluster (*Worker).
+type Comm interface {
+	// Size returns the number of workers P.
+	Size() int
+	// ID returns this worker's rank.
+	ID() int
+	// AllGatherMat gathers one matrix per worker in rank order.
+	AllGatherMat(m *mat.Dense) []*mat.Dense
+	// AllReduceMat returns the element-wise sum across workers.
+	AllReduceMat(m *mat.Dense) *mat.Dense
+	// BroadcastMat distributes root's matrix to every worker.
+	BroadcastMat(root int, m *mat.Dense) *mat.Dense
+	// AllReduceScalar returns the sum of v across workers.
+	AllReduceScalar(v float64) float64
+}
+
+// Size implements Comm.
+func (w *Worker) Size() int { return w.c.P }
+
+// ID implements Comm.
+func (w *Worker) ID() int { return w.Rank }
+
+// BroadcastMat implements Comm.
+func (w *Worker) BroadcastMat(root int, m *mat.Dense) *mat.Dense {
+	return w.Broadcast(root, m)
+}
+
+// Local returns a single-worker Comm for non-distributed execution.
+func Local() Comm { return localComm{} }
+
+type localComm struct{}
+
+func (localComm) Size() int                                   { return 1 }
+func (localComm) ID() int                                     { return 0 }
+func (localComm) AllGatherMat(m *mat.Dense) []*mat.Dense      { return []*mat.Dense{m} }
+func (localComm) AllReduceMat(m *mat.Dense) *mat.Dense        { return m.Clone() }
+func (localComm) BroadcastMat(_ int, m *mat.Dense) *mat.Dense { return m }
+func (localComm) AllReduceScalar(v float64) float64           { return v }

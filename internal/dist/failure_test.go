@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestRunWithRecoveryAllSucceed(t *testing.T) {
+	c := NewCluster(4)
+	errs := c.RunWithRecovery(func(w *Worker) {
+		m := mat.NewDense(1, 1)
+		m.Fill(1)
+		w.AllReduceMat(m)
+	})
+	if len(errs) != 0 {
+		t.Fatalf("healthy run reported errors: %v", errs)
+	}
+}
+
+// Failure injection: one worker dies mid-collective; survivors must fail
+// loudly (poisoned barrier) instead of deadlocking forever.
+func TestRunWithRecoveryWorkerDeath(t *testing.T) {
+	c := NewCluster(4)
+	var completions int64
+	errs := c.RunWithRecovery(func(w *Worker) {
+		if w.Rank == 2 {
+			panic("injected fault")
+		}
+		m := mat.NewDense(1, 1)
+		w.AllReduceMat(m) // would deadlock without poisoning
+		atomic.AddInt64(&completions, 1)
+	})
+	if len(errs) != 4 {
+		// Rank 2 fails with the injected fault; ranks 0,1,3 with poison.
+		t.Fatalf("errors = %d (%v); want 4", len(errs), errs)
+	}
+	var injected, poisoned int
+	for _, err := range errs {
+		we, ok := err.(WorkerError)
+		if !ok {
+			t.Fatalf("unexpected error type %T", err)
+		}
+		switch {
+		case we.Rank == 2 && we.Err == "injected fault":
+			injected++
+		case strings.Contains(err.Error(), "poisoned"):
+			poisoned++
+		}
+	}
+	if injected != 1 || poisoned != 3 {
+		t.Fatalf("injected=%d poisoned=%d; want 1, 3 (%v)", injected, poisoned, errs)
+	}
+	if completions != 0 {
+		t.Fatalf("%d workers completed despite peer death", completions)
+	}
+}
+
+// A fault after all collectives completed must not take down the others.
+func TestRunWithRecoveryLateFault(t *testing.T) {
+	c := NewCluster(3)
+	errs := c.RunWithRecovery(func(w *Worker) {
+		m := mat.NewDense(1, 1)
+		w.AllReduceMat(m)
+		if w.Rank == 0 {
+			panic("late fault")
+		}
+	})
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v; want exactly the late fault", errs)
+	}
+	if errs[0].(WorkerError).Rank != 0 {
+		t.Fatalf("wrong rank blamed: %v", errs[0])
+	}
+}
+
+func TestWorkerErrorString(t *testing.T) {
+	e := WorkerError{Rank: 3, Err: "boom"}
+	if !strings.Contains(e.Error(), "worker 3") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("unhelpful error: %q", e.Error())
+	}
+}
+
+// A poisoned cluster must stay poisoned: reusing it fails fast.
+func TestPoisonedClusterStaysPoisoned(t *testing.T) {
+	c := NewCluster(2)
+	c.RunWithRecovery(func(w *Worker) {
+		if w.Rank == 0 {
+			panic("die")
+		}
+		w.Barrier()
+	})
+	errs := c.RunWithRecovery(func(w *Worker) {
+		w.Barrier()
+	})
+	if len(errs) != 2 {
+		t.Fatalf("reused poisoned cluster: errors = %v; want 2", errs)
+	}
+}

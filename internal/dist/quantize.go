@@ -1,0 +1,41 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// QuantizeF32 rounds every element of m to float32 precision in place and
+// returns m. It simulates the reduced-precision collective communication
+// of production second-order implementations (Osawa et al. communicate
+// fp16/fp32 factors; Ueno et al. a custom 21-bit format): tensors are
+// quantized before a gather/broadcast and used at the reduced precision on
+// the receiving side.
+func QuantizeF32(m *mat.Dense) *mat.Dense {
+	d := m.Data()
+	for i, v := range d {
+		d[i] = float64(float32(v))
+	}
+	return m
+}
+
+// QuantizeBits truncates each element's mantissa to the given number of
+// bits (1-52), emulating custom low-bit floating formats. 21 matches the
+// KDD'20 format of Ueno et al. (1 sign + 8 exponent + 12 mantissa bits).
+func QuantizeBits(m *mat.Dense, mantissaBits int) *mat.Dense {
+	if mantissaBits < 1 {
+		mantissaBits = 1
+	}
+	if mantissaBits >= 52 {
+		return m
+	}
+	shift := uint(52 - mantissaBits)
+	d := m.Data()
+	for i, v := range d {
+		bits := math.Float64bits(v)
+		bits &^= (1 << shift) - 1 // zero the dropped mantissa bits
+		d[i] = math.Float64frombits(bits)
+	}
+	return m
+}

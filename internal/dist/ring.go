@@ -1,0 +1,96 @@
+package dist
+
+import "repro/internal/mat"
+
+// ringState holds the per-cluster channel ring used by RingAllReduce:
+// worker i sends to (i+1) mod P over a buffered channel, mirroring the
+// NCCL ring topology. Unlike the barrier-based AllReduceMat (which models
+// a parameter-server-style exchange), this implementation moves real
+// chunks hop by hop: 2(P−1) steps of n/P elements each, the schedule whose
+// cost the α-β model charges.
+type ringState struct {
+	links []chan []float64
+}
+
+func (c *Cluster) ring() *ringState {
+	c.ringOnce.Do(func() {
+		c.ringSt = &ringState{links: make([]chan []float64, c.P)}
+		for i := range c.ringSt.links {
+			c.ringSt.links[i] = make(chan []float64, 1)
+		}
+	})
+	return c.ringSt
+}
+
+// RingAllReduce sums vectors across workers with the chunked ring
+// algorithm: a reduce-scatter phase (P−1 hops, each worker ends up owning
+// the full sum of one chunk) followed by an all-gather phase (P−1 hops
+// distributing the owned chunks). The result is written into a new slice;
+// the input is not modified.
+//
+// Chunk c is accumulated in ring order starting from worker (c+1) mod P,
+// so results are deterministic (identical across runs and ranks) though
+// the floating-point grouping differs from rank-order summation.
+func (w *Worker) RingAllReduce(x []float64) []float64 {
+	p := w.c.P
+	if p == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	r := w.c.ring()
+	n := len(x)
+	// Chunk boundaries: chunk i covers [bounds[i], bounds[i+1]).
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	chunk := func(buf []float64, i int) []float64 { return buf[bounds[i]:bounds[i+1]] }
+
+	acc := make([]float64, n)
+	copy(acc, x)
+	me := w.Rank
+	sendTo := r.links[(me+1)%p]
+	recvFrom := r.links[me]
+
+	// Reduce-scatter: at step s, send chunk (me−s) and accumulate into
+	// chunk (me−s−1).
+	for s := 0; s < p-1; s++ {
+		sendIdx := mod(me-s, p)
+		recvIdx := mod(me-s-1, p)
+		out := make([]float64, bounds[sendIdx+1]-bounds[sendIdx])
+		copy(out, chunk(acc, sendIdx))
+		sendTo <- out
+		in := <-recvFrom
+		dst := chunk(acc, recvIdx)
+		for j := range dst {
+			dst[j] += in[j]
+		}
+	}
+	// All-gather: worker me now owns the full sum of chunk (me+1);
+	// circulate owned chunks around the ring.
+	for s := 0; s < p-1; s++ {
+		sendIdx := mod(me+1-s, p)
+		recvIdx := mod(me-s, p)
+		out := make([]float64, bounds[sendIdx+1]-bounds[sendIdx])
+		copy(out, chunk(acc, sendIdx))
+		sendTo <- out
+		in := <-recvFrom
+		copy(chunk(acc, recvIdx), in)
+	}
+	return acc
+}
+
+func mod(a, p int) int {
+	a %= p
+	if a < 0 {
+		a += p
+	}
+	return a
+}
+
+// RingAllReduceMat is RingAllReduce over a matrix's backing storage.
+func (w *Worker) RingAllReduceMat(m *mat.Dense) *mat.Dense {
+	sum := w.RingAllReduce(m.Data())
+	return mat.NewDenseData(m.Rows(), m.Cols(), sum)
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Phase names used by the second-order schedules; Fig. 7's breakdown
+// reports exactly these four buckets.
+const (
+	PhaseFactorize = "factorization"
+	PhaseInvert    = "inversion"
+	PhaseGather    = "gather"
+	PhaseBroadcast = "broadcast"
+)
+
+// Timeline accumulates simulated time per named phase. It is safe for
+// concurrent use by cluster workers.
+type Timeline struct {
+	mu     sync.Mutex
+	totals map[string]float64
+	counts map[string]int
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{totals: map[string]float64{}, counts: map[string]int{}}
+}
+
+// Add accrues seconds to phase.
+func (t *Timeline) Add(phase string, seconds float64) {
+	t.mu.Lock()
+	t.totals[phase] += seconds
+	t.counts[phase]++
+	t.mu.Unlock()
+}
+
+// Total returns the accumulated seconds for phase.
+func (t *Timeline) Total(phase string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totals[phase]
+}
+
+// Sum returns the accumulated seconds across the given phases (all phases
+// when none are named).
+func (t *Timeline) Sum(phases ...string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(phases) == 0 {
+		var s float64
+		for _, v := range t.totals {
+			s += v
+		}
+		return s
+	}
+	var s float64
+	for _, p := range phases {
+		s += t.totals[p]
+	}
+	return s
+}
+
+// Count returns how many times phase was recorded.
+func (t *Timeline) Count(phase string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[phase]
+}
+
+// Reset clears all accumulated phases.
+func (t *Timeline) Reset() {
+	t.mu.Lock()
+	t.totals = map[string]float64{}
+	t.counts = map[string]int{}
+	t.mu.Unlock()
+}
+
+// String renders phases sorted by name with millisecond totals.
+func (t *Timeline) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.totals))
+	for k := range t.totals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-14s %10.3f ms (%d events)\n", n, t.totals[n]*1e3, t.counts[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,307 @@
+// Package kfac implements the Kronecker-factored curvature baselines: KFAC
+// (Martens & Grosse) with the KAISA-style distributed execution schedule
+// (factor all-reduce, layer-assigned inversion, inverse broadcast), and
+// EKFAC (George et al.), which rescales the Kronecker eigenbasis with a
+// running diagonal second-moment estimate.
+package kfac
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// KFAC approximates each layer's Fisher block inverse with the Kronecker
+// product of inverted input/gradient covariances (Eq. 6 of the paper):
+//
+//	(F + αI)⁻¹ ≈ (AᵀA/m + γI)⁻¹ ⊗ (GᵀG/m + γI)⁻¹.
+type KFAC struct {
+	// Damping is the factor damping γ.
+	Damping float64
+	// Decay is the running-average coefficient for the factors.
+	Decay float64
+	// Strategy selects the KAISA placement mode (mem-opt, comm-opt, or
+	// hybrid); the zero value is the memory-optimal schedule.
+	Strategy Strategy
+	// HybridBudgetBytes bounds the per-worker factor state kept
+	// communication-optimally under StrategyHybrid.
+	HybridBudgetBytes int
+	// PiCorrection enables the Tikhonov π damping split between the two
+	// Kronecker factors (Martens & Grosse §6.3).
+	PiCorrection bool
+
+	layers   []nn.KernelLayer
+	comm     dist.Comm
+	timeline *dist.Timeline
+	state    []*kfacState
+}
+
+type kfacState struct {
+	aFactor, gFactor *mat.Dense // running covariance estimates
+	aInv, gInv       *mat.Dense
+	initialized      bool
+}
+
+// NewKFAC builds a KFAC preconditioner over the network's kernel layers.
+// comm may be dist.Local() for single-process runs. timeline is optional.
+func NewKFAC(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.Timeline) *KFAC {
+	k := &KFAC{Damping: damping, Decay: 0.95, layers: net.KernelLayers(), comm: comm, timeline: timeline}
+	k.state = make([]*kfacState, len(k.layers))
+	for i, l := range k.layers {
+		dIn, dOut := l.Dims()
+		k.state[i] = &kfacState{
+			aFactor: mat.NewDense(dIn, dIn),
+			gFactor: mat.NewDense(dOut, dOut),
+		}
+	}
+	return k
+}
+
+// Name implements opt.Preconditioner.
+func (k *KFAC) Name() string { return "KFAC" }
+
+func (k *KFAC) record(phase string, start time.Time) {
+	if k.timeline != nil && k.comm.ID() == 0 {
+		k.timeline.Add(phase, time.Since(start).Seconds())
+	}
+}
+
+// Update implements opt.Preconditioner: recompute factors from the latest
+// captures, all-reduce them, invert owned layers, broadcast inverses.
+func (k *KFAC) Update() {
+	p := k.comm.Size()
+	for i, l := range k.layers {
+		a, g := l.Capture()
+		if a == nil {
+			continue
+		}
+		m := float64(a.Rows() * p)
+
+		// (2) Factor computation.
+		t0 := time.Now()
+		fa := mat.GramT(a).Scale(1 / m)
+		fg := mat.GramT(g).Scale(1 / m)
+		k.record(dist.PhaseFactorize, t0)
+
+		// (3) Factor all-reduce across workers (KAISA step 3).
+		t0 = time.Now()
+		fa = k.comm.AllReduceMat(fa)
+		fg = k.comm.AllReduceMat(fg)
+		k.record(dist.PhaseGather, t0)
+
+		st := k.state[i]
+		owner := i % p
+		commOpt := k.layerCommOpt(i)
+		// Memory-optimal layers keep the running factor state only on
+		// their owner; comm-optimal layers keep it everywhere.
+		keepFactors := commOpt || k.comm.ID() == owner
+		if keepFactors {
+			if !st.initialized {
+				// Bootstrap the running average from the first observation.
+				st.aFactor.CopyFrom(fa)
+				st.gFactor.CopyFrom(fg)
+				st.initialized = true
+			} else {
+				st.aFactor.Scale(k.Decay).AddScaled(fa, 1-k.Decay)
+				st.gFactor.Scale(k.Decay).AddScaled(fg, 1-k.Decay)
+			}
+		}
+
+		invert := func() (aInv, gInv *mat.Dense) {
+			gA, gG := math.Sqrt(k.Damping), math.Sqrt(k.Damping)
+			if k.PiCorrection {
+				dIn, dOut := l.Dims()
+				gA, gG = piCorrection(st.aFactor.Trace(), dIn, st.gFactor.Trace(), dOut, k.Damping)
+			}
+			return mat.InvSPDDamped(st.aFactor, gA), mat.InvSPDDamped(st.gFactor, gG)
+		}
+
+		if commOpt {
+			// (4') Communication-optimal: every worker inverts locally; no
+			// inverse broadcast (KAISA's comm-opt placement).
+			t0 = time.Now()
+			st.aInv, st.gInv = invert()
+			k.record(dist.PhaseInvert, t0)
+			continue
+		}
+
+		// (4) Inversion on the owning worker.
+		var aInv, gInv *mat.Dense
+		if k.comm.ID() == owner {
+			t0 = time.Now()
+			aInv, gInv = invert()
+			k.record(dist.PhaseInvert, t0)
+		}
+
+		// (5) Broadcast the inverses to everyone.
+		t0 = time.Now()
+		st.aInv = k.comm.BroadcastMat(owner, aInv)
+		st.gInv = k.comm.BroadcastMat(owner, gInv)
+		k.record(dist.PhaseBroadcast, t0)
+	}
+}
+
+// Precondition implements opt.Preconditioner: grad ← A⁻¹ · grad · G⁻¹.
+func (k *KFAC) Precondition() {
+	for i, l := range k.layers {
+		st := k.state[i]
+		if st.aInv == nil {
+			continue
+		}
+		w := l.Weight()
+		pg := mat.Mul(st.aInv, mat.Mul(w.Grad, st.gInv))
+		w.Grad.CopyFrom(pg)
+	}
+}
+
+// StateBytes implements opt.Preconditioner: the per-worker state actually
+// held under the active strategy — inverses for every layer, plus running
+// factors for the layers this worker stores them for (all layers under
+// comm-opt, owned layers under mem-opt; Table IV's O(d²) storage).
+func (k *KFAC) StateBytes() int {
+	var n int
+	for i, l := range k.layers {
+		dIn, dOut := l.Dims()
+		n += dIn*dIn + dOut*dOut // inverses
+		if k.state[i].initialized {
+			n += dIn*dIn + dOut*dOut // running factors
+		}
+	}
+	return n * 8
+}
+
+// EKFAC refines KFAC by diagonally rescaling in the Kronecker eigenbasis:
+// the factors are eigendecomposed and the per-coordinate curvature scale
+// is tracked as a running average of the squared gradient projected into
+// that basis (George et al., 2018).
+type EKFAC struct {
+	Damping float64
+	Decay   float64
+
+	layers   []nn.KernelLayer
+	comm     dist.Comm
+	timeline *dist.Timeline
+	state    []*ekfacState
+}
+
+type ekfacState struct {
+	aFactor, gFactor *mat.Dense
+	qa, qg           *mat.Dense // eigenbases
+	scale            *mat.Dense // running E[(Qaᵀ g Qg)²], dIn×dOut
+	initialized      bool
+	scaleInit        bool
+}
+
+// NewEKFAC builds an EKFAC preconditioner.
+func NewEKFAC(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.Timeline) *EKFAC {
+	e := &EKFAC{Damping: damping, Decay: 0.95, layers: net.KernelLayers(), comm: comm, timeline: timeline}
+	e.state = make([]*ekfacState, len(e.layers))
+	for i, l := range e.layers {
+		dIn, dOut := l.Dims()
+		e.state[i] = &ekfacState{
+			aFactor: mat.NewDense(dIn, dIn),
+			gFactor: mat.NewDense(dOut, dOut),
+			scale:   mat.NewDense(dIn, dOut),
+		}
+	}
+	return e
+}
+
+// Name implements opt.Preconditioner.
+func (e *EKFAC) Name() string { return "EKFAC" }
+
+func (e *EKFAC) record(phase string, start time.Time) {
+	if e.timeline != nil && e.comm.ID() == 0 {
+		e.timeline.Add(phase, time.Since(start).Seconds())
+	}
+}
+
+// Update implements opt.Preconditioner.
+func (e *EKFAC) Update() {
+	p := e.comm.Size()
+	for i, l := range e.layers {
+		a, g := l.Capture()
+		if a == nil {
+			continue
+		}
+		m := float64(a.Rows() * p)
+
+		t0 := time.Now()
+		fa := mat.GramT(a).Scale(1 / m)
+		fg := mat.GramT(g).Scale(1 / m)
+		e.record(dist.PhaseFactorize, t0)
+
+		t0 = time.Now()
+		fa = e.comm.AllReduceMat(fa)
+		fg = e.comm.AllReduceMat(fg)
+		e.record(dist.PhaseGather, t0)
+
+		st := e.state[i]
+		if !st.initialized {
+			st.aFactor.CopyFrom(fa)
+			st.gFactor.CopyFrom(fg)
+			st.initialized = true
+		} else {
+			st.aFactor.Scale(e.Decay).AddScaled(fa, 1-e.Decay)
+			st.gFactor.Scale(e.Decay).AddScaled(fg, 1-e.Decay)
+		}
+
+		// Eigendecompositions on the owning worker (the expensive step
+		// EKFAC adds over KFAC).
+		owner := i % p
+		var qa, qg *mat.Dense
+		if e.comm.ID() == owner {
+			t0 = time.Now()
+			_, qa = mat.SymEig(st.aFactor)
+			_, qg = mat.SymEig(st.gFactor)
+			e.record(dist.PhaseInvert, t0)
+		}
+		t0 = time.Now()
+		st.qa = e.comm.BroadcastMat(owner, qa)
+		st.qg = e.comm.BroadcastMat(owner, qg)
+		e.record(dist.PhaseBroadcast, t0)
+
+		// Refresh the diagonal scale from the current gradient projected
+		// into the eigenbasis.
+		w := l.Weight()
+		proj := mat.MulTA(st.qa, mat.Mul(w.Grad, st.qg))
+		sq := mat.Hadamard(proj, proj)
+		if !st.scaleInit {
+			st.scale.CopyFrom(sq)
+			st.scaleInit = true
+		} else {
+			st.scale.Scale(e.Decay).AddScaled(sq, 1-e.Decay)
+		}
+	}
+}
+
+// Precondition implements opt.Preconditioner.
+func (e *EKFAC) Precondition() {
+	for i, l := range e.layers {
+		st := e.state[i]
+		if st.qa == nil {
+			continue
+		}
+		w := l.Weight()
+		proj := mat.MulTA(st.qa, mat.Mul(w.Grad, st.qg))
+		pd, sd := proj.Data(), st.scale.Data()
+		for j := range pd {
+			pd[j] /= sd[j] + e.Damping
+		}
+		back := mat.Mul(st.qa, mat.MulTB(proj, st.qg))
+		w.Grad.CopyFrom(back)
+	}
+}
+
+// StateBytes implements opt.Preconditioner.
+func (e *EKFAC) StateBytes() int {
+	var n int
+	for _, l := range e.layers {
+		dIn, dOut := l.Dims()
+		n += 2*(dIn*dIn+dOut*dOut) + dIn*dOut
+	}
+	return n * 8
+}

@@ -1,0 +1,111 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCGSolvesSPD(t *testing.T) {
+	rng := NewRNG(101)
+	for _, n := range []int{1, 5, 20, 60} {
+		a := RandSPD(rng, n, 1)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Norm()
+		}
+		x, iters := CG(a, b, 1e-12, 10*n)
+		res := MulVec(a, x)
+		for i := range res {
+			res[i] -= b[i]
+		}
+		if Norm2(res)/Norm2(b) > 1e-9 {
+			t.Fatalf("n=%d: CG residual %g after %d iters", n, Norm2(res)/Norm2(b), iters)
+		}
+	}
+}
+
+func TestCGExactInNSteps(t *testing.T) {
+	// Exact arithmetic guarantees convergence in ≤ n iterations; in floats
+	// allow a little slack.
+	rng := NewRNG(102)
+	n := 25
+	a := RandSPD(rng, n, 1)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Norm()
+	}
+	_, iters := CG(a, b, 1e-10, 5*n)
+	if iters > n+10 {
+		t.Fatalf("CG used %d iterations for n=%d", iters, n)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	rng := NewRNG(103)
+	a := RandSPD(rng, 6, 1)
+	x, iters := CG(a, make([]float64, 6), 1e-12, 100)
+	if iters != 0 || Norm2(x) != 0 {
+		t.Fatalf("CG on zero rhs: %d iters, ‖x‖=%g", iters, Norm2(x))
+	}
+}
+
+func TestCGMatchesCholesky(t *testing.T) {
+	rng := NewRNG(104)
+	a := RandSPD(rng, 30, 2)
+	b := RandN(rng, 30, 3, 1)
+	xCG := CGSolveColumns(a, b, 1e-12, 400)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xCh := SolveCholesky(l, b)
+	if d := MaxAbsDiff(xCG, xCh); d > 1e-7 {
+		t.Fatalf("CG and Cholesky solutions differ by %g", d)
+	}
+}
+
+// Property: the damped SNGD kernel solve via CG matches the explicit
+// inverse application on random captures.
+func TestCGKernelSolveProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed)*143 + 17)
+		m := 3 + rng.Intn(12)
+		d := 2 + rng.Intn(5)
+		a := RandN(rng, m, d, 1)
+		g := RandN(rng, m, d, 1)
+		k := KernelMatrix(a, g).AddDiag(0.5)
+		y := make([]float64, m)
+		for i := range y {
+			y[i] = rng.Norm()
+		}
+		z1, _ := CG(k, y, 1e-12, 50*m)
+		kinv, err := InvSPD(k)
+		if err != nil {
+			return false
+		}
+		z2 := MulVec(kinv, y)
+		for i := range z1 {
+			if math.Abs(z1[i]-z2[i]) > 1e-6*(1+math.Abs(z2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCG256(b *testing.B) {
+	rng := NewRNG(1)
+	a := RandSPD(rng, 256, 1)
+	rhs := make([]float64, 256)
+	for i := range rhs {
+		rhs[i] = rng.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CG(a, rhs, 1e-8, 512)
+	}
+}

@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot.
+var ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
+
+// ErrSingular is returned when an LU factorization encounters an exactly
+// zero pivot.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// Cholesky computes the lower-triangular L with a = L*Lᵀ for a symmetric
+// positive-definite matrix. The strictly upper part of the result is zero.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		panic("mat: Cholesky needs a square matrix")
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		lrowJ := l.Row(j)
+		d = a.At(j, j) - Dot(lrowJ[:j], lrowJ[:j])
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotSPD, j, d)
+		}
+		ljj := math.Sqrt(d)
+		lrowJ[j] = ljj
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			lrowI := l.Row(i)
+			lrowI[j] = (a.At(i, j) - Dot(lrowI[:j], lrowJ[:j])) * inv
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a*x = b given the Cholesky factor L of a, for each
+// column of b. b is not modified.
+func SolveCholesky(l, b *Dense) *Dense {
+	n := l.rows
+	if b.rows != n {
+		panic("mat: SolveCholesky dimension mismatch")
+	}
+	x := b.Clone()
+	// Forward substitution L*y = b, column by column over x in place.
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		xi := x.Row(i)
+		for k := 0; k < i; k++ {
+			if li[k] != 0 {
+				axpy(xi, x.Row(k), -li[k])
+			}
+		}
+		inv := 1 / li[i]
+		for c := range xi {
+			xi[c] *= inv
+		}
+	}
+	// Back substitution Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			if lki := l.At(k, i); lki != 0 {
+				axpy(xi, x.Row(k), -lki)
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for c := range xi {
+			xi[c] *= inv
+		}
+	}
+	return x
+}
+
+// InvSPD inverts a symmetric positive-definite matrix via Cholesky.
+func InvSPD(a *Dense) (*Dense, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, Identity(a.rows)), nil
+}
+
+// InvSPDDamped inverts (a + alpha*I) via Cholesky; it retries with growing
+// damping if the matrix is numerically indefinite, which is the standard
+// behaviour second-order optimizers need from a damped solve.
+func InvSPDDamped(a *Dense, alpha float64) *Dense {
+	damp := alpha
+	for k := 0; k < 60; k++ {
+		c := a.Clone().AddDiag(damp)
+		inv, err := InvSPD(c)
+		if err == nil {
+			return inv
+		}
+		if damp == 0 {
+			damp = 1e-8
+		} else {
+			damp *= 10
+		}
+	}
+	panic("mat: InvSPDDamped failed to stabilize")
+}
+
+// LU holds a row-pivoted LU factorization: P*a = L*U packed into lu.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign int
+}
+
+// FactorLU computes the LU factorization of a with partial pivoting.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic("mat: FactorLU needs a square matrix")
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				p, maxAbs = i, v
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		rowK := lu.Row(k)
+		for i := k + 1; i < n; i++ {
+			rowI := lu.Row(i)
+			f := rowI[k] / pivVal
+			rowI[k] = f
+			if f != 0 {
+				axpy(rowI[k+1:], rowK[k+1:], -f)
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves a*x = b for each column of b.
+func (f *LU) Solve(b *Dense) *Dense {
+	n := f.lu.rows
+	if b.rows != n {
+		panic("mat: LU.Solve dimension mismatch")
+	}
+	x := NewDense(n, b.cols)
+	for i, p := range f.piv {
+		copy(x.Row(i), b.Row(p))
+	}
+	// Forward: L*y = P*b (unit lower).
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		xi := x.Row(i)
+		for k := 0; k < i; k++ {
+			if ri[k] != 0 {
+				axpy(xi, x.Row(k), -ri[k])
+			}
+		}
+	}
+	// Backward: U*x = y.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			if ri[k] != 0 {
+				axpy(xi, x.Row(k), -ri[k])
+			}
+		}
+		inv := 1 / ri[i]
+		for c := range xi {
+			xi[c] *= inv
+		}
+	}
+	return x
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Inv inverts a general square matrix via LU.
+func Inv(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows)), nil
+}
+
+// Solve solves a*x = b via LU for a general square a.
+func Solve(a, b *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

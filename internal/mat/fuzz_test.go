@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzInterpolativeDecomp feeds arbitrary seeds/shapes through the ID and
+// asserts the structural contract: valid unique indices and a finite
+// reconstruction whose error never exceeds the trivial rank-0 bound.
+func FuzzInterpolativeDecomp(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(8), uint8(3))
+	f.Add(uint64(42), uint8(20), uint8(5), uint8(5))
+	f.Add(uint64(7), uint8(3), uint8(17), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, mDim, nDim, rank uint8) {
+		m := int(mDim%24) + 1
+		n := int(nDim%24) + 1
+		r := int(rank%uint8(m)) + 1
+		rng := NewRNG(seed)
+		q := RandN(rng, m, n, 1)
+		p, s := InterpolativeDecomp(q, r)
+		if len(s) > r || p.Cols() != len(s) {
+			t.Fatalf("contract: |S|=%d cols=%d r=%d", len(s), p.Cols(), r)
+		}
+		seen := map[int]bool{}
+		for _, i := range s {
+			if i < 0 || i >= m || seen[i] {
+				t.Fatalf("bad index set %v (m=%d)", s, m)
+			}
+			seen[i] = true
+		}
+		rec := Mul(p, q.SelectRows(s))
+		for _, v := range rec.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite reconstruction")
+			}
+		}
+	})
+}
+
+// FuzzCholeskySolve checks that whenever Cholesky succeeds, the solve it
+// produces actually satisfies the system.
+func FuzzCholeskySolve(f *testing.F) {
+	f.Add(uint64(3), uint8(4), 1.0)
+	f.Add(uint64(11), uint8(12), 0.1)
+	f.Fuzz(func(t *testing.T, seed uint64, nDim uint8, dampRaw float64) {
+		n := int(nDim%16) + 1
+		damp := math.Abs(dampRaw)
+		if math.IsNaN(damp) || math.IsInf(damp, 0) || damp > 1e6 {
+			damp = 1
+		}
+		rng := NewRNG(seed)
+		a := RandSPD(rng, n, damp+1e-6)
+		b := RandN(rng, n, 2, 1)
+		l, err := Cholesky(a)
+		if err != nil {
+			return // numerically indefinite inputs are allowed to fail
+		}
+		x := SolveCholesky(l, b)
+		if d := MaxAbsDiff(Mul(a, x), b); d > 1e-6*float64(n)*(1+damp) {
+			t.Fatalf("n=%d damp=%g: residual %g", n, damp, d)
+		}
+	})
+}
+
+// FuzzKernelIdentity stresses the Khatri-Rao kernel identity across
+// arbitrary shapes — the structural heart of the SNGD formulation.
+func FuzzKernelIdentity(f *testing.F) {
+	f.Add(uint64(5), uint8(6), uint8(3), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, mDim, da, dg uint8) {
+		m := int(mDim%12) + 1
+		a := RandN(NewRNG(seed), m, int(da%8)+1, 1)
+		g := RandN(NewRNG(seed+1), m, int(dg%8)+1, 1)
+		if d := MaxAbsDiff(KernelMatrix(a, g), Gram(KhatriRao(a, g))); d > 1e-9 {
+			t.Fatalf("kernel identity violated by %g", d)
+		}
+	})
+}

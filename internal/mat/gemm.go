@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which GEMM runs
+// single-threaded; spawning goroutines for tiny products costs more than it
+// saves.
+const parallelThreshold = 64 * 64 * 64
+
+// gemmBlock is the row-panel size each worker goroutine claims at a time.
+const gemmBlock = 32
+
+// Mul returns a*b using a cache-blocked, goroutine-parallel kernel.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic("mat: Mul dimension mismatch")
+	}
+	out := NewDense(a.rows, b.cols)
+	gemm(out, a, b, false, false)
+	return out
+}
+
+// MulTA returns aᵀ*b.
+func MulTA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic("mat: MulTA dimension mismatch")
+	}
+	out := NewDense(a.cols, b.cols)
+	gemm(out, a, b, true, false)
+	return out
+}
+
+// MulTB returns a*bᵀ.
+func MulTB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic("mat: MulTB dimension mismatch")
+	}
+	out := NewDense(a.rows, b.rows)
+	gemm(out, a, b, false, true)
+	return out
+}
+
+// gemm computes out = op(a) * op(b) where op optionally transposes.
+// The kernel parallelizes over row panels of the output and uses an
+// ikj loop order on packed row-major operands for unit-stride inner loops.
+func gemm(out, a, b *Dense, transA, transB bool) {
+	ar, ac := a.rows, a.cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.rows, b.cols
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		panic("mat: gemm inner dimension mismatch")
+	}
+	// Materialize transposes once: the packed copies make the hot loop
+	// unit-stride, which is worth the O(n²) copy for any nontrivial GEMM.
+	ae := a
+	if transA {
+		ae = a.T()
+	}
+	be := b
+	if transB {
+		be = b.T()
+	}
+
+	work := ar * ac * bc
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw == 1 || ar == 1 {
+		gemmRows(out, ae, be, 0, ar)
+		return
+	}
+	if nw > (ar+gemmBlock-1)/gemmBlock {
+		nw = (ar + gemmBlock - 1) / gemmBlock
+	}
+	var next int64
+	var mu sync.Mutex
+	claim := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= ar {
+			return 0, 0, false
+		}
+		lo := int(next)
+		hi := min(lo+gemmBlock, ar)
+		next = int64(hi)
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := claim()
+				if !ok {
+					return
+				}
+				gemmRows(out, ae, be, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// gemmRows computes rows [lo,hi) of out = a*b for row-major a, b.
+func gemmRows(out, a, b *Dense, lo, hi int) {
+	n, k := b.cols, a.cols
+	for i := lo; i < hi; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			axpy(orow, brow, av)
+		}
+	}
+}
+
+// axpy computes dst += s*src with 4-way unrolling.
+func axpy(dst, src []float64, s float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += s * src[i]
+		dst[i+1] += s * src[i+1]
+		dst[i+2] += s * src[i+2]
+		dst[i+3] += s * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += s * src[i]
+	}
+}
+
+// MulVec returns a*x for a vector x (len = a.cols).
+func MulVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.cols {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// MulVecT returns aᵀ*x for a vector x (len = a.rows).
+func MulVecT(a *Dense, x []float64) []float64 {
+	if len(x) != a.rows {
+		panic("mat: MulVecT dimension mismatch")
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		axpy(out, a.Row(i), x[i])
+	}
+	return out
+}
+
+// Dot returns the dot product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mulNaive is the reference O(n³) triple loop used to validate the blocked
+// parallel kernel.
+func mulNaive(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMulSmallExact(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want, 1e-14) {
+		t.Fatalf("Mul = %v; want %v", got, want)
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := NewRNG(42)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 9, 23}, {64, 64, 64}, {100, 3, 50}, {130, 70, 90}} {
+		a := RandN(rng, dims[0], dims[1], 1)
+		b := RandN(rng, dims[1], dims[2], 1)
+		if d := MaxAbsDiff(Mul(a, b), mulNaive(a, b)); d > 1e-10 {
+			t.Fatalf("dims %v: Mul differs from naive by %g", dims, d)
+		}
+	}
+}
+
+func TestMulParallelLarge(t *testing.T) {
+	// Above parallelThreshold; checks the multi-goroutine path agrees.
+	rng := NewRNG(7)
+	a := RandN(rng, 150, 120, 1)
+	b := RandN(rng, 120, 140, 1)
+	if d := MaxAbsDiff(Mul(a, b), mulNaive(a, b)); d > 1e-9 {
+		t.Fatalf("parallel Mul differs from naive by %g", d)
+	}
+}
+
+func TestMulTA(t *testing.T) {
+	rng := NewRNG(3)
+	a := RandN(rng, 13, 8, 1)
+	b := RandN(rng, 13, 11, 1)
+	if d := MaxAbsDiff(MulTA(a, b), Mul(a.T(), b)); d > 1e-12 {
+		t.Fatalf("MulTA differs from explicit transpose by %g", d)
+	}
+}
+
+func TestMulTB(t *testing.T) {
+	rng := NewRNG(4)
+	a := RandN(rng, 9, 14, 1)
+	b := RandN(rng, 12, 14, 1)
+	if d := MaxAbsDiff(MulTB(a, b), Mul(a, b.T())); d > 1e-12 {
+		t.Fatalf("MulTB differs from explicit transpose by %g", d)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := NewRNG(5)
+	a := RandN(rng, 20, 20, 1)
+	if !Equal(Mul(a, Identity(20)), a, 1e-13) {
+		t.Fatal("A*I != A")
+	}
+	if !Equal(Mul(Identity(20), a), a, 1e-13) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := MulVec(a, []float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v; want [6 15]", got)
+	}
+	gotT := MulVecT(a, []float64{1, 1})
+	if gotT[0] != 5 || gotT[1] != 7 || gotT[2] != 9 {
+		t.Fatalf("MulVecT = %v; want [5 7 9]", gotT)
+	}
+}
+
+func TestDot(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 4, 3, 2, 1}
+	if got := Dot(x, y); got != 35 {
+		t.Fatalf("Dot = %g; want 35", got)
+	}
+}
+
+// Property: associativity (A*B)*C ≈ A*(B*C).
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed)*77 + 13)
+		p, q, r, s := 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10)
+		a := RandN(rng, p, q, 1)
+		b := RandN(rng, q, r, 1)
+		c := RandN(rng, r, s, 1)
+		return MaxAbsDiff(Mul(Mul(a, b), c), Mul(a, Mul(b, c))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A*B)ᵀ = Bᵀ*Aᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed)*31 + 7)
+		p, q, r := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := RandN(rng, p, q, 1)
+		b := RandN(rng, q, r, 1)
+		return MaxAbsDiff(Mul(a, b).T(), Mul(b.T(), a.T())) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGEMM256(b *testing.B) {
+	rng := NewRNG(1)
+	x := RandN(rng, 256, 256, 1)
+	y := RandN(rng, 256, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkGEMM512(b *testing.B) {
+	rng := NewRNG(1)
+	x := RandN(rng, 512, 512, 1)
+	y := RandN(rng, 512, 512, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

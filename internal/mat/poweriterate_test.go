@@ -1,0 +1,39 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerIterateDominantEigenvalue(t *testing.T) {
+	rng := NewRNG(71)
+	// Known spectrum: diag(10, 3, 1) rotated by a random orthogonal basis.
+	_, v := SymEig(Gram(RandN(rng, 3, 4, 1)))
+	d := NewDense(3, 3)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 3)
+	d.Set(2, 2, 10)
+	a := Mul(v, Mul(d, v.T()))
+	lambda, iters := PowerIterate(a, 500, 1e-12, rng)
+	if math.Abs(lambda-10) > 1e-6 {
+		t.Fatalf("PowerIterate = %g after %d iters; want 10", lambda, iters)
+	}
+}
+
+func TestPowerIterateEmpty(t *testing.T) {
+	rng := NewRNG(72)
+	if l, _ := PowerIterate(NewDense(0, 0), 10, 1e-9, rng); l != 0 {
+		t.Fatalf("empty matrix eigenvalue = %g", l)
+	}
+}
+
+func TestPowerIterateMatchesSymEig(t *testing.T) {
+	rng := NewRNG(73)
+	a := RandSPD(rng, 20, 0.5)
+	vals := SymEigValues(a)
+	want := vals[len(vals)-1]
+	got, _ := PowerIterate(a, 2000, 1e-12, rng)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("power iteration %g vs eigensolver %g", got, want)
+	}
+}

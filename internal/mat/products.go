@@ -1,0 +1,198 @@
+package mat
+
+import "runtime"
+
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// Hadamard returns the element-wise product a ∘ b.
+func Hadamard(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: Hadamard dimension mismatch")
+	}
+	out := NewDense(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out
+}
+
+// HadamardInto sets dst = a ∘ b without allocating.
+func HadamardInto(dst, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols || dst.rows != a.rows || dst.cols != a.cols {
+		panic("mat: HadamardInto dimension mismatch")
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+// Gram returns m*mᵀ (the m.rows × m.rows Gram matrix of the rows of m),
+// computing only the lower triangle and mirroring it (SYRK): half the
+// flops of a general product.
+func Gram(m *Dense) *Dense {
+	n := m.rows
+	out := NewDense(n, n)
+	parallelRows(n, func(i int) {
+		ri := m.Row(i)
+		orow := out.Row(i)
+		for j := 0; j <= i; j++ {
+			orow[j] = Dot(ri, m.Row(j))
+		}
+	})
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.data[i*n+j] = out.data[j*n+i]
+		}
+	}
+	return out
+}
+
+// GramT returns mᵀ*m (the m.cols × m.cols Gram matrix of the columns of m).
+func GramT(m *Dense) *Dense { return MulTA(m, m) }
+
+// parallelRows runs fn(i) for i in [0, n) across GOMAXPROCS goroutines
+// with a static partition (deterministic assignment).
+func parallelRows(n int, fn func(i int)) {
+	nw := gomaxprocs()
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 || n < 32 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	done := make(chan struct{}, nw)
+	for w := 0; w < nw; w++ {
+		lo := w * n / nw
+		hi := (w + 1) * n / nw
+		go func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for w := 0; w < nw; w++ {
+		<-done
+	}
+}
+
+// KernelMatrix returns the SNGD kernel K = (A Aᵀ) ∘ (G Gᵀ) of Eq. (7).
+// A and G must both be m×d (per-sample inputs and output gradients); the
+// result is m×m, symmetric positive semi-definite.
+func KernelMatrix(a, g *Dense) *Dense {
+	if a.rows != g.rows {
+		panic("mat: KernelMatrix row mismatch")
+	}
+	return Hadamard(Gram(a), Gram(g))
+}
+
+// KhatriRao returns the row-wise Khatri-Rao product U = A ⊙ G of Eq. (5):
+// row i of the result is the Kronecker product of row i of a with row i of
+// g, so the output is m × (a.cols*g.cols). This is the per-sample Jacobian
+// structure U = A ⊙ G.
+func KhatriRao(a, g *Dense) *Dense {
+	if a.rows != g.rows {
+		panic("mat: KhatriRao row mismatch")
+	}
+	m, da, dg := a.rows, a.cols, g.cols
+	out := NewDense(m, da*dg)
+	for i := 0; i < m; i++ {
+		ar, gr := a.Row(i), g.Row(i)
+		orow := out.Row(i)
+		for p, av := range ar {
+			if av == 0 {
+				continue
+			}
+			base := p * dg
+			for q, gv := range gr {
+				orow[base+q] = av * gv
+			}
+		}
+	}
+	return out
+}
+
+// Kron returns the Kronecker product a ⊗ b.
+func Kron(a, b *Dense) *Dense {
+	out := NewDense(a.rows*b.rows, a.cols*b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for p := 0; p < b.rows; p++ {
+				dst := out.Row(i*b.rows + p)[j*b.cols : (j+1)*b.cols]
+				src := b.Row(p)
+				for q := range src {
+					dst[q] += av * src[q]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KhatriRaoApply computes U*v for U = A ⊙ G without materializing U.
+// v has length a.cols*g.cols; the result has length a.rows. Row i of U is
+// vec(aᵢ gᵢᵀ)ᵀ, so (U v)ᵢ = aᵢᵀ V gᵢ where V is v reshaped a.cols×g.cols.
+func KhatriRaoApply(a, g *Dense, v []float64) []float64 {
+	if a.rows != g.rows || len(v) != a.cols*g.cols {
+		panic("mat: KhatriRaoApply dimension mismatch")
+	}
+	dg := g.cols
+	out := make([]float64, a.rows)
+	tmp := make([]float64, dg)
+	for i := 0; i < a.rows; i++ {
+		ar, gr := a.Row(i), g.Row(i)
+		for q := range tmp {
+			tmp[q] = 0
+		}
+		for p, av := range ar {
+			if av == 0 {
+				continue
+			}
+			axpy(tmp, v[p*dg:(p+1)*dg], av)
+		}
+		out[i] = Dot(tmp, gr)
+	}
+	return out
+}
+
+// KhatriRaoApplyT computes Uᵀ*y for U = A ⊙ G without materializing U.
+// y has length a.rows; the result has length a.cols*g.cols. Uᵀ y =
+// vec(Σᵢ yᵢ aᵢ gᵢᵀ) = vec(Aᵀ diag(y) G).
+func KhatriRaoApplyT(a, g *Dense, y []float64) []float64 {
+	if a.rows != g.rows || len(y) != a.rows {
+		panic("mat: KhatriRaoApplyT dimension mismatch")
+	}
+	da, dg := a.cols, g.cols
+	out := make([]float64, da*dg)
+	for i := 0; i < a.rows; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		ar, gr := a.Row(i), g.Row(i)
+		for p, av := range ar {
+			c := yi * av
+			if c == 0 {
+				continue
+			}
+			axpy(out[p*dg:(p+1)*dg], gr, c)
+		}
+	}
+	return out
+}
+
+// RowNorms returns the Euclidean norm of each row of m.
+func RowNorms(m *Dense) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Norm2(m.Row(i))
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package mat
+
+import "math"
+
+// QRPivot holds a column-pivoted Householder QR factorization
+// a*Π = Q*R, with qr packing the Householder vectors below the diagonal
+// and R on and above it, following the LAPACK dgeqp3 layout.
+type QRPivot struct {
+	qr   *Dense
+	tau  []float64
+	perm []int // perm[k] = original column index now in position k
+}
+
+// FactorQRPivot computes a column-pivoted QR factorization of a.
+// a is not modified.
+func FactorQRPivot(a *Dense) *QRPivot {
+	m, n := a.rows, a.cols
+	qr := a.Clone()
+	k := min(m, n)
+	tau := make([]float64, k)
+	perm := make([]int, n)
+	colNorm := make([]float64, n)
+	for j := 0; j < n; j++ {
+		perm[j] = j
+		colNorm[j] = colNormSq(qr, j, 0)
+	}
+	for step := 0; step < k; step++ {
+		// Pick the column with the largest remaining norm.
+		p, best := step, colNorm[step]
+		for j := step + 1; j < n; j++ {
+			if colNorm[j] > best {
+				p, best = j, colNorm[j]
+			}
+		}
+		if p != step {
+			swapCols(qr, step, p)
+			perm[step], perm[p] = perm[p], perm[step]
+			colNorm[step], colNorm[p] = colNorm[p], colNorm[step]
+		}
+		// Householder vector for column `step`, rows step..m-1.
+		alpha := houseGen(qr, step, &tau[step])
+		// Apply H = I - tau v vᵀ to trailing columns.
+		if tau[step] != 0 {
+			for j := step + 1; j < n; j++ {
+				// w = vᵀ * col_j (v has implicit 1 at row `step`).
+				w := qr.At(step, j)
+				for i := step + 1; i < m; i++ {
+					w += qr.At(i, step) * qr.At(i, j)
+				}
+				w *= tau[step]
+				qr.Set(step, j, qr.At(step, j)-w)
+				for i := step + 1; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)-w*qr.At(i, step))
+				}
+			}
+		}
+		qr.Set(step, step, alpha)
+		// Downdate column norms.
+		for j := step + 1; j < n; j++ {
+			v := qr.At(step, j)
+			colNorm[j] -= v * v
+			if colNorm[j] < 1e-12*math.Abs(colNorm[j])+1e-300 || colNorm[j] < 0 {
+				colNorm[j] = colNormSq(qr, j, step+1)
+			}
+		}
+	}
+	return &QRPivot{qr: qr, tau: tau, perm: perm}
+}
+
+// houseGen builds the Householder reflector that annihilates column `step`
+// below the diagonal; the vector is stored in rows step+1.. with an
+// implicit leading 1, and the resulting diagonal entry of R is returned.
+func houseGen(qr *Dense, step int, tau *float64) float64 {
+	m := qr.rows
+	var normSq float64
+	x0 := qr.At(step, step)
+	for i := step + 1; i < m; i++ {
+		v := qr.At(i, step)
+		normSq += v * v
+	}
+	if normSq == 0 {
+		*tau = 0
+		return x0
+	}
+	beta := math.Sqrt(x0*x0 + normSq)
+	if x0 > 0 {
+		beta = -beta
+	}
+	*tau = (beta - x0) / beta
+	scale := 1 / (x0 - beta)
+	for i := step + 1; i < m; i++ {
+		qr.Set(i, step, qr.At(i, step)*scale)
+	}
+	return beta
+}
+
+func colNormSq(m *Dense, j, from int) float64 {
+	var s float64
+	for i := from; i < m.rows; i++ {
+		v := m.At(i, j)
+		s += v * v
+	}
+	return s
+}
+
+func swapCols(m *Dense, a, b int) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		row[a], row[b] = row[b], row[a]
+	}
+}
+
+// Perm returns the column permutation (position -> original column index).
+func (f *QRPivot) Perm() []int { return f.perm }
+
+// R returns the upper-triangular factor (k×n, k = min(m,n)).
+func (f *QRPivot) R() *Dense {
+	m, n := f.qr.rows, f.qr.cols
+	k := min(m, n)
+	r := NewDense(k, n)
+	for i := 0; i < k; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// Q returns the thin orthogonal factor (m×k).
+func (f *QRPivot) Q() *Dense {
+	m := f.qr.rows
+	k := len(f.tau)
+	q := NewDense(m, k)
+	for i := 0; i < k; i++ {
+		q.Set(i, i, 1)
+	}
+	// Apply H_k ... H_1 to the identity from the left, in reverse order.
+	for step := k - 1; step >= 0; step-- {
+		t := f.tau[step]
+		if t == 0 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			w := q.At(step, j)
+			for i := step + 1; i < m; i++ {
+				w += f.qr.At(i, step) * q.At(i, j)
+			}
+			w *= t
+			q.Set(step, j, q.At(step, j)-w)
+			for i := step + 1; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-w*f.qr.At(i, step))
+			}
+		}
+	}
+	return q
+}
+
+// InterpolativeDecomp computes a rank-r row interpolative decomposition of
+// q: it returns a projection matrix P (m×r) and row indices S (len r) such
+// that q ≈ P * q[S, :]. This is Algorithm 2's ID(Q, r) step: a row ID of Q
+// is a column ID of Qᵀ obtained from column-pivoted QR (Biagioni & Beylkin,
+// "Randomized interpolative decomposition of separated representations").
+//
+// r is clamped to min(q.Rows(), q.Cols()).
+func InterpolativeDecomp(q *Dense, r int) (p *Dense, s []int) {
+	m := q.rows
+	r = min(r, min(m, q.cols))
+	if r <= 0 {
+		return NewDense(m, 0), nil
+	}
+	f := FactorQRPivot(q.T()) // column ID of qᵀ ≡ row ID of q
+	perm := f.perm
+	s = append([]int(nil), perm[:r]...)
+
+	// R = [R11 R12] with R11 r×r upper-triangular. The interpolation
+	// coefficients are T = R11⁻¹ R12 (r × (m-r)), giving
+	// qᵀ Π ≈ (qᵀ)_S [I T]  ⇒  q ≈ Πᵀ [I; Tᵀ] q_S.
+	rm := f.R()
+	t := NewDense(r, m-r)
+	for j := 0; j < m-r; j++ {
+		// Back-substitute R11 * x = R12[:, j].
+		col := make([]float64, r)
+		for i := 0; i < r; i++ {
+			col[i] = rm.At(i, r+j)
+		}
+		for i := r - 1; i >= 0; i-- {
+			sum := col[i]
+			for k := i + 1; k < r; k++ {
+				sum -= rm.At(i, k) * t.At(k, j)
+			}
+			d := rm.At(i, i)
+			if d == 0 {
+				t.Set(i, j, 0)
+				continue
+			}
+			t.Set(i, j, sum/d)
+		}
+	}
+	// Assemble P: row perm[k] of P is e_k for k<r, and row perm[r+j] is
+	// the j-th column of T.
+	p = NewDense(m, r)
+	for k := 0; k < r; k++ {
+		p.Set(perm[k], k, 1)
+	}
+	for j := 0; j < m-r; j++ {
+		dst := p.Row(perm[r+j])
+		for k := 0; k < r; k++ {
+			dst[k] = t.At(k, j)
+		}
+	}
+	return p, s
+}

@@ -1,0 +1,67 @@
+package mat
+
+// RandomizedID computes a rank-r row interpolative decomposition of q
+// using a Gaussian sketch (Biagioni & Beylkin, "Randomized interpolative
+// decomposition of separated representations" — the paper's reference
+// [33]): instead of pivoting on the full n columns of qᵀ, the m×n matrix
+// is first compressed to m×(r+oversample) with a random projection, and
+// the pivoted QR runs on the sketch. For m×m Gram matrices this reduces
+// the ID cost from O(m²r) to O(m·r²) plus one sketch GEMM, at a small
+// accuracy cost controlled by the oversampling parameter.
+//
+// It returns P (m×r) and row indices S with q ≈ P·q[S,:], the same
+// contract as InterpolativeDecomp.
+func RandomizedID(rng *RNG, q *Dense, r, oversample int) (p *Dense, s []int) {
+	m, n := q.Dims()
+	r = min(r, min(m, n))
+	if r <= 0 {
+		return NewDense(m, 0), nil
+	}
+	k := r + oversample
+	if k > n {
+		k = n
+	}
+	// Sketch the column space of qᵀ: Y = q · Ω with Ω ∈ R^{n×k}. Row
+	// selection on q is column selection on qᵀ; sketching q's columns keeps
+	// the row geometry needed to pick representative rows.
+	omega := RandN(rng, n, k, 1)
+	y := Mul(q, omega) // m×k: compressed rows of q
+	// Pivoted QR on yᵀ ranks the rows of q by their sketched leverage.
+	f := FactorQRPivot(y.T())
+	perm := f.Perm()
+	s = append([]int(nil), perm[:r]...)
+	// Interpolation coefficients against the selected rows are computed on
+	// the sketch: solve y[S,:]ᵀ · T ≈ yᵀ via the QR factors, giving
+	// q ≈ Tᵀ q[S,:] in the sketched geometry.
+	rm := f.R()
+	t := NewDense(r, m-r)
+	for j := 0; j < m-r; j++ {
+		col := make([]float64, r)
+		for i := 0; i < r; i++ {
+			col[i] = rm.At(i, r+j)
+		}
+		for i := r - 1; i >= 0; i-- {
+			sum := col[i]
+			for kk := i + 1; kk < r; kk++ {
+				sum -= rm.At(i, kk) * t.At(kk, j)
+			}
+			d := rm.At(i, i)
+			if d == 0 {
+				t.Set(i, j, 0)
+				continue
+			}
+			t.Set(i, j, sum/d)
+		}
+	}
+	p = NewDense(m, r)
+	for kk := 0; kk < r; kk++ {
+		p.Set(perm[kk], kk, 1)
+	}
+	for j := 0; j < m-r; j++ {
+		dst := p.Row(perm[r+j])
+		for kk := 0; kk < r; kk++ {
+			dst[kk] = t.At(kk, j)
+		}
+	}
+	return p, s
+}

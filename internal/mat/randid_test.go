@@ -1,0 +1,107 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomizedIDExactLowRank(t *testing.T) {
+	rng := NewRNG(61)
+	q := RandLowRank(rng, 30, 30, 4, 0)
+	p, s := RandomizedID(rng, q, 4, 6)
+	if len(s) != 4 || p.Cols() != 4 {
+		t.Fatalf("dims: |S|=%d, P cols=%d; want 4", len(s), p.Cols())
+	}
+	rel := Sub(Mul(p, q.SelectRows(s)), q).FrobNorm() / q.FrobNorm()
+	if rel > 1e-8 {
+		t.Fatalf("rank-4 randomized ID of rank-4 matrix: rel error %g", rel)
+	}
+}
+
+func TestRandomizedIDSelectedRowsIdentity(t *testing.T) {
+	rng := NewRNG(62)
+	q := RandN(rng, 15, 15, 1)
+	r := 6
+	p, s := RandomizedID(rng, q, r, 4)
+	for k, row := range s {
+		for j := 0; j < r; j++ {
+			want := 0.0
+			if j == k {
+				want = 1
+			}
+			if d := p.At(row, j) - want; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("P[%d,%d] = %g; want %g", row, j, p.At(row, j), want)
+			}
+		}
+	}
+}
+
+func TestRandomizedIDCloseToDeterministic(t *testing.T) {
+	// On a low-rank+noise matrix, the randomized ID error should be within
+	// a small factor of the deterministic pivoted-QR ID error.
+	rng := NewRNG(63)
+	q := RandLowRank(rng, 40, 40, 6, 1e-3)
+	pd, sd := InterpolativeDecomp(q, 8)
+	detErr := Sub(Mul(pd, q.SelectRows(sd)), q).FrobNorm()
+	pr, sr := RandomizedID(rng, q, 8, 8)
+	randErr := Sub(Mul(pr, q.SelectRows(sr)), q).FrobNorm()
+	if randErr > 10*detErr+1e-9 {
+		t.Fatalf("randomized ID error %g far above deterministic %g", randErr, detErr)
+	}
+}
+
+func TestRandomizedIDZeroAndClamp(t *testing.T) {
+	rng := NewRNG(64)
+	q := RandN(rng, 5, 3, 1)
+	p, s := RandomizedID(rng, q, 100, 2) // clamped to 3
+	if len(s) != 3 || p.Cols() != 3 {
+		t.Fatalf("clamp: |S|=%d; want 3", len(s))
+	}
+	p0, s0 := RandomizedID(rng, NewDense(4, 4), 0, 2)
+	if len(s0) != 0 || p0.Cols() != 0 {
+		t.Fatal("zero-rank randomized ID should be empty")
+	}
+}
+
+// Property: indices valid and unique; reconstruction finite.
+func TestRandomizedIDProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed)*119 + 3)
+		m := 5 + rng.Intn(20)
+		r := 1 + rng.Intn(m-1)
+		q := RandLowRank(rng, m, m, min(r, 5), 0.01)
+		p, s := RandomizedID(rng, q, r, 5)
+		if len(s) != r || p.Cols() != r {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range s {
+			if i < 0 || i >= m || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return Mul(p, q.SelectRows(s)).FrobNorm() < 1e12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeterministicID512r64(b *testing.B) {
+	rng := NewRNG(1)
+	q := RandLowRank(rng, 512, 512, 64, 1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InterpolativeDecomp(q, 64)
+	}
+}
+
+func BenchmarkRandomizedID512r64(b *testing.B) {
+	rng := NewRNG(1)
+	q := RandLowRank(rng, 512, 512, 64, 1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomizedID(rng, q, 64, 10)
+	}
+}

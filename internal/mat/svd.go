@@ -1,0 +1,69 @@
+package mat
+
+import "math"
+
+// SVDThin computes the thin singular value decomposition a = U Σ Vᵀ of an
+// m×n matrix via the symmetric eigendecomposition of the smaller Gram
+// matrix (aᵀa when m ≥ n, aaᵀ otherwise). Singular values are returned in
+// descending order; u is m×k and v is n×k with k = min(m, n).
+//
+// The Gram route squares the condition number, so singular values below
+// ≈√ε·σ₁ lose accuracy — fine for the spectrum analyses this library
+// needs (rank estimation, nuclear norms), not for ill-posed solves.
+func SVDThin(a *Dense) (u *Dense, sigma []float64, v *Dense) {
+	m, n := a.Dims()
+	if m == 0 || n == 0 {
+		return NewDense(m, 0), nil, NewDense(n, 0)
+	}
+	if m >= n {
+		vals, vecs := SymEig(GramT(a)) // n×n, ascending
+		k := n
+		sigma = make([]float64, k)
+		v = NewDense(n, k)
+		for j := 0; j < k; j++ {
+			src := k - 1 - j // descending
+			s := vals[src]
+			if s < 0 {
+				s = 0
+			}
+			sigma[j] = math.Sqrt(s)
+			for i := 0; i < n; i++ {
+				v.Set(i, j, vecs.At(i, src))
+			}
+		}
+		// U = A V Σ⁻¹ column-wise; zero columns for null singular values.
+		av := Mul(a, v)
+		u = NewDense(m, k)
+		for j := 0; j < k; j++ {
+			if sigma[j] > 1e-300 {
+				inv := 1 / sigma[j]
+				for i := 0; i < m; i++ {
+					u.Set(i, j, av.At(i, j)*inv)
+				}
+			}
+		}
+		return u, sigma, v
+	}
+	// m < n: decompose aᵀ and swap factors.
+	vT, sigma, uT := SVDThin(a.T())
+	return uT, sigma, vT
+}
+
+// NuclearNorm returns the sum of singular values.
+func NuclearNorm(a *Dense) float64 {
+	_, s, _ := SVDThin(a)
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// SpectralNorm returns the largest singular value.
+func SpectralNorm(a *Dense) float64 {
+	_, s, _ := SVDThin(a)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}

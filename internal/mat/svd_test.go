@@ -1,0 +1,95 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVDThinReconstruction(t *testing.T) {
+	rng := NewRNG(91)
+	for _, dims := range [][2]int{{5, 5}, {12, 7}, {7, 12}, {30, 30}} {
+		a := RandN(rng, dims[0], dims[1], 1)
+		u, s, v := SVDThin(a)
+		// Rebuild U Σ Vᵀ.
+		us := u.Clone()
+		for j := 0; j < len(s); j++ {
+			for i := 0; i < u.Rows(); i++ {
+				us.Set(i, j, us.At(i, j)*s[j])
+			}
+		}
+		rec := MulTB(us, v)
+		if d := MaxAbsDiff(rec, a); d > 1e-7 {
+			t.Fatalf("dims %v: SVD reconstruction error %g", dims, d)
+		}
+		// Orthonormal factors.
+		if d := MaxAbsDiff(MulTA(u, u), Identity(len(s))); d > 1e-7 {
+			t.Fatalf("dims %v: UᵀU error %g", dims, d)
+		}
+		if d := MaxAbsDiff(MulTA(v, v), Identity(len(s))); d > 1e-7 {
+			t.Fatalf("dims %v: VᵀV error %g", dims, d)
+		}
+		// Descending singular values.
+		for j := 1; j < len(s); j++ {
+			if s[j] > s[j-1]+1e-12 {
+				t.Fatalf("singular values not descending: %v", s)
+			}
+		}
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, -4}})
+	_, s, _ := SVDThin(a)
+	if math.Abs(s[0]-4) > 1e-10 || math.Abs(s[1]-3) > 1e-10 {
+		t.Fatalf("singular values = %v; want [4 3]", s)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	rng := NewRNG(92)
+	a := RandLowRank(rng, 10, 8, 3, 0)
+	_, s, _ := SVDThin(a)
+	for j := 3; j < len(s); j++ {
+		if s[j] > 1e-6*s[0] {
+			t.Fatalf("rank-3 matrix has σ[%d] = %g", j, s[j])
+		}
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	u, s, v := SVDThin(NewDense(0, 3))
+	if len(s) != 0 || u.Rows() != 0 || v.Rows() != 3 {
+		t.Fatal("empty SVD dims wrong")
+	}
+}
+
+func TestSpectralAndNuclearNorms(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 5}})
+	if got := SpectralNorm(a); math.Abs(got-5) > 1e-10 {
+		t.Fatalf("SpectralNorm = %g; want 5", got)
+	}
+	if got := NuclearNorm(a); math.Abs(got-7) > 1e-10 {
+		t.Fatalf("NuclearNorm = %g; want 7", got)
+	}
+}
+
+// Property: ‖A‖_F² = Σσ², and spectral norm matches power iteration on AᵀA.
+func TestSVDNormIdentityProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := NewRNG(uint64(seed)*67 + 9)
+		m := 2 + rng.Intn(10)
+		n := 2 + rng.Intn(10)
+		a := RandN(rng, m, n, 1)
+		_, s, _ := SVDThin(a)
+		var ss float64
+		for _, v := range s {
+			ss += v * v
+		}
+		fn := a.FrobNorm()
+		return math.Abs(ss-fn*fn) < 1e-8*(1+fn*fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package models
+
+import (
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// UNetLevel is one recursive level of a U-Net: an encoder body, an optional
+// deeper inner level reached through 2× max-pool/upsample, and a decoder
+// body applied after concatenating the skip connection with the upsampled
+// inner output:
+//
+//	a = enc(x)
+//	b = upsample(inner(maxpool(a)))   (skipped at the bottleneck)
+//	y = dec(concat(a, b))
+type UNetLevel struct {
+	encLayers, decLayers []nn.Layer
+	inner                *UNetLevel
+
+	enc, dec *nn.Network
+	pool     *nn.MaxPool2d
+	up       *nn.Upsample2x
+	encOut   nn.Shape
+	lastA    int // channels of a, for splitting gradients at the concat
+}
+
+// NewUNetLevel builds a U-Net level. inner may be nil for the bottleneck.
+func NewUNetLevel(enc []nn.Layer, inner *UNetLevel, dec []nn.Layer) *UNetLevel {
+	return &UNetLevel{encLayers: enc, decLayers: dec, inner: inner}
+}
+
+// Name implements nn.Layer.
+func (u *UNetLevel) Name() string { return "unet-level" }
+
+// Build implements nn.Layer.
+func (u *UNetLevel) Build(in nn.Shape, rng *mat.RNG) nn.Shape {
+	u.enc = nn.NewNetwork(in, rng, u.encLayers...)
+	u.encOut = u.enc.OutShape()
+	decIn := u.encOut
+	if u.inner != nil {
+		u.pool = nn.NewMaxPool2d(2)
+		poolOut := u.pool.Build(u.encOut, rng)
+		innerOut := u.inner.Build(poolOut, rng)
+		u.up = nn.NewUpsample2x()
+		upOut := u.up.Build(innerOut, rng)
+		if upOut.H != u.encOut.H || upOut.W != u.encOut.W {
+			panic("models: UNet level spatial mismatch " + upOut.String() + " vs " + u.encOut.String())
+		}
+		decIn = nn.Shape{C: u.encOut.C + upOut.C, H: u.encOut.H, W: u.encOut.W}
+	}
+	u.lastA = u.encOut.C
+	u.dec = nn.NewNetwork(decIn, rng, u.decLayers...)
+	return u.dec.OutShape()
+}
+
+// Forward implements nn.Layer.
+func (u *UNetLevel) Forward(x *mat.Dense, train bool) *mat.Dense {
+	a := u.enc.Forward(x, train)
+	if u.inner == nil {
+		return u.dec.Forward(a, train)
+	}
+	b := u.up.Forward(u.inner.Forward(u.pool.Forward(a, train), train), train)
+	return u.dec.Forward(concatChannels(a, b, u.encOut), train)
+}
+
+// Backward implements nn.Layer.
+func (u *UNetLevel) Backward(grad *mat.Dense) *mat.Dense {
+	g := u.dec.Backward(grad)
+	if u.inner == nil {
+		return u.enc.Backward(g)
+	}
+	ga, gb := splitChannels(g, u.encOut, u.lastA)
+	gInner := u.pool.Backward(u.inner.Backward(u.up.Backward(gb)))
+	ga.AddMat(gInner)
+	return u.enc.Backward(ga)
+}
+
+// Params implements nn.Layer.
+func (u *UNetLevel) Params() []*nn.Param {
+	ps := u.enc.Params()
+	if u.inner != nil {
+		ps = append(ps, u.inner.Params()...)
+	}
+	return append(ps, u.dec.Params()...)
+}
+
+// SubLayers implements nn.Composite.
+func (u *UNetLevel) SubLayers() []nn.Layer {
+	ls := append([]nn.Layer(nil), u.enc.Layers...)
+	if u.inner != nil {
+		ls = append(ls, u.inner)
+	}
+	return append(ls, u.dec.Layers...)
+}
+
+// concatChannels concatenates feature maps channel-wise. a has shape
+// aShape; b must share H and W.
+func concatChannels(a, b *mat.Dense, aShape nn.Shape) *mat.Dense {
+	m := a.Rows()
+	hw := aShape.H * aShape.W
+	bC := b.Cols() / hw
+	out := mat.NewDense(m, a.Cols()+b.Cols())
+	for i := 0; i < m; i++ {
+		or := out.Row(i)
+		copy(or[:aShape.C*hw], a.Row(i))
+		copy(or[aShape.C*hw:], b.Row(i))
+	}
+	_ = bC
+	return out
+}
+
+// splitChannels splits a concatenated gradient back into the a-part (first
+// aC channels) and b-part.
+func splitChannels(g *mat.Dense, aShape nn.Shape, aC int) (*mat.Dense, *mat.Dense) {
+	m := g.Rows()
+	hw := aShape.H * aShape.W
+	na := aC * hw
+	ga := mat.NewDense(m, na)
+	gb := mat.NewDense(m, g.Cols()-na)
+	for i := 0; i < m; i++ {
+		gr := g.Row(i)
+		copy(ga.Row(i), gr[:na])
+		copy(gb.Row(i), gr[na:])
+	}
+	return ga, gb
+}
+
+// MiniUNet builds the scaled-down U-Net substitute used for the LGG
+// segmentation experiments: a 3-level encoder-decoder with skip
+// connections, base width w, producing per-pixel logits (1 channel).
+func MiniUNet(in nn.Shape, w int, rng *mat.RNG) *nn.Network {
+	convBlock := func(c int) []nn.Layer {
+		return []nn.Layer{nn.NewConv2d(c, 3, 1, 1), nn.NewReLU()}
+	}
+	bottleneck := NewUNetLevel(convBlock(4*w), nil, convBlock(4*w))
+	mid := NewUNetLevel(convBlock(2*w), bottleneck, convBlock(2*w))
+	top := NewUNetLevel(convBlock(w), mid, convBlock(w))
+	return nn.NewNetwork(in, rng,
+		top,
+		nn.NewConv2d(1, 1, 1, 0), // per-pixel logit head
+	)
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask *mat.Dense
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Build implements Layer.
+func (r *ReLU) Build(in Shape, _ *mat.RNG) Shape { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
+	out := mat.NewDense(x.Rows(), x.Cols())
+	r.mask = mat.NewDense(x.Rows(), x.Cols())
+	xd, od, md := x.Data(), out.Data(), r.mask.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			md[i] = 1
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *mat.Dense) *mat.Dense {
+	return mat.Hadamard(grad, r.mask)
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation (used by the KBFGS convergence
+// theory, which assumes bounded activations).
+type Tanh struct {
+	out *mat.Dense
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Build implements Layer.
+func (t *Tanh) Build(in Shape, _ *mat.RNG) Shape { return in }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *mat.Dense, train bool) *mat.Dense {
+	out := mat.NewDense(x.Rows(), x.Cols())
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = math.Tanh(v)
+	}
+	t.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *mat.Dense) *mat.Dense {
+	out := mat.NewDense(grad.Rows(), grad.Cols())
+	gd, od, yd := grad.Data(), out.Data(), t.out.Data()
+	for i := range gd {
+		od[i] = gd[i] * (1 - yd[i]*yd[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation, used by segmentation heads.
+type Sigmoid struct {
+	out *mat.Dense
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Build implements Layer.
+func (s *Sigmoid) Build(in Shape, _ *mat.RNG) Shape { return in }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *mat.Dense, train bool) *mat.Dense {
+	out := mat.NewDense(x.Rows(), x.Cols())
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *mat.Dense) *mat.Dense {
+	out := mat.NewDense(grad.Rows(), grad.Cols())
+	gd, od, yd := grad.Data(), out.Data(), s.out.Data()
+	for i := range gd {
+		od[i] = gd[i] * yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }

@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/tensor"
+)
+
+// Conv2d is a 2D convolution implemented as im2col + GEMM with the bias
+// folded into the combined weight: for each sample,
+//
+//	Y = [X̄, 1] * Wc,   X̄ = im2col(X) ∈ R^{T×(C·KH·KW)},  T = OH·OW,
+//
+// with Wc ∈ R^{(C·KH·KW+1)×OutC}.
+//
+// Per-sample capture follows Sec. IV of the paper: the spatial dimension is
+// collapsed by summation, x̂ = Σᵢ X̄(i,:) and ĝ = Σᵢ Ḡ(i,:), so the layer
+// exposes A ∈ R^{m×(C·KH·KW+1)} and G ∈ R^{m×OutC} exactly like a
+// fully-connected layer — this is the CNN extension of SNGD (Eq. 11).
+type Conv2d struct {
+	OutC, K, Stride, Pad int
+	// ExpandSpatial switches capture from the paper's spatial-sum
+	// approximation (Sec. IV) to exact per-position rows: A and G then
+	// have one row per (sample, spatial position), making AᵀG the exact
+	// weight gradient at the cost of T× more kernel rows (the treatment
+	// SENG-style methods use).
+	ExpandSpatial bool
+
+	shape   tensor.ConvShape
+	in, out Shape
+	dIn     int // patchLen+1
+	wc      *Param
+	name    string
+
+	capture bool
+	lastX   *mat.Dense // batch input (m × in.Numel())
+	capA    *mat.Dense
+	capG    *mat.Dense
+}
+
+// NewConv2d returns an unbuilt conv layer (square kernel k, given stride
+// and padding).
+func NewConv2d(outC, k, stride, pad int) *Conv2d {
+	return &Conv2d{OutC: outC, K: k, Stride: stride, Pad: pad}
+}
+
+// Name implements Layer.
+func (c *Conv2d) Name() string { return c.name }
+
+// Build implements Layer.
+func (c *Conv2d) Build(in Shape, rng *mat.RNG) Shape {
+	c.in = in
+	c.shape = tensor.ConvShape{
+		InC: in.C, InH: in.H, InW: in.W,
+		OutC: c.OutC, KH: c.K, KW: c.K, Stride: c.Stride, Pad: c.Pad,
+	}
+	c.out = Shape{C: c.OutC, H: c.shape.OutH(), W: c.shape.OutW()}
+	if c.out.H <= 0 || c.out.W <= 0 {
+		panic(fmt.Sprintf("nn: conv output %v is empty for input %v", c.out, in))
+	}
+	pl := c.shape.PatchLen()
+	c.dIn = pl + 1
+	c.name = fmt.Sprintf("conv(%dx%d,%d->%d,s%d,p%d)", c.K, c.K, in.C, c.OutC, c.Stride, c.Pad)
+	fanIn := float64(pl)
+	w := mat.RandN(rng, c.dIn, c.OutC, math.Sqrt(2/fanIn))
+	for j := 0; j < c.OutC; j++ {
+		w.Set(pl, j, 0) // bias row
+	}
+	c.wc = NewParam(c.name+".Wc", w)
+	return c.out
+}
+
+// Forward implements Layer: the whole batch is unfolded into one
+// (m·T)×(patchLen+1) matrix and convolved with a single large GEMM, which
+// the mat kernel parallelizes across cores — much better arithmetic
+// intensity than one small GEMM per sample.
+func (c *Conv2d) Forward(x *mat.Dense, train bool) *mat.Dense {
+	m := x.Rows()
+	c.lastX = x
+	tt := c.out.H * c.out.W
+	pl := c.shape.PatchLen()
+	y := mat.NewDense(m, c.out.Numel())
+
+	xbar := mat.NewDense(m*tt, c.dIn)
+	parallelSamples(m, func(i int, cols []float64) {
+		c.shape.Im2col(x.Row(i), cols)
+		for p := 0; p < tt; p++ {
+			row := xbar.Row(i*tt + p)
+			copy(row, cols[p*pl:(p+1)*pl])
+			row[pl] = 1
+		}
+	}, tt*pl)
+
+	ys := mat.Mul(xbar, c.wc.W) // (m·T) × OutC, parallel GEMM
+	parallelSamples(m, func(i int, _ []float64) {
+		yrow := y.Row(i)
+		for p := 0; p < tt; p++ {
+			yr := ys.Row(i*tt + p)
+			for ch := 0; ch < c.OutC; ch++ {
+				yrow[ch*tt+p] = yr[ch]
+			}
+		}
+	}, 0)
+	return y
+}
+
+// parallelSamples runs fn(i, scratch) for i in [0, m) across GOMAXPROCS
+// goroutines with a STATIC block partition (worker w gets a contiguous
+// range), so the sample→worker assignment — and therefore any
+// floating-point reduction grouping derived from it — is deterministic for
+// a fixed GOMAXPROCS. Each goroutine owns a scratch buffer of scratchLen
+// floats.
+func parallelSamples(m int, fn func(i int, scratch []float64), scratchLen int) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > m {
+		nw = m
+	}
+	if nw <= 1 {
+		scratch := make([]float64, scratchLen)
+		for i := 0; i < m; i++ {
+			fn(i, scratch)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		lo := w * m / nw
+		hi := (w + 1) * m / nw
+		go func(lo, hi int) {
+			defer wg.Done()
+			scratch := make([]float64, scratchLen)
+			for i := lo; i < hi; i++ {
+				fn(i, scratch)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Backward implements Layer.
+func (c *Conv2d) Backward(grad *mat.Dense) *mat.Dense {
+	if c.lastX == nil {
+		panic("nn: Conv2d.Backward before Forward")
+	}
+	m := grad.Rows()
+	tt := c.out.H * c.out.W
+	pl := c.shape.PatchLen()
+	gin := mat.NewDense(m, c.in.Numel())
+	if c.capture {
+		if c.ExpandSpatial {
+			c.capA = mat.NewDense(m*tt, c.dIn)
+			c.capG = mat.NewDense(m*tt, c.OutC)
+		} else {
+			c.capA = mat.NewDense(m, c.dIn)
+			c.capG = mat.NewDense(m, c.OutC)
+		}
+	}
+	wNoBias := mat.NewDense(pl, c.OutC)
+	for p := 0; p < pl; p++ {
+		copy(wNoBias.Row(p), c.wc.W.Row(p))
+	}
+
+	// Samples are independent: parallelize with one scratch set and one
+	// partial weight gradient per worker, reduced at the end. Capture and
+	// gin rows are sample-disjoint, so those writes need no coordination.
+	nw := runtime.GOMAXPROCS(0)
+	if nw > m {
+		nw = m
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	partials := make([]*mat.Dense, nw)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		lo := w * m / nw
+		hi := (w + 1) * m / nw
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cols := make([]float64, tt*pl)
+			xbar := mat.NewDense(tt, c.dIn)
+			gy := mat.NewDense(tt, c.OutC)
+			wGrad := mat.NewDense(c.dIn, c.OutC)
+			partials[w] = wGrad
+			for i := lo; i < hi; i++ {
+				// Rebuild X̄ for sample i (recompute beats storing m copies).
+				c.shape.Im2col(c.lastX.Row(i), cols)
+				for p := 0; p < tt; p++ {
+					row := xbar.Row(p)
+					copy(row, cols[p*pl:(p+1)*pl])
+					row[pl] = 1
+				}
+				// Reshape incoming NCHW gradient to T×OutC.
+				grow := grad.Row(i)
+				for p := 0; p < tt; p++ {
+					gr := gy.Row(p)
+					for ch := 0; ch < c.OutC; ch++ {
+						gr[ch] = grow[ch*tt+p]
+					}
+				}
+				// Weight gradient accumulation: X̄ᵀ Ḡ into the partial.
+				wGrad.AddMat(mat.MulTA(xbar, gy))
+				// Capture per-sample factors under the sum convention (G
+				// scaled by batch size m): spatially summed (Sec. IV) or one
+				// row per position when ExpandSpatial is set.
+				if c.capture {
+					if c.ExpandSpatial {
+						for p := 0; p < tt; p++ {
+							copy(c.capA.Row(i*tt+p), xbar.Row(p))
+							cg := c.capG.Row(i*tt + p)
+							gr := gy.Row(p)
+							for j := range cg {
+								cg[j] = gr[j] * float64(m)
+							}
+						}
+					} else {
+						ca, cg := c.capA.Row(i), c.capG.Row(i)
+						for p := 0; p < tt; p++ {
+							xr, gr := xbar.Row(p), gy.Row(p)
+							for j := range ca {
+								ca[j] += xr[j]
+							}
+							for j := range cg {
+								cg[j] += gr[j] * float64(m)
+							}
+						}
+					}
+				}
+				// Input gradient: fold Ḡ Wᵀ back through col2im.
+				dcols := mat.MulTB(gy, wNoBias) // T × patchLen
+				c.shape.Col2im(dcols.Data(), gin.Row(i))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Reduce the partial weight gradients in worker order: with the static
+	// partition the grouping is fixed for a given GOMAXPROCS, so results
+	// are bitwise reproducible run-to-run on the same machine.
+	for _, p := range partials {
+		if p != nil {
+			c.wc.Grad.AddMat(p)
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (c *Conv2d) Params() []*Param { return []*Param{c.wc} }
+
+// SetCapture implements KernelLayer.
+func (c *Conv2d) SetCapture(on bool) { c.capture = on }
+
+// Capture implements KernelLayer.
+func (c *Conv2d) Capture() (*mat.Dense, *mat.Dense) { return c.capA, c.capG }
+
+// Weight implements KernelLayer.
+func (c *Conv2d) Weight() *Param { return c.wc }
+
+// Dims implements KernelLayer.
+func (c *Conv2d) Dims() (int, int) { return c.dIn, c.OutC }

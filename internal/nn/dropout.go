@@ -1,0 +1,64 @@
+package nn
+
+import "repro/internal/mat"
+
+// Dropout zeroes each activation with probability P during training and
+// rescales survivors by 1/(1-P) (inverted dropout); evaluation passes
+// activations through untouched. The mask is drawn from a layer-local
+// seeded RNG, so runs stay reproducible.
+type Dropout struct {
+	P float64
+
+	rng  *mat.RNG
+	mask *mat.Dense
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Build implements Layer.
+func (d *Dropout) Build(in Shape, rng *mat.RNG) Shape {
+	// Derive an independent stream so adding dropout doesn't perturb the
+	// initialization sequence of downstream layers.
+	d.rng = mat.NewRNG(rng.Uint64() ^ 0xD50F0A7)
+	return in
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *mat.Dense, train bool) *mat.Dense {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := mat.NewDense(x.Rows(), x.Cols())
+	d.mask = mat.NewDense(x.Rows(), x.Cols())
+	keep := 1 - d.P
+	inv := 1 / keep
+	xd, od, md := x.Data(), out.Data(), d.mask.Data()
+	for i := range xd {
+		if d.rng.Float64() < keep {
+			md[i] = inv
+			od[i] = xd[i] * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *mat.Dense) *mat.Dense {
+	if d.mask == nil {
+		return grad
+	}
+	return mat.Hadamard(grad, d.mask)
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }

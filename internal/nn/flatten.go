@@ -1,0 +1,26 @@
+package nn
+
+import "repro/internal/mat"
+
+// Flatten converts a C×H×W feature map shape to a flat feature vector.
+// Activations are already stored flat, so this is a shape-metadata change
+// only; it exists so model definitions read like their PyTorch originals.
+type Flatten struct{}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (Flatten) Name() string { return "flatten" }
+
+// Build implements Layer.
+func (Flatten) Build(in Shape, _ *mat.RNG) Shape { return Vec(in.Numel()) }
+
+// Forward implements Layer.
+func (Flatten) Forward(x *mat.Dense, _ bool) *mat.Dense { return x }
+
+// Backward implements Layer.
+func (Flatten) Backward(grad *mat.Dense) *mat.Dense { return grad }
+
+// Params implements Layer.
+func (Flatten) Params() []*Param { return nil }

@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Linear is a fully-connected layer y = [x, 1] * Wc with the bias folded
+// into the last row of the combined weight Wc ∈ R^{(in+1)×out}.
+type Linear struct {
+	In, Out int
+
+	wc      *Param
+	capture bool
+	lastA   *mat.Dense // m×(in+1), bias-augmented input
+	capA    *mat.Dense
+	capG    *mat.Dense
+	name    string
+}
+
+// NewLinear returns an unbuilt fully-connected layer producing out features.
+func NewLinear(out int) *Linear { return &Linear{Out: out} }
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Build implements Layer: He-initializes the combined weight.
+func (l *Linear) Build(in Shape, rng *mat.RNG) Shape {
+	l.In = in.Numel()
+	l.name = fmt.Sprintf("linear(%d->%d)", l.In, l.Out)
+	w := mat.RandN(rng, l.In+1, l.Out, math.Sqrt(2/float64(l.In)))
+	// Zero the bias row.
+	for j := 0; j < l.Out; j++ {
+		w.Set(l.In, j, 0)
+	}
+	l.wc = NewParam(l.name+".Wc", w)
+	return Vec(l.Out)
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
+	m := x.Rows()
+	a := mat.NewDense(m, l.In+1)
+	for i := 0; i < m; i++ {
+		copy(a.Row(i), x.Row(i))
+		a.Row(i)[l.In] = 1
+	}
+	l.lastA = a
+	return mat.Mul(a, l.wc.W)
+}
+
+// Backward implements Layer: accumulates the weight gradient AᵀG/m and
+// returns the input gradient. grad is ∂(mean loss)/∂y, m×out.
+func (l *Linear) Backward(grad *mat.Dense) *mat.Dense {
+	if l.lastA == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	m := grad.Rows()
+	// Weight gradient of the mean loss: Aᵀ grad.
+	l.wc.Grad.AddMat(mat.MulTA(l.lastA, grad))
+	if l.capture {
+		l.capA = l.lastA
+		// Per-sample G under the sum convention: m × the mean-loss signal.
+		l.capG = grad.Clone().Scale(float64(m))
+	}
+	// Input gradient: grad * Wcᵀ, dropping the bias row.
+	gin := mat.MulTB(grad, l.wc.W)
+	out := mat.NewDense(m, l.In)
+	for i := 0; i < m; i++ {
+		copy(out.Row(i), gin.Row(i)[:l.In])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.wc} }
+
+// SetCapture implements KernelLayer.
+func (l *Linear) SetCapture(on bool) { l.capture = on }
+
+// Capture implements KernelLayer.
+func (l *Linear) Capture() (*mat.Dense, *mat.Dense) { return l.capA, l.capG }
+
+// Weight implements KernelLayer.
+func (l *Linear) Weight() *Param { return l.wc }
+
+// Dims implements KernelLayer.
+func (l *Linear) Dims() (int, int) { return l.In + 1, l.Out }

@@ -1,0 +1,233 @@
+// Package sngd implements the standard Sherman-Morrison-Woodbury natural
+// gradient method (Eq. 7 of the paper) with the communication-optimized
+// distributed schedule of Fig. 1: per-worker factors are all-gathered to
+// form the global-batch kernel matrix, the owning worker inverts it, and
+// the inverse action is applied through the Khatri-Rao structure without
+// materializing the Jacobian.
+package sngd
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// SNGD preconditions gradients with
+//
+//	(F + αI)⁻¹ g = (1/α) [ g − Uᵀ (A Aᵀ ∘ G Gᵀ + αI)⁻¹ U g ],
+//
+// where A and G are the global-batch per-sample factors (gathered over all
+// workers) and U = A ⊙ G. The kernel has the global batch dimension Pm, so
+// the inversion cost grows cubically with scale — the limitation HyLo
+// removes.
+type SNGD struct {
+	// Damping is α.
+	Damping float64
+	// UseCG replaces the explicit O(M³) kernel inversion with conjugate-
+	// gradient solves at preconditioning time: the (damped) kernel itself
+	// is broadcast and each apply costs O(k·M²) for k CG iterations.
+	UseCG bool
+	// CGTol is the CG relative-residual tolerance (default 1e-10).
+	CGTol float64
+
+	layers   []nn.KernelLayer
+	comm     dist.Comm
+	timeline *dist.Timeline
+	state    []*sngdState
+}
+
+type sngdState struct {
+	aGlob, gGlob *mat.Dense // gathered global factors (normalized)
+	kinv         *mat.Dense // explicit inverse, or the damped kernel under UseCG
+}
+
+// New builds an SNGD preconditioner over the network's kernel layers.
+func New(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.Timeline) *SNGD {
+	s := &SNGD{Damping: damping, layers: net.KernelLayers(), comm: comm, timeline: timeline}
+	s.state = make([]*sngdState, len(s.layers))
+	for i := range s.state {
+		s.state[i] = &sngdState{}
+	}
+	return s
+}
+
+// Name implements opt.Preconditioner.
+func (s *SNGD) Name() string { return "SNGD" }
+
+func (s *SNGD) record(phase string, start time.Time) {
+	if s.timeline != nil && s.comm.ID() == 0 {
+		s.timeline.Add(phase, time.Since(start).Seconds())
+	}
+}
+
+// Update implements opt.Preconditioner: gather per-worker factors, build
+// and invert the global kernel on the owning worker, broadcast.
+func (s *SNGD) Update() {
+	p := s.comm.Size()
+	for i, l := range s.layers {
+		a, g := l.Capture()
+		if a == nil {
+			continue
+		}
+		mGlob := a.Rows() * p
+		// Normalize so the kernel represents the mean Fisher: scaling both
+		// factors by mGlob^(-1/4) scales K by 1/mGlob and U by 1/√mGlob.
+		scale := math.Pow(float64(mGlob), -0.25)
+		an := a.Clone().Scale(scale)
+		gn := g.Clone().Scale(scale)
+
+		// (2) Gather A_i, G_i from all workers.
+		t0 := time.Now()
+		aParts := s.comm.AllGatherMat(an)
+		gParts := s.comm.AllGatherMat(gn)
+		s.record(dist.PhaseGather, t0)
+		st := s.state[i]
+		st.aGlob = mat.VStack(aParts...)
+		st.gGlob = mat.VStack(gParts...)
+
+		// (3) Kernel inversion on the owning worker (or, under UseCG, just
+		// the damped kernel assembly — solves happen lazily via CG).
+		owner := i % p
+		var kinv *mat.Dense
+		if s.comm.ID() == owner {
+			t0 = time.Now()
+			k := mat.KernelMatrix(st.aGlob, st.gGlob).AddDiag(s.Damping)
+			if s.UseCG {
+				kinv = k
+			} else {
+				kinv = mat.InvSPDDamped(k, 0)
+			}
+			s.record(dist.PhaseInvert, t0)
+		}
+
+		// (4) Broadcast the inverted kernel.
+		t0 = time.Now()
+		st.kinv = s.comm.BroadcastMat(owner, kinv)
+		s.record(dist.PhaseBroadcast, t0)
+	}
+}
+
+// Precondition implements opt.Preconditioner, applying Eq. (7) through the
+// Khatri-Rao structure (no dIn·dOut × dIn·dOut matrices are formed).
+func (s *SNGD) Precondition() {
+	for i, l := range s.layers {
+		st := s.state[i]
+		if st.kinv == nil {
+			continue
+		}
+		w := l.Weight()
+		g := w.Grad
+		// y = U g (m-vector), z = K⁻¹ y, corr = Uᵀ z.
+		y := mat.KhatriRaoApply(st.aGlob, st.gGlob, g.Data())
+		var z []float64
+		if s.UseCG {
+			tol := s.CGTol
+			if tol <= 0 {
+				tol = 1e-10
+			}
+			z, _ = mat.CG(st.kinv, y, tol, 20*len(y))
+		} else {
+			z = mat.MulVec(st.kinv, y)
+		}
+		corr := mat.KhatriRaoApplyT(st.aGlob, st.gGlob, z)
+		gd := g.Data()
+		inv := 1 / s.Damping
+		for j := range gd {
+			gd[j] = inv * (gd[j] - corr[j])
+		}
+	}
+}
+
+// LocalSNGD is the SENG-style variant the paper's footnote 4 discusses:
+// each worker preconditions with the kernel of its LOCAL batch only and
+// never communicates second-order information (gradients are still
+// averaged by the trainer). It is cheap at scale but no longer a standard
+// NGD method — the preconditioner drifts across workers.
+type LocalSNGD struct {
+	// Damping is α.
+	Damping float64
+
+	layers []nn.KernelLayer
+	state  []*sngdState
+}
+
+// NewLocal builds the communication-free SENG-style preconditioner.
+func NewLocal(net *nn.Network, damping float64) *LocalSNGD {
+	s := &LocalSNGD{Damping: damping, layers: net.KernelLayers()}
+	s.state = make([]*sngdState, len(s.layers))
+	for i := range s.state {
+		s.state[i] = &sngdState{}
+	}
+	return s
+}
+
+// Name implements opt.Preconditioner.
+func (s *LocalSNGD) Name() string { return "SENG-local" }
+
+// Update implements opt.Preconditioner: invert each layer's local kernel.
+func (s *LocalSNGD) Update() {
+	for i, l := range s.layers {
+		a, g := l.Capture()
+		if a == nil {
+			continue
+		}
+		scale := math.Pow(float64(a.Rows()), -0.25)
+		st := s.state[i]
+		st.aGlob = a.Clone().Scale(scale)
+		st.gGlob = g.Clone().Scale(scale)
+		k := mat.KernelMatrix(st.aGlob, st.gGlob).AddDiag(s.Damping)
+		st.kinv = mat.InvSPDDamped(k, 0)
+	}
+}
+
+// Precondition implements opt.Preconditioner (Eq. 7 on local factors).
+func (s *LocalSNGD) Precondition() {
+	for i, l := range s.layers {
+		st := s.state[i]
+		if st.kinv == nil {
+			continue
+		}
+		g := l.Weight().Grad
+		y := mat.KhatriRaoApply(st.aGlob, st.gGlob, g.Data())
+		z := mat.MulVec(st.kinv, y)
+		corr := mat.KhatriRaoApplyT(st.aGlob, st.gGlob, z)
+		gd := g.Data()
+		inv := 1 / s.Damping
+		for j := range gd {
+			gd[j] = inv * (gd[j] - corr[j])
+		}
+	}
+}
+
+// StateBytes implements opt.Preconditioner.
+func (s *LocalSNGD) StateBytes() int {
+	var n int
+	for _, st := range s.state {
+		if st.aGlob == nil {
+			continue
+		}
+		n += st.aGlob.Rows()*st.aGlob.Cols() + st.gGlob.Rows()*st.gGlob.Cols() +
+			st.kinv.Rows()*st.kinv.Cols()
+	}
+	return n * 8
+}
+
+// StateBytes implements opt.Preconditioner: the gathered global factors
+// plus the Pm×Pm kernel inverse per layer — Table I's
+// O(Pmd + P²m² + d²) storage row.
+func (s *SNGD) StateBytes() int {
+	var n int
+	for _, st := range s.state {
+		if st.aGlob == nil {
+			continue
+		}
+		n += st.aGlob.Rows()*st.aGlob.Cols() + st.gGlob.Rows()*st.gGlob.Cols()
+		if st.kinv != nil {
+			n += st.kinv.Rows() * st.kinv.Cols()
+		}
+	}
+	return n * 8
+}

@@ -1,0 +1,396 @@
+// Package train provides the shared training loop used by every
+// experiment: it drives forward/backward passes, toggles per-sample
+// capture on second-order update iterations, averages gradients across
+// workers, invokes the preconditioner, and records per-epoch metrics and
+// wall-clock time. The same loop runs single-process (dist.Local()) and on
+// the simulated cluster.
+package train
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// Config holds the training hyperparameters.
+type Config struct {
+	Epochs      int
+	BatchSize   int // per worker
+	LR          opt.LRSchedule
+	Momentum    float64
+	WeightDecay float64
+	// UpdateFreq is the second-order refresh period in iterations
+	// (ignored for first-order methods).
+	UpdateFreq int
+	// Damping is the preconditioner damping α.
+	Damping float64
+	// Seed drives weight init, batch order, and stochastic reductions.
+	Seed uint64
+	// Adam switches the inner optimizer from momentum-SGD to ADAM.
+	Adam bool
+	// EvalEvery controls how often (in epochs) the test metric runs; 0
+	// means every epoch.
+	EvalEvery int
+	// KLClip bounds the second-order update via the KL trust region used
+	// by KAISA and the HyLo artifact: the preconditioned gradient is
+	// scaled by ν = min(1, sqrt(κ / (lr² · Σ ĝᵀg))). 0 selects the
+	// standard default of 0.001; set negative to disable.
+	KLClip float64
+	// Augment, when non-nil, builds a per-worker training-batch augmenter
+	// (random flips/crops); evaluation always uses raw data.
+	Augment func(rng *mat.RNG) *data.Augmenter
+	// Patience stops training after this many consecutive epochs without
+	// improvement of the test metric (0 disables early stopping). In
+	// distributed runs the stop decision is made by rank 0 and shared
+	// through a collective so all workers exit together.
+	Patience int
+	// MaxGradNorm clips the global gradient norm before the (pre-)
+	// conditioning step when positive.
+	MaxGradNorm float64
+	// AdaptDamping enables Levenberg-Marquardt damping adjustment between
+	// epochs for preconditioners that support it (HyLo): damping shrinks
+	// while the epoch loss improves and grows when it regresses. Every
+	// worker sees the same (all-reduced) loss, so replicas stay in sync.
+	AdaptDamping bool
+	// RingAllReduce switches gradient averaging from the barrier-based
+	// collective to the chunked ring algorithm (NCCL-style): 2(P−1) hops
+	// of n/P elements. Results differ from the barrier path only in
+	// floating-point summation grouping.
+	RingAllReduce bool
+}
+
+// dampable is implemented by preconditioners whose damping the trainer may
+// adjust (HyLo).
+type dampable interface {
+	SetDamping(alpha float64)
+	CurrentDamping() float64
+}
+
+// Task couples a loss with an evaluation metric.
+type Task struct {
+	Loss nn.Loss
+	// Eval returns the scalar quality metric (accuracy, Dice, ...).
+	Eval func(logits *mat.Dense, tgt nn.Target) float64
+}
+
+// Classification returns the cross-entropy + accuracy task.
+func Classification() Task {
+	return Task{
+		Loss: nn.SoftmaxCrossEntropy{},
+		Eval: func(logits *mat.Dense, tgt nn.Target) float64 {
+			return nn.Accuracy(logits, tgt.Labels)
+		},
+	}
+}
+
+// Segmentation returns the BCE+Dice loss with Dice-score evaluation.
+func Segmentation() Task {
+	return Task{
+		Loss: nn.BCEDice{DiceWeight: 1},
+		Eval: func(logits *mat.Dense, tgt nn.Target) float64 {
+			return nn.DiceScore(logits, tgt.Dense, 0.5)
+		},
+	}
+}
+
+// PrecondFactory builds a preconditioner for a freshly constructed network
+// replica; nil factories select a first-order method.
+type PrecondFactory func(net *nn.Network, comm dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner
+
+// EpochAware is implemented by preconditioners (HyLo) that adapt at epoch
+// boundaries.
+type EpochAware interface {
+	OnEpochStart(epoch int, lrDecayed bool)
+}
+
+// EpochStat records per-epoch progress.
+type EpochStat struct {
+	Epoch     int
+	TrainLoss float64
+	Metric    float64       // test accuracy or Dice
+	Elapsed   time.Duration // cumulative wall time at epoch end
+}
+
+// Result aggregates a training run.
+type Result struct {
+	Method    string
+	Stats     []EpochStat
+	Timeline  *dist.Timeline
+	FinalLoss float64
+	Best      float64 // best test metric seen
+	// TimeToTarget is the cumulative time at which the target metric was
+	// first reached (zero if never).
+	TimeToTarget time.Duration
+	// StateBytes reports optimizer+preconditioner state (Table IV).
+	StateBytes int
+	// EpochModes records HyLo's per-epoch KID/KIS choice when applicable.
+	EpochModes []string
+}
+
+// Run trains buildNet on the train set with the given method and returns
+// per-epoch statistics evaluated on the test set. target is the metric at
+// which TimeToTarget stops (pass 0 to disable). makePre may be nil.
+func Run(cfg Config, buildNet func(rng *mat.RNG) *nn.Network,
+	trainSet, testSet *data.Dataset, task Task,
+	makePre PrecondFactory, target float64) Result {
+
+	tl := dist.NewTimeline()
+	var res Result
+	runWorker(dist.Local(), cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res)
+	return res
+}
+
+// RunDistributed trains on a simulated cluster of p workers with
+// data-parallel sharding. Results are collected on rank 0.
+func RunDistributed(p int, cfg Config, buildNet func(rng *mat.RNG) *nn.Network,
+	trainSet, testSet *data.Dataset, task Task,
+	makePre PrecondFactory, target float64) Result {
+
+	cluster := dist.NewCluster(p)
+	tl := dist.NewTimeline()
+	var res Result
+	cluster.Run(func(w *dist.Worker) {
+		if w.Rank == 0 {
+			runWorker(w, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res)
+		} else {
+			runWorker(w, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, nil)
+		}
+	})
+	return res
+}
+
+func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Network,
+	trainSet, testSet *data.Dataset, task Task,
+	makePre PrecondFactory, target float64, tl *dist.Timeline, res *Result) {
+
+	// Identical seeds across workers → identical replicas; the sampling
+	// RNG is rank-offset so KIS draws differ per worker.
+	initRNG := mat.NewRNG(cfg.Seed)
+	net := buildNet(initRNG)
+	batchRNG := mat.NewRNG(cfg.Seed + 1)
+	sampleRNG := mat.NewRNG(cfg.Seed + 17*uint64(comm.ID()) + 2)
+
+	params := net.Params()
+	var optimizer opt.Optimizer
+	if cfg.Adam {
+		optimizer = opt.NewAdam(params, cfg.LR.Base, cfg.WeightDecay)
+	} else {
+		optimizer = opt.NewSGD(params, cfg.LR.Base, cfg.Momentum, cfg.WeightDecay)
+	}
+	var pre opt.Preconditioner
+	if makePre != nil {
+		pre = makePre(net, comm, tl, sampleRNG)
+	}
+	var aug *data.Augmenter
+	if cfg.Augment != nil {
+		aug = cfg.Augment(mat.NewRNG(cfg.Seed + 31*uint64(comm.ID()) + 5))
+	}
+
+	p := comm.Size()
+	globalBS := cfg.BatchSize * p
+	it := data.NewBatchIterator(batchRNG, trainSet.Len(), min(globalBS, trainSet.Len()))
+	stepsPerEpoch := it.BatchesPerEpoch()
+	updateFreq := cfg.UpdateFreq
+	if updateFreq <= 0 {
+		updateFreq = 1
+	}
+
+	start := time.Now()
+	step := 0
+	bestMetric := 0.0
+	stale := 0
+	var adapter *core.DampingAdapter
+	if cfg.AdaptDamping {
+		adapter = &core.DampingAdapter{Min: cfg.Damping / 100, Max: cfg.Damping * 100}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR.At(epoch)
+		optimizer.SetLR(lr)
+		if ea, ok := pre.(EpochAware); ok {
+			ea.OnEpochStart(epoch, cfg.LR.DecaysAt(epoch))
+		}
+		var lossSum float64
+		for b := 0; b < stepsPerEpoch; b++ {
+			globalIdx := it.Next()
+			// Shard: each worker takes its contiguous slice.
+			per := len(globalIdx) / p
+			lo := comm.ID() * per
+			localIdx := globalIdx[lo : lo+per]
+			x, tgt := trainSet.Batch(localIdx)
+			if aug != nil {
+				x = aug.Apply(x)
+			}
+
+			isUpdate := pre != nil && step%updateFreq == 0
+			net.SetCapture(isUpdate)
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			loss, g := task.Loss.Forward(out, tgt)
+			net.Backward(g)
+
+			// Average gradients across workers (standard data parallelism).
+			if p > 1 {
+				ringW, useRing := comm.(*dist.Worker)
+				for _, prm := range params {
+					var avg *mat.Dense
+					if cfg.RingAllReduce && useRing {
+						avg = ringW.RingAllReduceMat(prm.Grad)
+					} else {
+						avg = comm.AllReduceMat(prm.Grad)
+					}
+					avg.Scale(1 / float64(p))
+					prm.Grad.CopyFrom(avg)
+				}
+				loss = comm.AllReduceScalar(loss) / float64(p)
+			}
+
+			if cfg.MaxGradNorm > 0 {
+				opt.ClipGradNorm(params, cfg.MaxGradNorm)
+			}
+			if isUpdate {
+				pre.Update()
+			}
+			if pre != nil {
+				var raw []*mat.Dense
+				if cfg.KLClip >= 0 {
+					raw = make([]*mat.Dense, len(params))
+					for i, prm := range params {
+						raw[i] = prm.Grad.Clone()
+					}
+				}
+				pre.Precondition()
+				if cfg.KLClip >= 0 {
+					klClip := cfg.KLClip
+					if klClip == 0 {
+						klClip = 0.001
+					}
+					applyKLClip(params, raw, lr, klClip)
+				}
+			}
+			optimizer.Step()
+			lossSum += loss
+			step++
+		}
+
+		if res != nil {
+			stat := EpochStat{
+				Epoch:     epoch,
+				TrainLoss: lossSum / float64(stepsPerEpoch),
+				Elapsed:   time.Since(start),
+			}
+			evalEvery := cfg.EvalEvery
+			if evalEvery <= 0 {
+				evalEvery = 1
+			}
+			if epoch%evalEvery == 0 || epoch == cfg.Epochs-1 {
+				stat.Metric = Evaluate(net, testSet, task)
+			} else if len(res.Stats) > 0 {
+				stat.Metric = res.Stats[len(res.Stats)-1].Metric
+			}
+			res.Stats = append(res.Stats, stat)
+			if stat.Metric > res.Best {
+				res.Best = stat.Metric
+			}
+			if target > 0 && res.TimeToTarget == 0 && stat.Metric >= target {
+				res.TimeToTarget = stat.Elapsed
+			}
+			res.FinalLoss = stat.TrainLoss
+		}
+		// LM damping adjustment from the (identical-across-workers) epoch
+		// loss.
+		if adapter != nil {
+			if dp, ok := pre.(dampable); ok {
+				dp.SetDamping(adapter.Observe(dp.CurrentDamping(), lossSum/float64(stepsPerEpoch)))
+			}
+		}
+		// Keep workers in step at epoch boundaries (rank 0 evaluates).
+		if w, ok := comm.(*dist.Worker); ok {
+			w.Barrier()
+		}
+		// Early stopping: rank 0 decides, the collective spreads the stop
+		// flag so every worker leaves the loop at the same epoch.
+		if cfg.Patience > 0 {
+			var flag float64
+			if res != nil {
+				cur := res.Stats[len(res.Stats)-1].Metric
+				if cur > bestMetric+1e-12 {
+					bestMetric = cur
+					stale = 0
+				} else {
+					stale++
+				}
+				if stale >= cfg.Patience {
+					flag = 1
+				}
+			}
+			if comm.AllReduceScalar(flag) > 0 {
+				break
+			}
+		}
+	}
+
+	if res != nil {
+		res.Timeline = tl
+		name := optimizer.Name()
+		res.StateBytes = optimizer.StateBytes()
+		if pre != nil {
+			name = pre.Name()
+			res.StateBytes += pre.StateBytes()
+			if mr, ok := pre.(interface{ ModeStrings() []string }); ok {
+				res.EpochModes = mr.ModeStrings()
+			}
+		}
+		res.Method = name
+	}
+}
+
+// applyKLClip rescales the preconditioned gradients so that the implied KL
+// step lr²·Σ ĝᵀg stays within kappa — the trust-region heuristic every
+// production KFAC-family implementation (including KAISA and the HyLo
+// artifact) applies to keep natural-gradient steps stable.
+func applyKLClip(params []*nn.Param, raw []*mat.Dense, lr, kappa float64) {
+	var dot float64
+	for i, prm := range params {
+		pg, rg := prm.Grad.Data(), raw[i].Data()
+		for j := range pg {
+			dot += pg[j] * rg[j]
+		}
+	}
+	vFOV := lr * lr * dot
+	if vFOV <= kappa || vFOV <= 0 {
+		return
+	}
+	nu := math.Sqrt(kappa / vFOV)
+	for _, prm := range params {
+		prm.Grad.Scale(nu)
+	}
+}
+
+// Evaluate computes the task metric over the whole test set in chunks.
+func Evaluate(net *nn.Network, testSet *data.Dataset, task Task) float64 {
+	const chunk = 256
+	n := testSet.Len()
+	var sum float64
+	var cnt int
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, tgt := testSet.Batch(idx)
+		out := net.Forward(x, false)
+		sum += task.Eval(out, tgt) * float64(hi-lo)
+		cnt += hi - lo
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
