@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -24,7 +25,16 @@ func main() {
 	seed := flag.Uint64("seed", 7, "deterministic seed")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	metricsPath := flag.String("metrics", "", "write Prometheus text-format metrics to this file")
+	eventsPath := flag.String("events", "", "write the compact JSONL span/event log to this file")
+	teleSummary := flag.Bool("telemetry-summary", false, "print the top phase-time table at exit")
 	flag.Parse()
+
+	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary
+	if useTelemetry {
+		telemetry.SetEnabled(true)
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -56,6 +66,18 @@ func main() {
 				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if useTelemetry {
+		if err := telemetry.ExportFiles(*tracePath, *metricsPath, *eventsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hylo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *teleSummary {
+			fmt.Println("telemetry phase summary (top 15):")
+			telemetry.WriteSummary(os.Stdout,
+				telemetry.Summarize(telemetry.Default().Trace.Events()), 15)
 		}
 	}
 }

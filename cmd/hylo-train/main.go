@@ -4,9 +4,15 @@
 // breakdown, -grad-norm logs accumulated gradient norms, -rank-analysis
 // reports kernel ranks.
 //
+// The telemetry flags export the run's observability data: -trace writes
+// Chrome trace-event JSON (open in chrome://tracing or Perfetto), -metrics
+// writes Prometheus text exposition, -events writes a JSONL span log, and
+// -telemetry-summary prints the top phase-time table at exit.
+//
 //	hylo-train -model 3c1f -optimizer hylo -epochs 10
 //	hylo-train -model resnet -optimizer kaisa -workers 4 -profiling
 //	hylo-train -model unet -optimizer hylo -workers 4 -csv run.csv
+//	hylo-train -optimizer hylo -workers 4 -trace trace.json -metrics metrics.txt
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/sngd"
+	"repro/internal/telemetry"
 	"repro/internal/train"
 )
 
@@ -54,8 +61,23 @@ func main() {
 		augment   = flag.Bool("augment", false, "random flip/crop augmentation on training batches")
 		patience  = flag.Int("patience", 0, "early-stopping patience in epochs (0 = off)")
 		clip      = flag.Float64("clip", 0, "max global gradient norm (0 = off)")
+
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+		metricsPath = flag.String("metrics", "", "write Prometheus text-format metrics to this file")
+		eventsPath  = flag.String("events", "", "write the compact JSONL span/event log to this file")
+		teleSummary = flag.Bool("telemetry-summary", false, "print the top phase-time table at exit")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*epochs, *batch, *workers, *freq, *rankFrac); err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+		os.Exit(2)
+	}
+
+	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary
+	if useTelemetry {
+		telemetry.SetEnabled(true)
+	}
 
 	var decays []int
 	if *decayAt != "" {
@@ -115,6 +137,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if useTelemetry {
+		if err := telemetry.ExportFiles(*tracePath, *metricsPath, *eventsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+			os.Exit(1)
+		}
+		if *teleSummary {
+			fmt.Println("\ntelemetry phase summary (top 15):")
+			telemetry.WriteSummary(os.Stdout,
+				telemetry.Summarize(telemetry.Default().Trace.Events()), 15)
+		}
+	}
+}
+
+// validateFlags rejects hyperparameter values that would otherwise fail in
+// confusing ways downstream (zero-length epochs, empty shards, a rank
+// fraction of zero rounding every kernel to nothing).
+func validateFlags(epochs, batch, workers, freq int, rankFrac float64) error {
+	if epochs <= 0 {
+		return fmt.Errorf("-epochs must be positive (got %d)", epochs)
+	}
+	if batch <= 0 {
+		return fmt.Errorf("-batch must be positive (got %d)", batch)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive (got %d)", workers)
+	}
+	if freq <= 0 {
+		return fmt.Errorf("-freq must be positive (got %d)", freq)
+	}
+	if rankFrac <= 0 || rankFrac > 1 {
+		return fmt.Errorf("-rank-frac must be in (0, 1] (got %g)", rankFrac)
+	}
+	return nil
 }
 
 func buildWorkload(model string, classes, perClass int, seed uint64) (

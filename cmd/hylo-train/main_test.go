@@ -7,6 +7,39 @@ import (
 	"repro/internal/mat"
 )
 
+func TestValidateFlags(t *testing.T) {
+	type args struct {
+		epochs, batch, workers, freq int
+		rankFrac                     float64
+	}
+	good := args{epochs: 10, batch: 32, workers: 4, freq: 5, rankFrac: 0.1}
+	if err := validateFlags(good.epochs, good.batch, good.workers, good.freq, good.rankFrac); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	// rank-frac = 1 is the inclusive upper edge.
+	if err := validateFlags(1, 1, 1, 1, 1); err != nil {
+		t.Fatalf("edge flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		a    args
+	}{
+		{"zero epochs", args{0, 32, 4, 5, 0.1}},
+		{"negative epochs", args{-3, 32, 4, 5, 0.1}},
+		{"zero batch", args{10, 0, 4, 5, 0.1}},
+		{"zero workers", args{10, 32, 0, 5, 0.1}},
+		{"negative freq", args{10, 32, 4, -1, 0.1}},
+		{"zero rank-frac", args{10, 32, 4, 5, 0}},
+		{"rank-frac above one", args{10, 32, 4, 5, 1.5}},
+		{"negative rank-frac", args{10, 32, 4, 5, -0.1}},
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.a.epochs, c.a.batch, c.a.workers, c.a.freq, c.a.rankFrac); err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
 func TestBuildWorkloadAllModels(t *testing.T) {
 	for _, model := range []string{"mlp", "3c1f", "resnet", "densenet", "unet", "vit"} {
 		build, tr, te, task, target := buildWorkload(model, 3, 8, 1)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // HyLo is the hybrid low-rank natural-gradient preconditioner
@@ -109,9 +111,20 @@ func (h *HyLo) ModeStrings() []string {
 	return out
 }
 
-func (h *HyLo) record(phase string, start time.Time) {
+// record closes out one schedule phase for one layer: the rank-0 Timeline
+// keeps the Fig. 7 four-bucket totals, and — when telemetry is on — every
+// rank emits a span tagged with mode and layer so Chrome-trace lanes show
+// the per-GPU schedule.
+func (h *HyLo) record(phase string, layer int, start time.Time) {
+	dur := time.Since(start)
 	if h.timeline != nil && h.comm.ID() == 0 {
-		h.timeline.Add(phase, time.Since(start).Seconds())
+		h.timeline.Add(phase, dur.Seconds())
+	}
+	if telemetry.Enabled() {
+		telemetry.RecordSpan(phase, h.comm.ID(), dur,
+			telemetry.Label{Key: "optimizer", Value: "hylo"},
+			telemetry.Label{Key: "mode", Value: h.mode.String()},
+			telemetry.Label{Key: "layer", Value: strconv.Itoa(layer)})
 	}
 }
 
@@ -143,8 +156,28 @@ func (h *HyLo) OnEpochStart(epoch int, lrDecayed bool) {
 	if policy == nil {
 		policy = GradientSwitch{Eta: 0.25}
 	}
+	prev := h.mode
 	h.mode = policy.Choose(epoch, lrDecayed, ratio, h.policyRNG)
 	h.epochModes = append(h.epochModes, h.mode)
+	// Observability: count KID↔KIS transitions and mark them on the
+	// trace (rank 0 speaks for the collective decision).
+	if telemetry.Enabled() && h.comm.ID() == 0 {
+		telemetry.SetGauge("hylo_mode_kis", boolGauge(h.mode == ModeKIS))
+		if epoch > 0 && h.mode != prev {
+			telemetry.IncCounter(telemetry.MetricModeSwitches, 1)
+			telemetry.Instant("hylo_mode_switch", h.comm.ID(),
+				telemetry.Label{Key: "from", Value: prev.String()},
+				telemetry.Label{Key: "to", Value: h.mode.String()},
+				telemetry.Label{Key: "epoch", Value: strconv.Itoa(epoch)})
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Update implements opt.Preconditioner: lines 5-11 (KID) or 16-22 (KIS) of
@@ -207,7 +240,7 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 	} else {
 		as, gs, y = KIDFactors(an, gn, rho, h.Damping)
 	}
-	h.record(dist.PhaseFactorize, t0)
+	h.record(dist.PhaseFactorize, layer, t0)
 
 	// Gather KID factors; Y is block-diagonal across workers (line 7).
 	t0 = time.Now()
@@ -215,7 +248,7 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 	aParts := h.comm.AllGatherMat(as)
 	gParts := h.comm.AllGatherMat(gs)
 	yParts := h.comm.AllGatherMat(y)
-	h.record(dist.PhaseGather, t0)
+	h.record(dist.PhaseGather, layer, t0)
 	st.as = mat.VStack(aParts...)
 	st.gs = mat.VStack(gParts...)
 	yBlk := mat.BlockDiag(yParts...)
@@ -237,27 +270,27 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 			inv = mat.Mul(inv, iyk.T())
 		}
 		m = mat.Mul(inv, yBlk)
-		h.record(dist.PhaseInvert, t0)
+		h.record(dist.PhaseInvert, layer, t0)
 	}
 
 	// Broadcast (line 11).
 	t0 = time.Now()
 	st.m = h.comm.BroadcastMat(owner, m)
-	h.record(dist.PhaseBroadcast, t0)
+	h.record(dist.PhaseBroadcast, layer, t0)
 }
 
 func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int) {
 	// Local importance sampling (Algorithm 3).
 	t0 := time.Now()
 	as, gs := KISFactors(h.rng, an, gn, rho, true)
-	h.record(dist.PhaseFactorize, t0)
+	h.record(dist.PhaseFactorize, layer, t0)
 
 	// Gather KIS factors (line 18).
 	t0 = time.Now()
 	h.quantize(as, gs)
 	aParts := h.comm.AllGatherMat(as)
 	gParts := h.comm.AllGatherMat(gs)
-	h.record(dist.PhaseGather, t0)
+	h.record(dist.PhaseGather, layer, t0)
 	st.as = mat.VStack(aParts...)
 	st.gs = mat.VStack(gParts...)
 
@@ -268,13 +301,13 @@ func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 		t0 = time.Now()
 		k := mat.KernelMatrix(st.as, st.gs).AddDiag(h.Damping)
 		kinv = mat.InvSPDDamped(k, 0)
-		h.record(dist.PhaseInvert, t0)
+		h.record(dist.PhaseInvert, layer, t0)
 	}
 
 	// Broadcast (line 22).
 	t0 = time.Now()
 	st.m = h.comm.BroadcastMat(owner, kinv)
-	h.record(dist.PhaseBroadcast, t0)
+	h.record(dist.PhaseBroadcast, layer, t0)
 }
 
 // quantize reduces the factors' mantissa precision before communication

@@ -11,7 +11,20 @@ import (
 	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/telemetry"
 )
+
+// countComm accrues per-participant collective accounting (payload bytes
+// and call counts, labeled by op) into the global telemetry registry.
+// It is a no-op — one atomic load — when telemetry is disabled.
+func countComm(op string, elems int) {
+	if !telemetry.Enabled() {
+		return
+	}
+	lbl := telemetry.Label{Key: "op", Value: op}
+	telemetry.IncCounter(telemetry.MetricCommBytes, int64(8*elems), lbl)
+	telemetry.IncCounter(telemetry.MetricCommCalls, 1, lbl)
+}
 
 // Cluster coordinates P workers. All collectives are synchronous: every
 // worker must participate in the same sequence of collective calls
@@ -77,6 +90,7 @@ func (w *Worker) AllGather(v any) []any {
 // matrices are deep-copied before the exit barrier, so callers may freely
 // mutate their input or the results afterwards.
 func (w *Worker) AllGatherMat(m *mat.Dense) []*mat.Dense {
+	countComm("allgather", m.Rows()*m.Cols())
 	w.c.slots[w.Rank] = m
 	w.Barrier()
 	out := make([]*mat.Dense, w.c.P)
@@ -95,6 +109,7 @@ func (w *Worker) AllGatherMat(m *mat.Dense) []*mat.Dense {
 // AllGatherVec gathers float slices from all workers (rank order), copying
 // peers' data before the exit barrier.
 func (w *Worker) AllGatherVec(v []float64) [][]float64 {
+	countComm("allgather", len(v))
 	w.c.slots[w.Rank] = v
 	w.Barrier()
 	out := make([][]float64, w.c.P)
@@ -116,6 +131,7 @@ func (w *Worker) AllGatherVec(v []float64) [][]float64 {
 // summation order is rank order on every worker, so results are bitwise
 // identical across ranks.
 func (w *Worker) AllReduceMat(m *mat.Dense) *mat.Dense {
+	countComm("allreduce", m.Rows()*m.Cols())
 	w.c.slots[w.Rank] = m
 	w.Barrier()
 	sum := w.c.slots[0].(*mat.Dense).Clone()
@@ -132,6 +148,7 @@ func (w *Worker) AllReduceMat(m *mat.Dense) *mat.Dense {
 // phase of a ring all-reduce and the primitive KAISA's memory-optimized
 // mode distributes factors with.
 func (w *Worker) ReduceScatterRows(m *mat.Dense) *mat.Dense {
+	countComm("reducescatter", m.Rows()*m.Cols())
 	w.c.slots[w.Rank] = m
 	w.Barrier()
 	p := w.c.P
@@ -174,6 +191,7 @@ func (w *Worker) Broadcast(root int, m *mat.Dense) *mat.Dense {
 		panic(fmt.Sprintf("dist: broadcast root %d out of range", root))
 	}
 	if w.Rank == root {
+		countComm("broadcast", m.Rows()*m.Cols())
 		w.c.slots[root] = m
 	}
 	w.Barrier()

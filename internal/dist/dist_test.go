@@ -2,6 +2,7 @@ package dist
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -212,6 +213,47 @@ func TestTimelineAccumulation(t *testing.T) {
 	tl.Reset()
 	if tl.Sum() != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+// Regression for the telemetry-backed Timeline: hammering Add from many
+// plain goroutines (not just cluster workers) must yield exact totals and
+// counts. The added values are exactly representable in binary so the sum
+// is order-independent; any lost update would show up directly.
+func TestTimelineConcurrentExactTotals(t *testing.T) {
+	tl := NewTimeline()
+	const (
+		goroutines = 32
+		perG       = 500
+		val        = 0.5
+	)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			phase := PhaseFactorize
+			if g%2 == 1 {
+				phase = PhaseInvert
+			}
+			for i := 0; i < perG; i++ {
+				tl.Add(phase, val)
+			}
+		}(g)
+	}
+	wg.Wait()
+	wantPer := float64(goroutines/2*perG) * val
+	if got := tl.Total(PhaseFactorize); got != wantPer {
+		t.Fatalf("factorization total = %g; want %g", got, wantPer)
+	}
+	if got := tl.Total(PhaseInvert); got != wantPer {
+		t.Fatalf("inversion total = %g; want %g", got, wantPer)
+	}
+	if got := tl.Count(PhaseFactorize); got != goroutines/2*perG {
+		t.Fatalf("count = %d; want %d", got, goroutines/2*perG)
+	}
+	if got := tl.Sum(); got != 2*wantPer {
+		t.Fatalf("sum = %g; want %g", got, 2*wantPer)
 	}
 }
 

@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // WorkerError describes a worker that panicked during a recovered run.
@@ -39,6 +41,13 @@ func (c *Cluster) RunWithRecovery(fn func(w *Worker)) []error {
 					mu.Lock()
 					errs = append(errs, WorkerError{Rank: rank, Err: rec})
 					mu.Unlock()
+					if rec != any(ErrClusterPoisoned) {
+						// Only the originating death is a failure event;
+						// poisoned peers are collateral.
+						telemetry.IncCounter(telemetry.MetricWorkerFailures, 1)
+						telemetry.Instant("worker_failure", rank,
+							telemetry.Label{Key: "error", Value: fmt.Sprint(rec)})
+					}
 					c.barrier.poison()
 				}
 			}()

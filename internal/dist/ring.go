@@ -52,6 +52,7 @@ func (w *Worker) RingAllReduce(x []float64) []float64 {
 	me := w.Rank
 	sendTo := r.links[(me+1)%p]
 	recvFrom := r.links[me]
+	sent := 0 // elements pushed onto the ring, for the comm counters
 
 	// Reduce-scatter: at step s, send chunk (me−s) and accumulate into
 	// chunk (me−s−1).
@@ -60,6 +61,7 @@ func (w *Worker) RingAllReduce(x []float64) []float64 {
 		recvIdx := mod(me-s-1, p)
 		out := make([]float64, bounds[sendIdx+1]-bounds[sendIdx])
 		copy(out, chunk(acc, sendIdx))
+		sent += len(out)
 		sendTo <- out
 		in := <-recvFrom
 		dst := chunk(acc, recvIdx)
@@ -74,10 +76,12 @@ func (w *Worker) RingAllReduce(x []float64) []float64 {
 		recvIdx := mod(me-s, p)
 		out := make([]float64, bounds[sendIdx+1]-bounds[sendIdx])
 		copy(out, chunk(acc, sendIdx))
+		sent += len(out)
 		sendTo <- out
 		in := <-recvFrom
 		copy(chunk(acc, recvIdx), in)
 	}
+	countComm("ring", sent)
 	return acc
 }
 

@@ -1,6 +1,9 @@
 package dist
 
-import "repro/internal/mat"
+import (
+	"repro/internal/mat"
+	"repro/internal/telemetry"
+)
 
 // StragglerModel extends the cost model with per-worker speed variation:
 // synchronous data-parallel training runs at the pace of the slowest
@@ -43,7 +46,11 @@ func (s StragglerModel) MaxSlowdown() float64 {
 // time per worker: compute stretches by the slowest worker, communication
 // is unchanged (links, not cores).
 func (s StragglerModel) StepTime(compute, comm float64) float64 {
-	return compute*s.MaxSlowdown() + comm
+	t := compute*s.MaxSlowdown() + comm
+	// Straggler loss feeds the observability layer: the overhead
+	// histogram drives the "how much does jitter cost" dashboards.
+	telemetry.Observe("dist_straggler_overhead_seconds", t-(compute+comm))
+	return t
 }
 
 // Efficiency returns the ratio of ideal (homogeneous) to straggled step

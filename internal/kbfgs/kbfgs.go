@@ -8,6 +8,7 @@ package kbfgs
 import (
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // KBFGSL preconditions each layer gradient with an L-BFGS inverse-Hessian
@@ -45,6 +46,10 @@ func (k *KBFGSL) Name() string { return "KBFGS-L" }
 // Update implements opt.Preconditioner: harvest a damped curvature pair
 // per layer from the weight and gradient deltas since the last update.
 func (k *KBFGSL) Update() {
+	// KBFGS-L runs single-process; its trace lane is rank 0. Pair harvest
+	// is this method's analogue of the factorization phase.
+	defer telemetry.Span("curvature_pairs", 0,
+		telemetry.Label{Key: "optimizer", Value: "kbfgs"})()
 	for i, l := range k.layers {
 		st := k.state[i]
 		w := flat(l.Weight().W)
@@ -77,6 +82,9 @@ func (k *KBFGSL) Update() {
 // Precondition implements opt.Preconditioner: the standard two-loop
 // recursion applied to each layer's flattened gradient.
 func (k *KBFGSL) Precondition() {
+	// The two-loop recursion is the inverse-application phase.
+	defer telemetry.Span("two_loop_recursion", 0,
+		telemetry.Label{Key: "optimizer", Value: "kbfgs"})()
 	for i, l := range k.layers {
 		st := k.state[i]
 		if len(st.s) == 0 {

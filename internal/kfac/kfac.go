@@ -7,12 +7,29 @@ package kfac
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
+
+// record closes out one schedule phase for one layer: the rank-0 Timeline
+// keeps the four-bucket totals, and — when telemetry is on — every rank
+// emits a span tagged optimizer/layer for the Chrome-trace lanes.
+func record(tl *dist.Timeline, comm dist.Comm, optimizer, phase string, layer int, start time.Time) {
+	dur := time.Since(start)
+	if tl != nil && comm.ID() == 0 {
+		tl.Add(phase, dur.Seconds())
+	}
+	if telemetry.Enabled() {
+		telemetry.RecordSpan(phase, comm.ID(), dur,
+			telemetry.Label{Key: "optimizer", Value: optimizer},
+			telemetry.Label{Key: "layer", Value: strconv.Itoa(layer)})
+	}
+}
 
 // KFAC approximates each layer's Fisher block inverse with the Kronecker
 // product of inverted input/gradient covariances (Eq. 6 of the paper):
@@ -63,10 +80,8 @@ func NewKFAC(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.Ti
 // Name implements opt.Preconditioner.
 func (k *KFAC) Name() string { return "KFAC" }
 
-func (k *KFAC) record(phase string, start time.Time) {
-	if k.timeline != nil && k.comm.ID() == 0 {
-		k.timeline.Add(phase, time.Since(start).Seconds())
-	}
+func (k *KFAC) record(phase string, layer int, start time.Time) {
+	record(k.timeline, k.comm, "kfac", phase, layer, start)
 }
 
 // Update implements opt.Preconditioner: recompute factors from the latest
@@ -84,13 +99,13 @@ func (k *KFAC) Update() {
 		t0 := time.Now()
 		fa := mat.GramT(a).Scale(1 / m)
 		fg := mat.GramT(g).Scale(1 / m)
-		k.record(dist.PhaseFactorize, t0)
+		k.record(dist.PhaseFactorize, i, t0)
 
 		// (3) Factor all-reduce across workers (KAISA step 3).
 		t0 = time.Now()
 		fa = k.comm.AllReduceMat(fa)
 		fg = k.comm.AllReduceMat(fg)
-		k.record(dist.PhaseGather, t0)
+		k.record(dist.PhaseGather, i, t0)
 
 		st := k.state[i]
 		owner := i % p
@@ -124,7 +139,7 @@ func (k *KFAC) Update() {
 			// inverse broadcast (KAISA's comm-opt placement).
 			t0 = time.Now()
 			st.aInv, st.gInv = invert()
-			k.record(dist.PhaseInvert, t0)
+			k.record(dist.PhaseInvert, i, t0)
 			continue
 		}
 
@@ -133,14 +148,14 @@ func (k *KFAC) Update() {
 		if k.comm.ID() == owner {
 			t0 = time.Now()
 			aInv, gInv = invert()
-			k.record(dist.PhaseInvert, t0)
+			k.record(dist.PhaseInvert, i, t0)
 		}
 
 		// (5) Broadcast the inverses to everyone.
 		t0 = time.Now()
 		st.aInv = k.comm.BroadcastMat(owner, aInv)
 		st.gInv = k.comm.BroadcastMat(owner, gInv)
-		k.record(dist.PhaseBroadcast, t0)
+		k.record(dist.PhaseBroadcast, i, t0)
 	}
 }
 
@@ -213,10 +228,8 @@ func NewEKFAC(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.T
 // Name implements opt.Preconditioner.
 func (e *EKFAC) Name() string { return "EKFAC" }
 
-func (e *EKFAC) record(phase string, start time.Time) {
-	if e.timeline != nil && e.comm.ID() == 0 {
-		e.timeline.Add(phase, time.Since(start).Seconds())
-	}
+func (e *EKFAC) record(phase string, layer int, start time.Time) {
+	record(e.timeline, e.comm, "ekfac", phase, layer, start)
 }
 
 // Update implements opt.Preconditioner.
@@ -232,12 +245,12 @@ func (e *EKFAC) Update() {
 		t0 := time.Now()
 		fa := mat.GramT(a).Scale(1 / m)
 		fg := mat.GramT(g).Scale(1 / m)
-		e.record(dist.PhaseFactorize, t0)
+		e.record(dist.PhaseFactorize, i, t0)
 
 		t0 = time.Now()
 		fa = e.comm.AllReduceMat(fa)
 		fg = e.comm.AllReduceMat(fg)
-		e.record(dist.PhaseGather, t0)
+		e.record(dist.PhaseGather, i, t0)
 
 		st := e.state[i]
 		if !st.initialized {
@@ -257,12 +270,12 @@ func (e *EKFAC) Update() {
 			t0 = time.Now()
 			_, qa = mat.SymEig(st.aFactor)
 			_, qg = mat.SymEig(st.gFactor)
-			e.record(dist.PhaseInvert, t0)
+			e.record(dist.PhaseInvert, i, t0)
 		}
 		t0 = time.Now()
 		st.qa = e.comm.BroadcastMat(owner, qa)
 		st.qg = e.comm.BroadcastMat(owner, qg)
-		e.record(dist.PhaseBroadcast, t0)
+		e.record(dist.PhaseBroadcast, i, t0)
 
 		// Refresh the diagonal scale from the current gradient projected
 		// into the eigenbasis.

@@ -8,11 +8,13 @@ package sngd
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // SNGD preconditions gradients with
@@ -57,9 +59,18 @@ func New(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.Timeli
 // Name implements opt.Preconditioner.
 func (s *SNGD) Name() string { return "SNGD" }
 
-func (s *SNGD) record(phase string, start time.Time) {
+// record closes out one schedule phase for one layer: the rank-0
+// Timeline keeps the four-bucket totals, and — when telemetry is on —
+// every rank emits a span tagged optimizer/layer.
+func (s *SNGD) record(phase string, layer int, start time.Time) {
+	dur := time.Since(start)
 	if s.timeline != nil && s.comm.ID() == 0 {
-		s.timeline.Add(phase, time.Since(start).Seconds())
+		s.timeline.Add(phase, dur.Seconds())
+	}
+	if telemetry.Enabled() {
+		telemetry.RecordSpan(phase, s.comm.ID(), dur,
+			telemetry.Label{Key: "optimizer", Value: "sngd"},
+			telemetry.Label{Key: "layer", Value: strconv.Itoa(layer)})
 	}
 }
 
@@ -83,7 +94,7 @@ func (s *SNGD) Update() {
 		t0 := time.Now()
 		aParts := s.comm.AllGatherMat(an)
 		gParts := s.comm.AllGatherMat(gn)
-		s.record(dist.PhaseGather, t0)
+		s.record(dist.PhaseGather, i, t0)
 		st := s.state[i]
 		st.aGlob = mat.VStack(aParts...)
 		st.gGlob = mat.VStack(gParts...)
@@ -100,13 +111,13 @@ func (s *SNGD) Update() {
 			} else {
 				kinv = mat.InvSPDDamped(k, 0)
 			}
-			s.record(dist.PhaseInvert, t0)
+			s.record(dist.PhaseInvert, i, t0)
 		}
 
 		// (4) Broadcast the inverted kernel.
 		t0 = time.Now()
 		st.kinv = s.comm.BroadcastMat(owner, kinv)
-		s.record(dist.PhaseBroadcast, t0)
+		s.record(dist.PhaseBroadcast, i, t0)
 	}
 }
 

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent mirrors one entry of the Chrome trace-event JSON format
+// (the "JSON Array with metadata" flavor loadable in chrome://tracing and
+// Perfetto). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON. Complete
+// spans become "X" events with a duration; instants become thread-scoped
+// "i" events. Labels map to args, so Perfetto shows mode/layer/epoch in
+// the selection panel. Output is deterministic for a fixed event slice
+// (struct field order plus encoding/json's sorted map keys).
+func WriteChromeTrace(w io.Writer, events []SpanEvent) error {
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Ph:   string(rune(e.Kind)),
+			TS:   float64(e.Time.Nanoseconds()) / 1e3,
+			PID:  0,
+			TID:  e.TID,
+		}
+		if e.Kind == KindComplete {
+			d := float64(e.Dur.Nanoseconds()) / 1e3
+			ce.Dur = &d
+		}
+		if e.Kind == KindInstant {
+			ce.S = "t" // thread scope
+		}
+		if len(e.Labels) > 0 {
+			ce.Args = make(map[string]string, len(e.Labels))
+			for _, l := range e.Labels {
+				ce.Args[l.Key] = l.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

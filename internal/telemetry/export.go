@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// ExportFiles writes the default instance's collected data to files:
+// tracePath gets Chrome trace-event JSON, metricsPath gets Prometheus
+// text exposition, eventsPath gets the JSONL event log. Empty paths are
+// skipped. This is the shared exit hook of the CLIs' -trace/-metrics
+// flags.
+func ExportFiles(tracePath, metricsPath, eventsPath string) error {
+	t := Default()
+	write := func(path, what string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("telemetry: %s: %w", what, err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("telemetry: %s: %w", what, err)
+		}
+		return f.Close()
+	}
+	events := t.Trace.Events()
+	if err := write(tracePath, "chrome trace", func(f *os.File) error {
+		return WriteChromeTrace(f, events)
+	}); err != nil {
+		return err
+	}
+	if err := write(metricsPath, "prometheus metrics", func(f *os.File) error {
+		return WritePrometheus(f, t.Metrics)
+	}); err != nil {
+		return err
+	}
+	return write(eventsPath, "jsonl events", func(f *os.File) error {
+		return WriteJSONL(f, events)
+	})
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is the fixed event set behind the Chrome-trace golden
+// file: two worker lanes, tagged spans, and an instant.
+func goldenEvents() []SpanEvent {
+	clk := &fakeClock{tick: 100 * time.Microsecond}
+	tr := NewTracerAt(clk.now)
+	tr.Record("factorization", 0, 0, 300*time.Microsecond,
+		Label{Key: "mode", Value: "KID"}, Label{Key: "layer", Value: "0"})
+	tr.Record("gather", 1, 300*time.Microsecond, 150*time.Microsecond,
+		Label{Key: "mode", Value: "KID"}, Label{Key: "layer", Value: "0"})
+	tr.Record("inversion", 0, 450*time.Microsecond, 2*time.Millisecond,
+		Label{Key: "mode", Value: "KIS"}, Label{Key: "layer", Value: "1"})
+	tr.Instant("hylo_mode_switch", 0,
+		Label{Key: "from", Value: "KID"}, Label{Key: "to", Value: "KIS"})
+	tr.Record("broadcast", 1, 2450*time.Microsecond, 75*time.Microsecond)
+	return tr.Events()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace output diverged from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// The golden file must itself be valid trace JSON.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(want, &parsed); err != nil {
+		t.Fatalf("golden is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 5 {
+		t.Fatalf("golden has %d events; want 5", len(parsed.TraceEvents))
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", Label{Key: "op", Value: "get"}).Add(7)
+	r.Gauge("loss").Set(0.125)
+	h := r.Histogram("latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{op="get"} 7`,
+		"# TYPE loss gauge",
+		"loss 0.125",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	if got := sanitizeMetricName("phase:seconds-total"); got != "phase:seconds_total" {
+		t.Fatalf("metric sanitize = %q", got)
+	}
+	if got := sanitizeLabelName("a:b c"); got != "a_b_c" {
+		t.Fatalf("label sanitize = %q", got)
+	}
+	if got := sanitizeMetricName("9lives"); got != "_lives" {
+		t.Fatalf("leading digit sanitize = %q", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSONL(&b, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d; want 5", len(lines))
+	}
+	var first jsonlEvent
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != "factorization" || first.Kind != "span" || first.Attrs["mode"] != "KID" {
+		t.Fatalf("first line wrong: %+v", first)
+	}
+	var instant jsonlEvent
+	if err := json.Unmarshal([]byte(lines[3]), &instant); err != nil {
+		t.Fatal(err)
+	}
+	if instant.Kind != "instant" || instant.Attrs["to"] != "KIS" {
+		t.Fatalf("instant line wrong: %+v", instant)
+	}
+}
+
+func TestExportFiles(t *testing.T) {
+	SetDefault(New())
+	defer SetDefault(New())
+	SetEnabled(true)
+	defer SetEnabled(false)
+	Span("phase", 0)()
+	IncCounter("c", 1)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.txt")
+	events := filepath.Join(dir, "events.jsonl")
+	if err := ExportFiles(trace, metrics, events); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{trace, metrics, events} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

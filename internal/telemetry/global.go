@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Telemetry bundles a metric registry with a tracer; the process-global
+// default instance is what the instrumented packages (train, core, dist,
+// kfac, sngd, kbfgs) write into when telemetry is enabled.
+type Telemetry struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// New returns a fresh, independent Telemetry instance.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+var (
+	enabled atomic.Bool
+	global  atomic.Pointer[Telemetry]
+)
+
+func init() {
+	global.Store(New())
+}
+
+// Default returns the process-global instance. It always exists; whether
+// the instrumentation helpers write into it is governed by Enabled().
+func Default() *Telemetry { return global.Load() }
+
+// SetDefault replaces the process-global instance (tests, or a run that
+// wants a fresh epoch for its trace clock).
+func SetDefault(t *Telemetry) {
+	if t == nil {
+		t = New()
+	}
+	global.Store(t)
+}
+
+// Enabled reports whether the global instrumentation helpers record.
+// This is the cheap guard hot paths check — one atomic load.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns global recording on or off.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// noopEnd is returned by Span when disabled so callers can
+// unconditionally defer the result.
+var noopEnd = func() {}
+
+// Span opens a span on the default tracer and returns its end function;
+// a no-op when telemetry is disabled.
+func Span(name string, tid int, labels ...Label) func() {
+	if !Enabled() {
+		return noopEnd
+	}
+	return Default().Trace.Span(name, tid, labels...)
+}
+
+// RecordSpan records a just-ended region of the given duration on the
+// default tracer when enabled — for call sites that already timed the
+// region themselves (the preconditioners' phase timers). The start offset
+// is reconstructed from the tracer clock's current reading.
+func RecordSpan(name string, tid int, dur time.Duration, labels ...Label) {
+	if !Enabled() {
+		return
+	}
+	tr := Default().Trace
+	end := tr.Now()
+	tr.Record(name, tid, end-dur, dur, labels...)
+}
+
+// Instant records a point event on the default tracer when enabled.
+func Instant(name string, tid int, labels ...Label) {
+	if !Enabled() {
+		return
+	}
+	Default().Trace.Instant(name, tid, labels...)
+}
+
+// IncCounter adds n to a default-registry counter when enabled.
+func IncCounter(name string, n int64, labels ...Label) {
+	if !Enabled() {
+		return
+	}
+	Default().Metrics.Counter(name, labels...).Add(n)
+}
+
+// SetGauge stores v into a default-registry gauge when enabled.
+func SetGauge(name string, v float64, labels ...Label) {
+	if !Enabled() {
+		return
+	}
+	Default().Metrics.Gauge(name, labels...).Set(v)
+}
+
+// Observe records v into a default-registry histogram (TimeBuckets
+// bounds) when enabled.
+func Observe(name string, v float64, labels ...Label) {
+	if !Enabled() {
+		return
+	}
+	Default().Metrics.Histogram(name, nil, labels...).Observe(v)
+}
+
+// Metric names shared by the instrumented packages, so exporter output
+// and dashboards agree on one vocabulary.
+const (
+	// MetricCommBytes counts collective payload bytes per participant,
+	// labeled op=allreduce|allgather|broadcast|reducescatter|ring.
+	MetricCommBytes = "dist_comm_bytes_total"
+	// MetricCommCalls counts collective invocations per participant.
+	MetricCommCalls = "dist_comm_calls_total"
+	// MetricWorkerFailures counts worker panics recovered by the cluster.
+	MetricWorkerFailures = "dist_worker_failures_total"
+	// MetricModeSwitches counts HyLo KID↔KIS transitions.
+	MetricModeSwitches = "hylo_mode_switches_total"
+	// MetricTrainIterations counts optimizer steps on rank 0.
+	MetricTrainIterations = "train_iterations_total"
+	// MetricTrainLoss is the latest epoch-mean training loss.
+	MetricTrainLoss = "train_loss"
+	// MetricTestMetric is the latest evaluation metric (accuracy/Dice).
+	MetricTestMetric = "train_test_metric"
+	// MetricEpoch is the current epoch index.
+	MetricEpoch = "train_epoch"
+)

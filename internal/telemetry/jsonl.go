@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the compact per-line schema of the JSONL event log:
+// nanosecond offsets, flat string attributes.
+type jsonlEvent struct {
+	Name  string            `json:"name"`
+	Kind  string            `json:"kind"` // "span" | "instant"
+	TID   int               `json:"tid"`
+	TimeN int64             `json:"t_ns"`
+	DurN  int64             `json:"dur_ns,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL renders events one JSON object per line — the cheap,
+// grep/jq-friendly sibling of the Chrome trace exporter.
+func WriteJSONL(w io.Writer, events []SpanEvent) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		je := jsonlEvent{
+			Name:  e.Name,
+			Kind:  "span",
+			TID:   e.TID,
+			TimeN: e.Time.Nanoseconds(),
+			DurN:  e.Dur.Nanoseconds(),
+		}
+		if e.Kind == KindInstant {
+			je.Kind = "instant"
+		}
+		if len(e.Labels) > 0 {
+			je.Attrs = make(map[string]string, len(e.Labels))
+			for _, l := range e.Labels {
+				je.Attrs[l.Key] = l.Value
+			}
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE header per metric name, counters and
+// gauges as single samples, histograms as cumulative _bucket/_sum/_count
+// series. Output order is the registry snapshot order (sorted by name,
+// then labels), so it is stable across runs.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	snap := reg.Snapshot()
+	lastTyped := ""
+	for _, p := range snap {
+		name := sanitizeMetricName(p.Name)
+		if name != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, p.Kind); err != nil {
+				return err
+			}
+			lastTyped = name
+		}
+		switch p.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, labelString(p.Labels, "", ""), formatValue(p.Value)); err != nil {
+				return err
+			}
+		case KindHistogram:
+			h := p.Hist
+			var cum int64
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatValue(h.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(p.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(p.Labels, "", ""), formatValue(h.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(p.Labels, "", ""), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le bound); empty label sets render as "".
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", sanitizeLabelName(l.Key), l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue prints floats the way Prometheus expects: integral values
+// without an exponent, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sanitizeMetricName(s string) string { return sanitize(s, true) }
+func sanitizeLabelName(s string) string  { return sanitize(s, false) }
+
+// sanitize maps arbitrary names onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons allowed only in metric names).
+func sanitize(s string, allowColon bool) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9') || (allowColon && r == ':')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PhaseStat aggregates the complete spans sharing one name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (p PhaseStat) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// Summarize groups complete spans by name and returns the stats sorted by
+// descending total time (ties by name, so output is deterministic).
+func Summarize(events []SpanEvent) []PhaseStat {
+	byName := map[string]*PhaseStat{}
+	for _, e := range events {
+		if e.Kind != KindComplete {
+			continue
+		}
+		st := byName[e.Name]
+		if st == nil {
+			st = &PhaseStat{Name: e.Name}
+			byName[e.Name] = st
+		}
+		st.Count++
+		st.Total += e.Dur
+		if e.Dur > st.Max {
+			st.Max = e.Dur
+		}
+	}
+	out := make([]PhaseStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteSummary prints the top-N phase table the CLIs show under
+// -telemetry-summary. topN <= 0 prints everything.
+func WriteSummary(w io.Writer, stats []PhaseStat, topN int) {
+	if topN <= 0 || topN > len(stats) {
+		topN = len(stats)
+	}
+	fmt.Fprintf(w, "%-24s %10s %12s %12s %12s\n", "phase", "count", "total", "mean", "max")
+	for _, st := range stats[:topN] {
+		fmt.Fprintf(w, "%-24s %10d %12.3fms %12.3fms %12.3fms\n",
+			st.Name, st.Count,
+			float64(st.Total.Nanoseconds())/1e6,
+			float64(st.Mean().Nanoseconds())/1e6,
+			float64(st.Max.Nanoseconds())/1e6)
+	}
+}

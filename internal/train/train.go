@@ -8,6 +8,7 @@ package train
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 // Config holds the training hyperparameters.
@@ -209,7 +211,13 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 	if cfg.AdaptDamping {
 		adapter = &core.DampingAdapter{Min: cfg.Damping / 100, Max: cfg.Damping * 100}
 	}
+	rank := comm.ID()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		endEpoch := telemetry.Span("epoch", rank,
+			telemetry.Label{Key: "epoch", Value: strconv.Itoa(epoch)})
+		if rank == 0 {
+			telemetry.SetGauge(telemetry.MetricEpoch, float64(epoch))
+		}
 		lr := cfg.LR.At(epoch)
 		optimizer.SetLR(lr)
 		if ea, ok := pre.(EpochAware); ok {
@@ -217,6 +225,8 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 		}
 		var lossSum float64
 		for b := 0; b < stepsPerEpoch; b++ {
+			endIter := telemetry.Span("iteration", rank,
+				telemetry.Label{Key: "epoch", Value: strconv.Itoa(epoch)})
 			globalIdx := it.Next()
 			// Shard: each worker takes its contiguous slice.
 			per := len(globalIdx) / p
@@ -276,6 +286,10 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 			optimizer.Step()
 			lossSum += loss
 			step++
+			endIter()
+			if rank == 0 {
+				telemetry.IncCounter(telemetry.MetricTrainIterations, 1)
+			}
 		}
 
 		if res != nil {
@@ -289,10 +303,15 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 				evalEvery = 1
 			}
 			if epoch%evalEvery == 0 || epoch == cfg.Epochs-1 {
+				endEval := telemetry.Span("evaluate", rank,
+					telemetry.Label{Key: "epoch", Value: strconv.Itoa(epoch)})
 				stat.Metric = Evaluate(net, testSet, task)
+				endEval()
 			} else if len(res.Stats) > 0 {
 				stat.Metric = res.Stats[len(res.Stats)-1].Metric
 			}
+			telemetry.SetGauge(telemetry.MetricTrainLoss, stat.TrainLoss)
+			telemetry.SetGauge(telemetry.MetricTestMetric, stat.Metric)
 			res.Stats = append(res.Stats, stat)
 			if stat.Metric > res.Best {
 				res.Best = stat.Metric
@@ -313,6 +332,7 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 		if w, ok := comm.(*dist.Worker); ok {
 			w.Barrier()
 		}
+		endEpoch()
 		// Early stopping: rank 0 decides, the collective spreads the stop
 		// flag so every worker leaves the loop at the same epoch.
 		if cfg.Patience > 0 {
