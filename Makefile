@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-tables experiments report examples clean
+.PHONY: all build test race vet cover bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dist/ ./internal/nn/ ./internal/train/ ./internal/core/ ./internal/sngd/ ./internal/kfac/ ./internal/telemetry/
+	$(GO) test -race ./internal/mat/ ./internal/dist/ ./internal/nn/ ./internal/train/ ./internal/core/ ./internal/sngd/ ./internal/kfac/ ./internal/telemetry/
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,13 @@ cover:
 # Root benchmarks: one testing.B benchmark per paper table/figure.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One-iteration allocation smoke: runs every benchmark once with -benchmem
+# so CI catches allocation regressions on the hot path without paying for a
+# full timing run. Compare allocs/op against BENCH_baseline.json.
+benchfast:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkGEMM_512|BenchmarkWorkspacePool' -benchtime=1x -benchmem ./internal/mat/
 
 # Full experiment suite as text tables (minutes).
 experiments:

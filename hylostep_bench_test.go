@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// BenchmarkHyLoStep measures one full HyLo training step — forward,
+// backward, preconditioner Update (KID) and Precondition, SGD step — on a
+// small CNN. Its allocs/op is the acceptance metric for the
+// zero-steady-state-allocation hot path: after the pooled-workspace
+// conversion the steady state should allocate an order of magnitude less
+// than the seed implementation.
+func BenchmarkHyLoStep(b *testing.B) {
+	rng := mat.NewRNG(11)
+	in := nn.Shape{C: 3, H: 16, W: 16}
+	net := nn.NewNetwork(in, rng,
+		nn.NewConv2d(8, 3, 1, 1),
+		nn.NewBatchNorm2d(),
+		nn.NewReLU(),
+		nn.NewConv2d(16, 3, 2, 1),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewLinear(10),
+	)
+	const m = 32
+	x := mat.RandN(rng, m, in.Numel(), 1)
+	labels := make([]int, m)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	tgt := nn.Target{Labels: labels}
+	loss := nn.SoftmaxCrossEntropy{}
+	pre := core.NewHyLo(net, 0.03, 0.1, dist.Local(), nil, mat.NewRNG(5))
+	pre.Policy = core.FixedSwitch{Mode: core.ModeKID}
+	sgd := opt.NewSGD(net.Params(), 0.01, 0.9, 0)
+	pre.OnEpochStart(0, false)
+	net.SetCapture(true)
+
+	step := func() {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, g := loss.Forward(out, tgt)
+		net.Backward(g)
+		pre.Update()
+		pre.Precondition()
+		sgd.Step()
+	}
+	step() // warm up layer workspaces so b.N measures the steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkHyLoStepKIS is the same step with the cheap KIS reduction.
+func BenchmarkHyLoStepKIS(b *testing.B) {
+	rng := mat.NewRNG(11)
+	in := nn.Shape{C: 3, H: 16, W: 16}
+	net := nn.NewNetwork(in, rng,
+		nn.NewConv2d(8, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewLinear(10),
+	)
+	const m = 32
+	x := mat.RandN(rng, m, in.Numel(), 1)
+	labels := make([]int, m)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	tgt := nn.Target{Labels: labels}
+	loss := nn.SoftmaxCrossEntropy{}
+	pre := core.NewHyLo(net, 0.03, 0.1, dist.Local(), nil, mat.NewRNG(5))
+	pre.Policy = core.FixedSwitch{Mode: core.ModeKIS}
+	sgd := opt.NewSGD(net.Params(), 0.01, 0.9, 0)
+	pre.OnEpochStart(0, false)
+	net.SetCapture(true)
+
+	step := func() {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, g := loss.Forward(out, tgt)
+		net.Backward(g)
+		pre.Update()
+		pre.Precondition()
+		sgd.Step()
+	}
+	step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

@@ -44,6 +44,15 @@ func (m Mode) String() string {
 // It returns the selected rows aˢ = a[S,:], gˢ = g[S,:] and the projected
 // residual correction Y = Pᵀ (R + αI)⁻¹ P with R = Q − P·Q[S,:].
 func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense) {
+	return kidFactorsInto(nil, nil, nil, a, g, r, alpha)
+}
+
+// kidFactorsInto is KIDFactors writing the results into persistent
+// pool-backed buffers (checked out when nil or wrongly sized): the returned
+// matrices replace the ones passed in, exactly like mat.EnsureDense. All
+// internal scratch cycles through the pool, so the steady state of an
+// iterative caller allocates nothing.
+func kidFactorsInto(as, gs, y, a, g *mat.Dense, r int, alpha float64) (asOut, gsOut, yOut *mat.Dense) {
 	m := a.Rows()
 	if g.Rows() != m {
 		panic("core: KIDFactors row mismatch")
@@ -52,19 +61,22 @@ func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense) {
 		r = m
 	}
 	// (1) Gram matrix of the Khatri-Rao rows.
-	q := mat.KernelMatrix(a, g)
+	q := mat.GetDense(m, m)
+	mat.KernelMatrixInto(q, a, g)
 	// (2) Row interpolative decomposition Q ≈ P Q[S,:].
 	p, s := mat.InterpolativeDecomp(q, r)
 	// (3) Residue.
-	res := mat.Sub(q, mat.Mul(p, q.SelectRows(s)))
+	qs := mat.GetDense(len(s), m)
+	q.SelectRowsInto(qs, s)
+	res := mat.GetDense(m, m)
+	mat.MulInto(res, p, qs)
+	mat.SubInto(res, q, res)
 	// (4) KID factors. (R+αI) is a general matrix; fall back to growing
 	// damping if it is numerically singular.
-	damped := res.AddDiag(alpha) // res is owned here; mutate in place
-	var rinv *mat.Dense
+	damped := res.AddDiag(alpha) // res is pooled scratch; mutate in place
+	rinv := mat.GetDense(m, m)
 	for boost := 0.0; ; {
-		var err error
-		rinv, err = mat.Inv(damped)
-		if err == nil {
+		if err := mat.InvInto(rinv, damped); err == nil {
 			break
 		}
 		if boost == 0 {
@@ -74,8 +86,20 @@ func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense) {
 		}
 		damped.AddDiag(boost)
 	}
-	y = mat.MulTA(p, mat.Mul(rinv, p))
-	return a.SelectRows(s), g.SelectRows(s), y
+	rp := mat.GetDense(m, p.Cols())
+	mat.MulInto(rp, rinv, p)
+	y = mat.EnsureDense(y, p.Cols(), p.Cols())
+	mat.MulTAInto(y, p, rp)
+	as = mat.EnsureDense(as, len(s), a.Cols())
+	a.SelectRowsInto(as, s)
+	gs = mat.EnsureDense(gs, len(s), g.Cols())
+	g.SelectRowsInto(gs, s)
+	mat.PutDense(rp)
+	mat.PutDense(rinv)
+	mat.PutDense(res)
+	mat.PutDense(qs)
+	mat.PutDense(q)
+	return as, gs, y
 }
 
 // AdaptiveKIDRank chooses the smallest rank whose interpolative
@@ -86,7 +110,9 @@ func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense) {
 // r = 10%·batch rule with an error-driven rule (future-work direction).
 // maxRank caps the answer; the returned rank is always ≥ 1.
 func AdaptiveKIDRank(a, g *mat.Dense, tol float64, maxRank int) int {
-	q := mat.KernelMatrix(a, g)
+	q := mat.GetDense(a.Rows(), a.Rows())
+	defer mat.PutDense(q)
+	mat.KernelMatrixInto(q, a, g)
 	f := mat.FactorQRPivot(q.T())
 	r := f.R()
 	n := min(r.Rows(), maxRank)
@@ -115,9 +141,15 @@ func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversam
 	if r > m {
 		r = m
 	}
-	q := mat.KernelMatrix(a, g)
+	ws := mat.NewWorkspace()
+	defer ws.Release()
+	q := ws.Dense(m, m)
+	mat.KernelMatrixInto(q, a, g)
 	p, s := mat.RandomizedID(rng, q, r, oversample)
-	res := mat.Sub(q, mat.Mul(p, q.SelectRows(s)))
+	qs := q.SelectRows(s)
+	res := ws.Dense(m, m)
+	mat.MulInto(res, p, qs)
+	mat.SubInto(res, q, res)
 	damped := res.AddDiag(alpha)
 	var rinv *mat.Dense
 	for boost := 0.0; ; {
@@ -133,7 +165,9 @@ func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversam
 		}
 		damped.AddDiag(boost)
 	}
-	y = mat.MulTA(p, mat.Mul(rinv, p))
+	rp := ws.Dense(m, p.Cols())
+	mat.MulInto(rp, rinv, p)
+	y = mat.MulTA(p, rp)
 	return a.SelectRows(s), g.SelectRows(s), y
 }
 
@@ -146,6 +180,12 @@ func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversam
 // (Drineas-Kannan-Mahoney); pass rescale=false for the plain row
 // selection written in the paper's pseudocode.
 func KISFactors(rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (as, gs *mat.Dense) {
+	return kisFactorsInto(nil, nil, rng, a, g, r, rescale)
+}
+
+// kisFactorsInto is KISFactors writing into persistent pool-backed buffers,
+// with the same replace-on-return contract as kidFactorsInto.
+func kisFactorsInto(as, gs *mat.Dense, rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (asOut, gsOut *mat.Dense) {
 	m := a.Rows()
 	if g.Rows() != m {
 		panic("core: KISFactors row mismatch")
@@ -153,9 +193,14 @@ func KISFactors(rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (as, gs *mat
 	if r > m {
 		r = m
 	}
-	na := mat.RowNorms(a)
-	ng := mat.RowNorms(g)
-	scores := make([]float64, m)
+	na := mat.GetFloats(m)
+	defer mat.PutFloats(na)
+	ng := mat.GetFloats(m)
+	defer mat.PutFloats(ng)
+	mat.RowNormsInto(na, a)
+	mat.RowNormsInto(ng, g)
+	scores := mat.GetFloats(m)
+	defer mat.PutFloats(scores)
 	var total float64
 	for j := range scores {
 		scores[j] = na[j] * ng[j]
@@ -169,8 +214,10 @@ func KISFactors(rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (as, gs *mat
 		total = float64(m)
 	}
 	idx := weightedSampleWithoutReplacement(rng, scores, r)
-	as = a.SelectRows(idx)
-	gs = g.SelectRows(idx)
+	as = mat.EnsureDense(as, len(idx), a.Cols())
+	a.SelectRowsInto(as, idx)
+	gs = mat.EnsureDense(gs, len(idx), g.Cols())
+	g.SelectRowsInto(gs, idx)
 	if rescale {
 		for k, j := range idx {
 			qj := scores[j] / total

@@ -65,6 +65,17 @@ type HyLo struct {
 type hyloState struct {
 	as, gs *mat.Dense // gathered reduced factors (normalized)
 	m      *mat.Dense // KID: M = Y − Y(K̂⁻¹+Y)⁻¹Y; KIS: (K̂+αI)⁻¹
+
+	// Persistent workspaces reused across iterations. an/gn hold the
+	// normalized factor copies; asLoc/gsLoc/yLoc the local reduced factors;
+	// mbuf the owner's inversion result. All of these are handed to the
+	// communicator, so they must stay owned by this state rather than cycle
+	// through the pool. yblk holds the block-diagonal Y assembly; y/z/corr
+	// are the Precondition scratch vectors.
+	an, gn             *mat.Dense
+	asLoc, gsLoc, yLoc *mat.Dense
+	yblk, mbuf         *mat.Dense
+	y, z, corr         []float64
 }
 
 // NewHyLo builds the preconditioner over the network's kernel layers.
@@ -205,10 +216,13 @@ func (h *HyLo) Update() {
 		// Normalize so the reduced kernel approximates the mean Fisher
 		// kernel: scaling both factors by mGlob^(-1/4) scales K by 1/mGlob.
 		scale := math.Pow(float64(mGlob), -0.25)
-		an := a.Clone().Scale(scale)
-		gn := g.Clone().Scale(scale)
-
 		st := h.state[i]
+		st.an = mat.EnsureDense(st.an, a.Rows(), a.Cols())
+		st.an.CopyFrom(a)
+		an := st.an.Scale(scale)
+		st.gn = mat.EnsureDense(st.gn, g.Rows(), g.Cols())
+		st.gn.CopyFrom(g)
+		gn := st.gn.Scale(scale)
 		switch h.mode {
 		case ModeKID:
 			h.updateKID(i, st, an, gn, rho, p)
@@ -229,6 +243,9 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 		}
 	}
 	// Local factorization (Algorithm 2), optionally with the randomized ID.
+	// The reduced factors land in state-owned persistent buffers: they are
+	// handed to the communicator below, so they must not cycle through the
+	// pool, and reusing them keeps the steady state allocation-free.
 	t0 := time.Now()
 	var as, gs, y *mat.Dense
 	if h.RandomizedKID {
@@ -238,7 +255,8 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 		}
 		as, gs, y = KIDFactorsRand(h.rng, an, gn, rho, h.Damping, over)
 	} else {
-		as, gs, y = KIDFactors(an, gn, rho, h.Damping)
+		st.asLoc, st.gsLoc, st.yLoc = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, an, gn, rho, h.Damping)
+		as, gs, y = st.asLoc, st.gsLoc, st.yLoc
 	}
 	h.record(dist.PhaseFactorize, layer, t0)
 
@@ -249,9 +267,16 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 	gParts := h.comm.AllGatherMat(gs)
 	yParts := h.comm.AllGatherMat(y)
 	h.record(dist.PhaseGather, layer, t0)
-	st.as = mat.VStack(aParts...)
-	st.gs = mat.VStack(gParts...)
-	yBlk := mat.BlockDiag(yParts...)
+	st.as = stackInto(st.as, aParts)
+	st.gs = stackInto(st.gs, gParts)
+	ybr, ybc := 0, 0
+	for _, b := range yParts {
+		ybr += b.Rows()
+		ybc += b.Cols()
+	}
+	st.yblk = mat.EnsureDense(st.yblk, ybr, ybc)
+	st.yblk.Zero()
+	yBlk := mat.BlockDiagInto(st.yblk, yParts...)
 
 	// Inversion on the owning worker (lines 9-10): build
 	// M = Y − Y(K̂⁻¹+Y)⁻¹Y, computed in the equivalent single-inverse form
@@ -260,16 +285,26 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 	var m *mat.Dense
 	if h.comm.ID() == owner {
 		t0 = time.Now()
-		khat := mat.KernelMatrix(st.as, st.gs)
-		iyk := mat.Mul(yBlk, khat)
+		rtot := st.as.Rows()
+		khat := mat.GetDense(rtot, rtot)
+		mat.KernelMatrixInto(khat, st.as, st.gs)
+		iyk := mat.GetDense(rtot, rtot)
+		mat.MulInto(iyk, yBlk, khat)
 		iyk.AddDiag(1)
-		inv, err := mat.Inv(iyk)
-		if err != nil {
+		inv := mat.GetDense(rtot, rtot)
+		if err := mat.InvInto(inv, iyk); err != nil {
 			iyk.AddDiag(1e-8)
-			inv = mat.InvSPDDamped(mat.Mul(iyk.T(), iyk), 0) // last-resort PSD fallback
-			inv = mat.Mul(inv, iyk.T())
+			psd := mat.InvSPDDamped(mat.Mul(iyk.T(), iyk), 0) // last-resort PSD fallback
+			inv.CopyFrom(mat.Mul(psd, iyk.T()))
 		}
-		m = mat.Mul(inv, yBlk)
+		// The result is handed to the broadcast, so it lives in a
+		// state-owned persistent buffer rather than the pool.
+		st.mbuf = mat.EnsureDense(st.mbuf, rtot, rtot)
+		mat.MulInto(st.mbuf, inv, yBlk)
+		m = st.mbuf
+		mat.PutDense(inv)
+		mat.PutDense(khat)
+		mat.PutDense(iyk)
 		h.record(dist.PhaseInvert, layer, t0)
 	}
 
@@ -280,9 +315,11 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 }
 
 func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int) {
-	// Local importance sampling (Algorithm 3).
+	// Local importance sampling (Algorithm 3), into state-owned buffers
+	// (handed to the communicator below, so never pooled).
 	t0 := time.Now()
-	as, gs := KISFactors(h.rng, an, gn, rho, true)
+	st.asLoc, st.gsLoc = kisFactorsInto(st.asLoc, st.gsLoc, h.rng, an, gn, rho, true)
+	as, gs := st.asLoc, st.gsLoc
 	h.record(dist.PhaseFactorize, layer, t0)
 
 	// Gather KIS factors (line 18).
@@ -291,16 +328,21 @@ func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 	aParts := h.comm.AllGatherMat(as)
 	gParts := h.comm.AllGatherMat(gs)
 	h.record(dist.PhaseGather, layer, t0)
-	st.as = mat.VStack(aParts...)
-	st.gs = mat.VStack(gParts...)
+	st.as = stackInto(st.as, aParts)
+	st.gs = stackInto(st.gs, gParts)
 
 	// Inversion on the owning worker (lines 20-21): K̂ = AˢAˢᵀ∘GˢGˢᵀ + αI.
 	owner := layer % p
 	var kinv *mat.Dense
 	if h.comm.ID() == owner {
 		t0 = time.Now()
-		k := mat.KernelMatrix(st.as, st.gs).AddDiag(h.Damping)
+		rtot := st.as.Rows()
+		k := mat.GetDense(rtot, rtot)
+		mat.KernelMatrixInto(k, st.as, st.gs)
+		k.AddDiag(h.Damping)
+		// kinv escapes into long-lived state, so it is NOT pooled.
 		kinv = mat.InvSPDDamped(k, 0)
+		mat.PutDense(k)
 		h.record(dist.PhaseInvert, layer, t0)
 	}
 
@@ -337,14 +379,30 @@ func (h *HyLo) Precondition() {
 		if st.m == nil {
 			continue
 		}
-		y := mat.KhatriRaoApply(st.as, st.gs, gd)
-		z := mat.MulVec(st.m, y)
-		corr := mat.KhatriRaoApplyT(st.as, st.gs, z)
+		st.y = mat.EnsureFloats(st.y, st.as.Rows())
+		mat.KhatriRaoApplyInto(st.y, st.as, st.gs, gd)
+		st.z = mat.EnsureFloats(st.z, st.m.Rows())
+		mat.MulVecInto(st.z, st.m, st.y)
+		st.corr = mat.EnsureFloats(st.corr, len(gd))
+		mat.KhatriRaoApplyTInto(st.corr, st.as, st.gs, st.z)
+		corr := st.corr
 		inv := 1 / h.Damping
 		for j := range gd {
 			gd[j] = inv * (gd[j] - corr[j])
 		}
 	}
+}
+
+// stackInto vertically stacks parts into a persistent, pool-backed
+// destination (the workspace analogue of mat.VStack).
+func stackInto(dst *mat.Dense, parts []*mat.Dense) *mat.Dense {
+	rows := 0
+	for _, p := range parts {
+		rows += p.Rows()
+	}
+	dst = mat.EnsureDense(dst, rows, parts[0].Cols())
+	mat.VStackInto(dst, parts...)
+	return dst
 }
 
 // StateBytes implements opt.Preconditioner: the gathered r×d factors plus

@@ -21,10 +21,15 @@ func NystromFactors(rng *mat.RNG, a, g *mat.Dense, r int) (c, w *mat.Dense, s []
 	if r > m {
 		r = m
 	}
-	k := mat.KernelMatrix(a, g)
+	ws := mat.NewWorkspace()
+	defer ws.Release()
+	k := ws.Dense(m, m)
+	mat.KernelMatrixInto(k, a, g)
 	// Norm-weighted landmark selection (scores as in Algorithm 3).
-	na := mat.RowNorms(a)
-	ng := mat.RowNorms(g)
+	na := ws.Floats(m)
+	ng := ws.Floats(m)
+	mat.RowNormsInto(na, a)
+	mat.RowNormsInto(ng, g)
 	scores := make([]float64, m)
 	for j := range scores {
 		scores[j] = na[j] * ng[j]
@@ -62,14 +67,21 @@ func NystromFactors(rng *mat.RNG, a, g *mat.Dense, r int) (c, w *mat.Dense, s []
 //
 // so only an r×r system is solved. At r = m this is exactly Eq. (7).
 func PreconditionNystrom(a, g *mat.Dense, grad []float64, alpha float64, r int, rng *mat.RNG) []float64 {
+	ws := mat.NewWorkspace()
+	defer ws.Release()
 	scale := math.Pow(float64(a.Rows()), -0.25)
-	an := a.Clone().Scale(scale)
-	gn := g.Clone().Scale(scale)
+	an := ws.Dense(a.Rows(), a.Cols())
+	an.CopyFrom(a)
+	an.Scale(scale)
+	gn := ws.Dense(g.Rows(), g.Cols())
+	gn.CopyFrom(g)
+	gn.Scale(scale)
 	c, w, _ := NystromFactors(rng, an, gn, r)
 
 	// y = U g; inner solve (αW + CᵀC) t = Cᵀ y; z = (y − C t)/α;
 	// result = (g − Uᵀ z)/α.
-	y := mat.KhatriRaoApply(an, gn, grad)
+	y := ws.Floats(an.Rows())
+	mat.KhatriRaoApplyInto(y, an, gn, grad)
 	cty := mat.MulVecT(c, y)
 	inner := mat.MulTA(c, c)
 	inner.AddScaled(w, alpha)
@@ -79,11 +91,12 @@ func PreconditionNystrom(a, g *mat.Dense, grad []float64, alpha float64, r int, 
 		tvec[i] = tSol.At(i, 0)
 	}
 	ct := mat.MulVec(c, tvec)
-	z := make([]float64, len(y))
+	z := ws.Floats(len(y))
 	for i := range z {
 		z[i] = (y[i] - ct[i]) / alpha
 	}
-	corr := mat.KhatriRaoApplyT(an, gn, z)
+	corr := ws.Floats(an.Cols() * gn.Cols())
+	mat.KhatriRaoApplyTInto(corr, an, gn, z)
 	out := make([]float64, len(grad))
 	inv := 1 / alpha
 	for j := range grad {

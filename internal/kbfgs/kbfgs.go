@@ -68,12 +68,22 @@ func (k *KBFGSL) Update() {
 				st.y = append(st.y, y)
 				st.rho = append(st.rho, 1/sy)
 				if len(st.s) > k.History {
+					// Recycle the evicted pair's storage.
+					mat.PutFloats(st.s[0])
+					mat.PutFloats(st.y[0])
 					st.s = st.s[1:]
 					st.y = st.y[1:]
 					st.rho = st.rho[1:]
 				}
+			} else {
+				// Rejected pair: return the scratch immediately.
+				mat.PutFloats(s)
+				mat.PutFloats(y)
 			}
 		}
+		// Recycle the previous snapshots now that the deltas are computed.
+		mat.PutFloats(st.prevW)
+		mat.PutFloats(st.prevG)
 		st.prevW = w
 		st.prevG = g
 	}
@@ -93,7 +103,7 @@ func (k *KBFGSL) Precondition() {
 		grad := l.Weight().Grad
 		q := flat(grad)
 		n := len(st.s)
-		alpha := make([]float64, n)
+		alpha := mat.GetFloats(n)
 		for j := n - 1; j >= 0; j-- {
 			alpha[j] = st.rho[j] * dot(st.s[j], q)
 			axpy(q, st.y[j], -alpha[j])
@@ -108,6 +118,8 @@ func (k *KBFGSL) Precondition() {
 			axpy(q, st.s[j], alpha[j]-beta)
 		}
 		copy(grad.Data(), q)
+		mat.PutFloats(alpha)
+		mat.PutFloats(q)
 	}
 }
 
@@ -124,14 +136,17 @@ func (k *KBFGSL) StateBytes() int {
 	return n * 8
 }
 
+// flat returns a pooled copy of the matrix contents; callers own the slice
+// and are responsible for returning it with mat.PutFloats.
 func flat(m *mat.Dense) []float64 {
-	out := make([]float64, len(m.Data()))
+	out := mat.GetFloats(len(m.Data()))
 	copy(out, m.Data())
 	return out
 }
 
+// sub returns the pooled difference a − b; callers own the slice.
 func sub(a, b []float64) []float64 {
-	out := make([]float64, len(a))
+	out := mat.GetFloats(len(a))
 	for i := range a {
 		out[i] = a[i] - b[i]
 	}

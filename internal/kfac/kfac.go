@@ -60,6 +60,10 @@ type kfacState struct {
 	aFactor, gFactor *mat.Dense // running covariance estimates
 	aInv, gInv       *mat.Dense
 	initialized      bool
+
+	// Persistent staging for the freshly computed factors (handed to the
+	// communicator, so owned here rather than pooled).
+	faBuf, fgBuf *mat.Dense
 }
 
 // NewKFAC builds a KFAC preconditioner over the network's kernel layers.
@@ -94,11 +98,16 @@ func (k *KFAC) Update() {
 			continue
 		}
 		m := float64(a.Rows() * p)
+		st := k.state[i]
 
-		// (2) Factor computation.
+		// (2) Factor computation, staged in persistent workspaces.
 		t0 := time.Now()
-		fa := mat.GramT(a).Scale(1 / m)
-		fg := mat.GramT(g).Scale(1 / m)
+		st.faBuf = mat.EnsureDense(st.faBuf, a.Cols(), a.Cols())
+		mat.GramTInto(st.faBuf, a)
+		fa := st.faBuf.Scale(1 / m)
+		st.fgBuf = mat.EnsureDense(st.fgBuf, g.Cols(), g.Cols())
+		mat.GramTInto(st.fgBuf, g)
+		fg := st.fgBuf.Scale(1 / m)
 		k.record(dist.PhaseFactorize, i, t0)
 
 		// (3) Factor all-reduce across workers (KAISA step 3).
@@ -106,8 +115,6 @@ func (k *KFAC) Update() {
 		fa = k.comm.AllReduceMat(fa)
 		fg = k.comm.AllReduceMat(fg)
 		k.record(dist.PhaseGather, i, t0)
-
-		st := k.state[i]
 		owner := i % p
 		commOpt := k.layerCommOpt(i)
 		// Memory-optimal layers keep the running factor state only on
@@ -167,8 +174,11 @@ func (k *KFAC) Precondition() {
 			continue
 		}
 		w := l.Weight()
-		pg := mat.Mul(st.aInv, mat.Mul(w.Grad, st.gInv))
-		w.Grad.CopyFrom(pg)
+		rows, cols := w.Grad.Dims()
+		tmp := mat.GetDense(rows, cols)
+		mat.MulInto(tmp, w.Grad, st.gInv)
+		mat.MulInto(w.Grad, st.aInv, tmp)
+		mat.PutDense(tmp)
 	}
 }
 
@@ -208,6 +218,10 @@ type ekfacState struct {
 	scale            *mat.Dense // running E[(Qaᵀ g Qg)²], dIn×dOut
 	initialized      bool
 	scaleInit        bool
+
+	// Persistent staging for the freshly computed factors (handed to the
+	// communicator, so owned here rather than pooled).
+	faBuf, fgBuf *mat.Dense
 }
 
 // NewEKFAC builds an EKFAC preconditioner.
@@ -241,18 +255,21 @@ func (e *EKFAC) Update() {
 			continue
 		}
 		m := float64(a.Rows() * p)
+		st := e.state[i]
 
 		t0 := time.Now()
-		fa := mat.GramT(a).Scale(1 / m)
-		fg := mat.GramT(g).Scale(1 / m)
+		st.faBuf = mat.EnsureDense(st.faBuf, a.Cols(), a.Cols())
+		mat.GramTInto(st.faBuf, a)
+		fa := st.faBuf.Scale(1 / m)
+		st.fgBuf = mat.EnsureDense(st.fgBuf, g.Cols(), g.Cols())
+		mat.GramTInto(st.fgBuf, g)
+		fg := st.fgBuf.Scale(1 / m)
 		e.record(dist.PhaseFactorize, i, t0)
 
 		t0 = time.Now()
 		fa = e.comm.AllReduceMat(fa)
 		fg = e.comm.AllReduceMat(fg)
 		e.record(dist.PhaseGather, i, t0)
-
-		st := e.state[i]
 		if !st.initialized {
 			st.aFactor.CopyFrom(fa)
 			st.gFactor.CopyFrom(fg)
@@ -278,16 +295,22 @@ func (e *EKFAC) Update() {
 		e.record(dist.PhaseBroadcast, i, t0)
 
 		// Refresh the diagonal scale from the current gradient projected
-		// into the eigenbasis.
+		// into the eigenbasis (pooled scratch; sq = proj∘proj in place).
 		w := l.Weight()
-		proj := mat.MulTA(st.qa, mat.Mul(w.Grad, st.qg))
-		sq := mat.Hadamard(proj, proj)
+		rows, cols := w.Grad.Dims()
+		tmp := mat.GetDense(rows, cols)
+		mat.MulInto(tmp, w.Grad, st.qg)
+		proj := mat.GetDense(rows, cols)
+		mat.MulTAInto(proj, st.qa, tmp)
+		mat.HadamardInto(proj, proj, proj)
 		if !st.scaleInit {
-			st.scale.CopyFrom(sq)
+			st.scale.CopyFrom(proj)
 			st.scaleInit = true
 		} else {
-			st.scale.Scale(e.Decay).AddScaled(sq, 1-e.Decay)
+			st.scale.Scale(e.Decay).AddScaled(proj, 1-e.Decay)
 		}
+		mat.PutDense(tmp)
+		mat.PutDense(proj)
 	}
 }
 
@@ -299,13 +322,19 @@ func (e *EKFAC) Precondition() {
 			continue
 		}
 		w := l.Weight()
-		proj := mat.MulTA(st.qa, mat.Mul(w.Grad, st.qg))
+		rows, cols := w.Grad.Dims()
+		tmp := mat.GetDense(rows, cols)
+		mat.MulInto(tmp, w.Grad, st.qg)
+		proj := mat.GetDense(rows, cols)
+		mat.MulTAInto(proj, st.qa, tmp)
 		pd, sd := proj.Data(), st.scale.Data()
 		for j := range pd {
 			pd[j] /= sd[j] + e.Damping
 		}
-		back := mat.Mul(st.qa, mat.MulTB(proj, st.qg))
-		w.Grad.CopyFrom(back)
+		mat.MulTBInto(tmp, proj, st.qg)
+		mat.MulInto(w.Grad, st.qa, tmp)
+		mat.PutDense(tmp)
+		mat.PutDense(proj)
 	}
 }
 

@@ -119,9 +119,18 @@ func FactorLU(a *Dense) (*LU, error) {
 	if a.rows != a.cols {
 		panic("mat: FactorLU needs a square matrix")
 	}
-	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f, err := factorLUInPlace(a.Clone(), make([]int, a.rows))
+	if err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// factorLUInPlace factors lu destructively using the caller's pivot
+// storage, returning the factorization by value so the pooled inversion
+// path allocates nothing.
+func factorLUInPlace(lu *Dense, piv []int) (LU, error) {
+	n := lu.rows
 	for i := range piv {
 		piv[i] = i
 	}
@@ -135,7 +144,7 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+			return LU{}, fmt.Errorf("%w (column %d)", ErrSingular, k)
 		}
 		if p != k {
 			rk, rp := lu.Row(k), lu.Row(p)
@@ -156,7 +165,7 @@ func FactorLU(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	return LU{lu: lu, piv: piv, sign: sign}, nil
 }
 
 // Solve solves a*x = b for each column of b.
@@ -169,6 +178,14 @@ func (f *LU) Solve(b *Dense) *Dense {
 	for i, p := range f.piv {
 		copy(x.Row(i), b.Row(p))
 	}
+	f.solveInPlace(x)
+	return x
+}
+
+// solveInPlace runs the forward/backward substitution on x, which must
+// already hold the row-permuted right-hand side.
+func (f *LU) solveInPlace(x *Dense) {
+	n := f.lu.rows
 	// Forward: L*y = P*b (unit lower).
 	for i := 1; i < n; i++ {
 		ri := f.lu.Row(i)
@@ -193,7 +210,6 @@ func (f *LU) Solve(b *Dense) *Dense {
 			xi[c] *= inv
 		}
 	}
-	return x
 }
 
 // Det returns the determinant from the factorization.
@@ -212,6 +228,40 @@ func Inv(a *Dense) (*Dense, error) {
 		return nil, err
 	}
 	return f.Solve(Identity(a.rows)), nil
+}
+
+// InvInto sets dst = a⁻¹ via LU with every intermediate recycled through
+// the pool — the allocation-free form of Inv. dst must be square with a's
+// dimensions and must not alias a; it is fully overwritten (and left
+// unspecified when an error is returned).
+func InvInto(dst, a *Dense) error {
+	if a.rows != a.cols {
+		panic("mat: InvInto needs a square matrix")
+	}
+	if dst.rows != a.rows || dst.cols != a.cols {
+		panic("mat: InvInto destination dimension mismatch")
+	}
+	checkNoAlias("InvInto", dst, a)
+	n := a.rows
+	lu := getDenseRaw(n, n)
+	lu.CopyFrom(a)
+	piv := getInts(n)
+	f, err := factorLUInPlace(lu, piv)
+	if err != nil {
+		putInts(piv)
+		PutDense(lu)
+		return err
+	}
+	// dst starts as the row-permuted identity (Solve's copy step with
+	// b = I), then the substitution runs in place.
+	dst.Zero()
+	for i, p := range f.piv {
+		dst.data[i*n+p] = 1
+	}
+	f.solveInPlace(dst)
+	putInts(piv)
+	PutDense(lu)
+	return nil
 }
 
 // Solve solves a*x = b via LU for a general square a.

@@ -4,8 +4,12 @@
 // eigendecomposition, and the column-pivoted QR that backs the Khatri-Rao
 // interpolative decomposition (KID).
 //
-// Matrices are dense, row-major, float64. The package is self-contained
-// (stdlib only) and deterministic: no global RNG state is consulted.
+// Matrices are dense, row-major, float64. The package is deterministic (no
+// global RNG state is consulted) and depends only on the stdlib plus the
+// in-repo telemetry counters. Hot-path kernels come in allocating and
+// *Into form; the latter write into caller-owned (usually pooled)
+// destinations — see pool.go and DESIGN.md "Performance: memory
+// discipline" for the ownership rules.
 package mat
 
 import (
@@ -133,7 +137,18 @@ func (m *Dense) Fill(v float64) {
 
 // T returns a newly allocated transpose of m.
 func (m *Dense) T() *Dense {
-	t := NewDense(m.cols, m.rows)
+	return m.TInto(NewDense(m.cols, m.rows))
+}
+
+// TInto writes the transpose of m into t (cols×rows, fully overwritten)
+// and returns t. t must not alias m.
+func (m *Dense) TInto(t *Dense) *Dense {
+	if t.rows != m.cols || t.cols != m.rows {
+		panic("mat: TInto destination dimension mismatch")
+	}
+	if len(m.data) != 0 && len(t.data) != 0 && &m.data[0] == &t.data[0] {
+		panic("mat: TInto destination aliases the source")
+	}
 	const bs = 32 // cache-friendly block transpose
 	for i0 := 0; i0 < m.rows; i0 += bs {
 		imax := min(i0+bs, m.rows)
@@ -215,11 +230,19 @@ func (m *Dense) Trace() float64 {
 
 // SelectRows returns a new matrix containing the given rows of m, in order.
 func (m *Dense) SelectRows(idx []int) *Dense {
-	out := NewDense(len(idx), m.cols)
-	for k, i := range idx {
-		copy(out.Row(k), m.Row(i))
+	return m.SelectRowsInto(NewDense(len(idx), m.cols), idx)
+}
+
+// SelectRowsInto writes rows idx of m into dst (len(idx)×cols, fully
+// overwritten) and returns dst. dst must not alias m.
+func (m *Dense) SelectRowsInto(dst *Dense, idx []int) *Dense {
+	if dst.rows != len(idx) || dst.cols != m.cols {
+		panic("mat: SelectRowsInto destination dimension mismatch")
 	}
-	return out
+	for k, i := range idx {
+		copy(dst.Row(k), m.Row(i))
+	}
+	return dst
 }
 
 // SliceRows returns a view-free copy of rows [i0, i1).
@@ -261,16 +284,29 @@ func BlockDiag(blocks ...*Dense) *Dense {
 		rows += b.rows
 		cols += b.cols
 	}
-	out := NewDense(rows, cols)
+	return BlockDiagInto(NewDense(rows, cols), blocks...)
+}
+
+// BlockDiagInto assembles the block-diagonal matrix into dst, which must
+// be pre-zeroed with dimensions matching the summed block sizes.
+func BlockDiagInto(dst *Dense, blocks ...*Dense) *Dense {
+	var rows, cols int
+	for _, b := range blocks {
+		rows += b.rows
+		cols += b.cols
+	}
+	if dst.rows != rows || dst.cols != cols {
+		panic("mat: BlockDiagInto destination dimension mismatch")
+	}
 	r, c := 0, 0
 	for _, b := range blocks {
 		for i := 0; i < b.rows; i++ {
-			copy(out.data[(r+i)*cols+c:(r+i)*cols+c+b.cols], b.Row(i))
+			copy(dst.data[(r+i)*cols+c:(r+i)*cols+c+b.cols], b.Row(i))
 		}
 		r += b.rows
 		c += b.cols
 	}
-	return out
+	return dst
 }
 
 // Equal reports whether a and b have identical dimensions and all elements

@@ -1,0 +1,86 @@
+package mat
+
+import (
+	"math"
+	"time"
+)
+
+// useFMA selects the math.FMA-based kernels. On hardware without fused
+// multiply-add the stdlib falls back to a very slow software path, and even
+// with the instruction present some microarchitectures (and VMs) sustain
+// fewer fused ops per cycle than separate mul+add streams. Neither the
+// build tags nor cpu-feature flags settle that, so the choice is made by
+// timing the two real micro-kernels once at package init.
+var useFMA = fmaIsFast()
+
+// fmaIsFast races microKernel2x4FMA against microKernel2x4 on packed panels
+// of a realistic depth. Timing the actual kernels (independent accumulator
+// lanes + streaming loads) rather than a serial reduction matters: a
+// dependency chain hides throughput differences, and throughput is what the
+// GEMM inner loop runs at. mul+add is the safe default; FMA must win by a
+// clear margin (>10%) to be selected.
+func fmaIsFast() bool {
+	const k, reps, trials = 512, 64, 3
+	ap := make([]float64, gemmMR*k)
+	bp := make([]float64, gemmNR*k)
+	for i := range ap {
+		ap[i] = 1.0 + float64(i%7)*0.01
+	}
+	for i := range bp {
+		bp[i] = 1.0 - float64(i%5)*0.01
+	}
+	out := NewDense(gemmMR, gemmNR)
+	run := func(kern func(*Dense, []float64, []float64, int, int, int, int, int)) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for t := 0; t < trials; t++ {
+			t0 := time.Now()
+			for r := 0; r < reps; r++ {
+				kern(out, ap, bp, k, 0, 0, gemmMR, gemmNR)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	run(microKernel2x4FMA) // warm up (first math.FMA call may fault in the fallback path)
+	tFMA := run(microKernel2x4FMA)
+	tMul := run(microKernel2x4)
+	// Keep the result observable so the kernel calls cannot be folded away.
+	if math.IsNaN(out.data[0]) {
+		return false
+	}
+	return tFMA*10 < tMul*9
+}
+
+// dotFMA is Dot with fused multiply-adds (same 4-lane association order).
+func dotFMA(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 = math.FMA(x[i], y[i], s0)
+		s1 = math.FMA(x[i+1], y[i+1], s1)
+		s2 = math.FMA(x[i+2], y[i+2], s2)
+		s3 = math.FMA(x[i+3], y[i+3], s3)
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s = math.FMA(x[i], y[i], s)
+	}
+	return s
+}
+
+// axpyFMA is axpy with fused multiply-adds.
+func axpyFMA(dst, src []float64, s float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] = math.FMA(s, src[i], dst[i])
+		dst[i+1] = math.FMA(s, src[i+1], dst[i+1])
+		dst[i+2] = math.FMA(s, src[i+2], dst[i+2])
+		dst[i+3] = math.FMA(s, src[i+3], dst[i+3])
+	}
+	for ; i < n; i++ {
+		dst[i] = math.FMA(s, src[i], dst[i])
+	}
+}

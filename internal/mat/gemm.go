@@ -1,51 +1,128 @@
 package mat
 
 import (
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the number of multiply-adds below which GEMM runs
-// single-threaded; spawning goroutines for tiny products costs more than it
-// saves.
+// single-threaded with the simple unpacked kernels; spawning goroutines
+// and packing panels for tiny products costs more than it saves.
 const parallelThreshold = 64 * 64 * 64
 
-// gemmBlock is the row-panel size each worker goroutine claims at a time.
-const gemmBlock = 32
+// Register-blocking parameters of the packed kernel: the micro-kernel
+// computes an mr×nr block of the output with mr·nr independent
+// accumulators, reading A panels packed mr-interleaved and B panels packed
+// nr-interleaved so the inner loop is two unit-stride streams. 2×4 keeps
+// the 8 accumulators plus 6 operands inside the 16 amd64 vector registers;
+// larger tiles spill and run slower in pure Go.
+const (
+	gemmMR = 2
+	gemmNR = 4
+	// gemmClaimPanels is the number of mr-row panels a worker claims per
+	// atomic fetch-add when stealing work.
+	gemmClaimPanels = 16
+	// Cache-blocking factors: the packed B block is kc×nc ≤ 1 MiB so it
+	// stays resident in a typical ≥2 MiB L2 across the whole m sweep, and
+	// each packed A panel (mr×kc = 8 KiB) streams through L1.
+	gemmKC = 512
+	gemmNC = 256
+)
 
-// Mul returns a*b using a cache-blocked, goroutine-parallel kernel.
+// Mul returns a*b using a packed, cache-blocked, goroutine-parallel kernel.
 func Mul(a, b *Dense) *Dense {
-	if a.cols != b.rows {
-		panic("mat: Mul dimension mismatch")
-	}
-	out := NewDense(a.rows, b.cols)
-	gemm(out, a, b, false, false)
+	out := getDenseUnpooled(a.rows, b.cols)
+	MulInto(out, a, b)
 	return out
 }
 
 // MulTA returns aᵀ*b.
 func MulTA(a, b *Dense) *Dense {
-	if a.rows != b.rows {
-		panic("mat: MulTA dimension mismatch")
-	}
-	out := NewDense(a.cols, b.cols)
-	gemm(out, a, b, true, false)
+	out := getDenseUnpooled(a.cols, b.cols)
+	MulTAInto(out, a, b)
 	return out
 }
 
 // MulTB returns a*bᵀ.
 func MulTB(a, b *Dense) *Dense {
-	if a.cols != b.cols {
-		panic("mat: MulTB dimension mismatch")
-	}
-	out := NewDense(a.rows, b.rows)
-	gemm(out, a, b, false, true)
+	out := getDenseUnpooled(a.rows, b.rows)
+	MulTBInto(out, a, b)
 	return out
 }
 
+// getDenseUnpooled allocates a fresh matrix outside the pool (the
+// allocating API hands ownership to the caller, who must be free to keep
+// it forever without starving the pool).
+func getDenseUnpooled(rows, cols int) *Dense {
+	return NewDense(rows, cols)
+}
+
+// MulInto sets dst = a*b without allocating. dst must not alias a or b.
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic("mat: Mul dimension mismatch")
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic("mat: MulInto destination dimension mismatch")
+	}
+	checkNoAlias("MulInto", dst, a, b)
+	gemm(dst, a, b, false, false)
+	return dst
+}
+
+// MulTAInto sets dst = aᵀ*b without allocating and without materializing
+// aᵀ. dst must not alias a or b.
+func MulTAInto(dst, a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic("mat: MulTA dimension mismatch")
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		panic("mat: MulTAInto destination dimension mismatch")
+	}
+	checkNoAlias("MulTAInto", dst, a, b)
+	gemm(dst, a, b, true, false)
+	return dst
+}
+
+// MulTBInto sets dst = a*bᵀ without allocating and without materializing
+// bᵀ. dst must not alias a or b.
+func MulTBInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic("mat: MulTB dimension mismatch")
+	}
+	if dst.rows != a.rows || dst.cols != b.rows {
+		panic("mat: MulTBInto destination dimension mismatch")
+	}
+	checkNoAlias("MulTBInto", dst, a, b)
+	gemm(dst, a, b, false, true)
+	return dst
+}
+
+// checkNoAlias panics when dst shares backing storage with a or b. The
+// check is exact for matrices managed by this package (whole-allocation
+// backing slices compared by their first element).
+func checkNoAlias(op string, dst *Dense, srcs ...*Dense) {
+	if len(dst.data) == 0 {
+		return
+	}
+	for _, s := range srcs {
+		if len(s.data) != 0 && &dst.data[0] == &s.data[0] {
+			panic("mat: " + op + " destination aliases an operand")
+		}
+	}
+}
+
 // gemm computes out = op(a) * op(b) where op optionally transposes.
-// The kernel parallelizes over row panels of the output and uses an
-// ikj loop order on packed row-major operands for unit-stride inner loops.
+//
+// Large products take the packed path: operand panels are copied into
+// pooled, contiguous mr-/nr-interleaved buffers (for the transposed
+// variants this replaces the full transpose copy the old kernel made) and
+// a 4×4 register-blocked micro-kernel runs over row panels of the output,
+// distributed across GOMAXPROCS workers by atomic work-stealing. Small
+// products fall back to unpacked ikj-style loops that also need no
+// transpose copies.
 func gemm(out, a, b *Dense, transA, transB bool) {
 	ar, ac := a.rows, a.cols
 	if transA {
@@ -58,57 +135,300 @@ func gemm(out, a, b *Dense, transA, transB bool) {
 	if ac != br {
 		panic("mat: gemm inner dimension mismatch")
 	}
-	// Materialize transposes once: the packed copies make the hot loop
-	// unit-stride, which is worth the O(n²) copy for any nontrivial GEMM.
-	ae := a
-	if transA {
-		ae = a.T()
-	}
-	be := b
-	if transB {
-		be = b.T()
-	}
-
-	work := ar * ac * bc
-	nw := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || nw == 1 || ar == 1 {
-		gemmRows(out, ae, be, 0, ar)
+	m, k, n := ar, ac, bc
+	if m == 0 || n == 0 {
 		return
 	}
-	if nw > (ar+gemmBlock-1)/gemmBlock {
-		nw = (ar + gemmBlock - 1) / gemmBlock
+	if k == 0 {
+		out.Zero()
+		return
 	}
-	var next int64
-	var mu sync.Mutex
-	claim := func() (int, int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if int(next) >= ar {
-			return 0, 0, false
-		}
-		lo := int(next)
-		hi := min(lo+gemmBlock, ar)
-		next = int64(hi)
-		return lo, hi, true
+	if m*n*k < parallelThreshold || m == 1 || n == 1 {
+		gemmSmall(out, a, b, transA, transB, m, k, n)
+		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo, hi, ok := claim()
-				if !ok {
-					return
-				}
-				gemmRows(out, ae, be, lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	gemmPacked(out, a, b, transA, transB, m, k, n)
 }
 
-// gemmRows computes rows [lo,hi) of out = a*b for row-major a, b.
+// gemmSmall handles shapes where packing overhead dominates, with loop
+// orders chosen per transpose case so every inner loop is unit-stride on
+// the untransposed operands — no transpose is ever materialized.
+func gemmSmall(out, a, b *Dense, transA, transB bool, m, k, n int) {
+	switch {
+	case !transA && !transB:
+		out.Zero()
+		gemmRows(out, a, b, 0, m)
+	case transA && !transB:
+		// out = aᵀb: rank-1 accumulation; row p of a holds column values
+		// a[p, i] = op(a)[i, p], so out.Row(i) += a[p,i] * b.Row(p).
+		out.Zero()
+		for p := 0; p < a.rows; p++ {
+			arow := a.data[p*a.cols : (p+1)*a.cols]
+			brow := b.data[p*b.cols : (p+1)*b.cols]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				axpy(out.data[i*n:(i+1)*n], brow, av)
+			}
+		}
+	case !transA && transB:
+		// out[i,j] = a.Row(i) · b.Row(j): both unit-stride dots.
+		for i := 0; i < m; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] = Dot(arow, b.data[j*k:(j+1)*k])
+			}
+		}
+	default: // transA && transB
+		out.Zero()
+		// out[i,j] += a[p,i]*b[j,p]: keep b's row access unit-stride.
+		for j := 0; j < n; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			for p := 0; p < k; p++ {
+				bv := brow[p]
+				if bv == 0 {
+					continue
+				}
+				arow := a.data[p*a.cols : (p+1)*a.cols]
+				for i := 0; i < m; i++ {
+					out.data[i*n+j] += arow[i] * bv
+				}
+			}
+		}
+	}
+}
+
+// gemmPacked is the blocked kernel, organized as the classic three-level
+// GotoBLAS loop nest: for each nc-wide column block and kc-deep slice of k,
+// op(b) is packed once into nr-interleaved panels (an L2-resident block),
+// then workers claim mr-row panels of the output by atomic work-stealing,
+// pack the matching mr×kc slice of op(a) into a per-worker buffer, and
+// sweep the micro-kernel across the column panels, accumulating into out.
+// The k-slices are processed in a fixed sequential order, so the result is
+// deterministic regardless of how workers interleave.
+func gemmPacked(out, a, b *Dense, transA, transB bool, m, k, n int) {
+	out.Zero()
+	bp := getFloatsRaw(gemmKC * ((gemmNC + gemmNR - 1) / gemmNR) * gemmNR)
+	mpanels := (m + gemmMR - 1) / gemmMR
+	nw := runtime.GOMAXPROCS(0)
+	if max := (mpanels + gemmClaimPanels - 1) / gemmClaimPanels; nw > max {
+		nw = max
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	if nw == 1 {
+		// Sequential path: no goroutines, no work-stealing state, and one
+		// A-panel buffer hoisted across all cache blocks — zero per-block
+		// allocations.
+		ap := getFloatsRaw(gemmMR * gemmKC)
+		for jc := 0; jc < n; jc += gemmNC {
+			nc := min(gemmNC, n-jc)
+			for pc := 0; pc < k; pc += gemmKC {
+				kc := min(gemmKC, k-pc)
+				packB(bp, b, transB, pc, kc, jc, nc)
+				gemmSweep(out, a, transA, ap, bp, 0, mpanels, m, pc, kc, jc, nc)
+			}
+		}
+		PutFloats(ap)
+		PutFloats(bp)
+		return
+	}
+
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packB(bp, b, transB, pc, kc, jc, nc)
+
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(nw)
+			for w := 0; w < nw; w++ {
+				go func() {
+					defer wg.Done()
+					ap := getFloatsRaw(gemmMR * kc)
+					for {
+						lo := int(next.Add(gemmClaimPanels)) - gemmClaimPanels
+						if lo >= mpanels {
+							break
+						}
+						hi := min(lo+gemmClaimPanels, mpanels)
+						gemmSweep(out, a, transA, ap, bp, lo, hi, m, pc, kc, jc, nc)
+					}
+					PutFloats(ap)
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	PutFloats(bp)
+}
+
+// gemmSweep runs the packed micro-kernel over output row panels [lo, hi)
+// for one (pc, jc) cache block: each mr-row slice of op(a) is packed into
+// ap, then swept across the nr-wide packed-B panels.
+func gemmSweep(out, a *Dense, transA bool, ap, bp []float64, lo, hi, m, pc, kc, jc, nc int) {
+	npanels := (nc + gemmNR - 1) / gemmNR
+	for ip := lo; ip < hi; ip++ {
+		i0 := ip * gemmMR
+		rows := min(gemmMR, m-i0)
+		packA(ap, a, transA, i0, rows, pc, kc)
+		for jp := 0; jp < npanels; jp++ {
+			j0 := jp * gemmNR
+			microKernel(out, ap, bp[jp*kc*gemmNR:(jp+1)*kc*gemmNR],
+				kc, i0, jc+j0, rows, min(gemmNR, nc-j0))
+		}
+	}
+}
+
+// packB copies the kc×nc block of op(b) at (pc, jc) into nr-interleaved
+// column panels: panel jp holds block columns [jp*nr, jp*nr+nr) as
+// bp[jp*kc*nr + p*nr + jj] = op(b)[pc+p, jc+jp*nr+jj], zero-padded past the
+// matrix edge so the micro-kernel is branch-free.
+func packB(bp []float64, b *Dense, transB bool, pc, kc, jc, nc int) {
+	npanels := (nc + gemmNR - 1) / gemmNR
+	for jp := 0; jp < npanels; jp++ {
+		j0 := jc + jp*gemmNR
+		cols := min(gemmNR, jc+nc-j0)
+		panel := bp[jp*kc*gemmNR : (jp+1)*kc*gemmNR]
+		if !transB {
+			// op(b)[p, j] = b[p, j]: gather a short row slice per p.
+			for p := 0; p < kc; p++ {
+				src := b.data[(pc+p)*b.cols+j0 : (pc+p)*b.cols+j0+cols]
+				dst := panel[p*gemmNR : p*gemmNR+gemmNR]
+				copy(dst, src)
+				for jj := cols; jj < gemmNR; jj++ {
+					dst[jj] = 0
+				}
+			}
+		} else {
+			// op(b)[p, j] = b[j, p]: stream nr rows of b in parallel.
+			for jj := 0; jj < cols; jj++ {
+				src := b.data[(j0+jj)*b.cols+pc : (j0+jj)*b.cols+pc+kc]
+				for p := 0; p < kc; p++ {
+					panel[p*gemmNR+jj] = src[p]
+				}
+			}
+			for jj := cols; jj < gemmNR; jj++ {
+				for p := 0; p < kc; p++ {
+					panel[p*gemmNR+jj] = 0
+				}
+			}
+		}
+	}
+}
+
+// packA copies rows [i0, i0+rows), k-slice [pc, pc+kc) of op(a)
+// mr-interleaved: ap[p*mr + ii] = op(a)[i0+ii, pc+p], zero-padded to mr
+// rows.
+func packA(ap []float64, a *Dense, transA bool, i0, rows, pc, kc int) {
+	if !transA {
+		for ii := 0; ii < rows; ii++ {
+			src := a.data[(i0+ii)*a.cols+pc : (i0+ii)*a.cols+pc+kc]
+			for p := 0; p < kc; p++ {
+				ap[p*gemmMR+ii] = src[p]
+			}
+		}
+	} else {
+		// op(a)[i, p] = a[p, i]: gather mr adjacent columns per row p.
+		for p := 0; p < kc; p++ {
+			src := a.data[(pc+p)*a.cols+i0 : (pc+p)*a.cols+i0+rows]
+			dst := ap[p*gemmMR : p*gemmMR+gemmMR]
+			copy(dst, src)
+		}
+		if rows < gemmMR {
+			for p := 0; p < kc; p++ {
+				for ii := rows; ii < gemmMR; ii++ {
+					ap[p*gemmMR+ii] = 0
+				}
+			}
+		}
+	}
+	if !transA && rows < gemmMR {
+		for p := 0; p < kc; p++ {
+			for ii := rows; ii < gemmMR; ii++ {
+				ap[p*gemmMR+ii] = 0
+			}
+		}
+	}
+}
+
+// microKernel computes the mr×nr output block at (i0, j0) from packed
+// panels: mr·nr independent accumulators carried in registers across the
+// whole k loop, two unit-stride input streams, then a masked store of the
+// valid rows/cols (panels are zero-padded, so the accumulation itself is
+// unconditional). Dispatches to the fused-multiply-add variant when the
+// init-time calibration found hardware FMA.
+func microKernel(out *Dense, ap, bp []float64, k, i0, j0, rows, cols int) {
+	if useFMA {
+		microKernel2x4FMA(out, ap, bp, k, i0, j0, rows, cols)
+		return
+	}
+	microKernel2x4(out, ap, bp, k, i0, j0, rows, cols)
+}
+
+func microKernel2x4(out *Dense, ap, bp []float64, k, i0, j0, rows, cols int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	ia, ib := 0, 0
+	for p := 0; p < k; p++ {
+		a0, a1 := ap[ia], ap[ia+1]
+		b0, b1, b2, b3 := bp[ib], bp[ib+1], bp[ib+2], bp[ib+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ia += gemmMR
+		ib += gemmNR
+	}
+	storeMicroTile(out, i0, j0, rows, cols,
+		[gemmMR][gemmNR]float64{{c00, c01, c02, c03}, {c10, c11, c12, c13}})
+}
+
+func microKernel2x4FMA(out *Dense, ap, bp []float64, k, i0, j0, rows, cols int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	ia, ib := 0, 0
+	for p := 0; p < k; p++ {
+		a0, a1 := ap[ia], ap[ia+1]
+		b0, b1, b2, b3 := bp[ib], bp[ib+1], bp[ib+2], bp[ib+3]
+		c00 = math.FMA(a0, b0, c00)
+		c01 = math.FMA(a0, b1, c01)
+		c02 = math.FMA(a0, b2, c02)
+		c03 = math.FMA(a0, b3, c03)
+		c10 = math.FMA(a1, b0, c10)
+		c11 = math.FMA(a1, b1, c11)
+		c12 = math.FMA(a1, b2, c12)
+		c13 = math.FMA(a1, b3, c13)
+		ia += gemmMR
+		ib += gemmNR
+	}
+	storeMicroTile(out, i0, j0, rows, cols,
+		[gemmMR][gemmNR]float64{{c00, c01, c02, c03}, {c10, c11, c12, c13}})
+}
+
+// storeMicroTile accumulates the register tile into out (masked to the
+// valid rows/cols). Accumulating rather than assigning lets gemmPacked
+// split k into cache-sized slices; out is zeroed once up front.
+func storeMicroTile(out *Dense, i0, j0, rows, cols int, acc [gemmMR][gemmNR]float64) {
+	for ii := 0; ii < rows; ii++ {
+		orow := out.data[(i0+ii)*out.cols+j0:]
+		for jj := 0; jj < cols; jj++ {
+			orow[jj] += acc[ii][jj]
+		}
+	}
+}
+
+// gemmRows computes rows [lo,hi) of out += a*b for row-major a, b (the
+// small-shape ikj fallback; out must be pre-zeroed).
 func gemmRows(out, a, b *Dense, lo, hi int) {
 	n, k := b.cols, a.cols
 	for i := lo; i < hi; i++ {
@@ -125,8 +445,13 @@ func gemmRows(out, a, b *Dense, lo, hi int) {
 	}
 }
 
-// axpy computes dst += s*src with 4-way unrolling.
+// axpy computes dst += s*src with 4-way unrolling (fused multiply-adds
+// when the hardware has them).
 func axpy(dst, src []float64, s float64) {
+	if useFMA {
+		axpyFMA(dst, src, s)
+		return
+	}
 	n := len(dst)
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -142,32 +467,54 @@ func axpy(dst, src []float64, s float64) {
 
 // MulVec returns a*x for a vector x (len = a.cols).
 func MulVec(a *Dense, x []float64) []float64 {
+	out := make([]float64, a.rows)
+	MulVecInto(out, a, x)
+	return out
+}
+
+// MulVecInto sets dst = a*x without allocating. dst must not alias x.
+func MulVecInto(dst []float64, a *Dense, x []float64) {
 	if len(x) != a.cols {
 		panic("mat: MulVec dimension mismatch")
 	}
-	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
-		out[i] = Dot(a.Row(i), x)
+	if len(dst) != a.rows {
+		panic("mat: MulVecInto destination length mismatch")
 	}
-	return out
+	for i := 0; i < a.rows; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
 }
 
 // MulVecT returns aᵀ*x for a vector x (len = a.rows).
 func MulVecT(a *Dense, x []float64) []float64 {
+	out := make([]float64, a.cols)
+	MulVecTInto(out, a, x)
+	return out
+}
+
+// MulVecTInto sets dst = aᵀ*x without allocating. dst must not alias x.
+func MulVecTInto(dst []float64, a *Dense, x []float64) {
 	if len(x) != a.rows {
 		panic("mat: MulVecT dimension mismatch")
 	}
-	out := make([]float64, a.cols)
-	for i := 0; i < a.rows; i++ {
-		axpy(out, a.Row(i), x[i])
+	if len(dst) != a.cols {
+		panic("mat: MulVecTInto destination length mismatch")
 	}
-	return out
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		axpy(dst, a.Row(i), x[i])
+	}
 }
 
 // Dot returns the dot product of x and y.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: Dot length mismatch")
+	}
+	if useFMA {
+		return dotFMA(x, y)
 	}
 	var s0, s1, s2, s3 float64
 	i := 0

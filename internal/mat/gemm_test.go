@@ -130,22 +130,3 @@ func TestMulTransposeProperty(t *testing.T) {
 	}
 }
 
-func BenchmarkGEMM256(b *testing.B) {
-	rng := NewRNG(1)
-	x := RandN(rng, 256, 256, 1)
-	y := RandN(rng, 256, 256, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Mul(x, y)
-	}
-}
-
-func BenchmarkGEMM512(b *testing.B) {
-	rng := NewRNG(1)
-	x := RandN(rng, 512, 512, 1)
-	y := RandN(rng, 512, 512, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Mul(x, y)
-	}
-}

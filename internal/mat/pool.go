@@ -1,0 +1,280 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// This file implements the workspace/pool layer behind the package's
+// allocation-free hot path. Buffers are checked out of size-bucketed
+// sync.Pools (bucket = next power of two of the element count) and returned
+// explicitly with Put*. The steady state of an iterative optimizer then
+// recycles the same handful of buffers forever instead of exercising the
+// Go allocator and GC every step.
+//
+// Ownership rules (see DESIGN.md "Performance: memory discipline"):
+//   - whoever calls Get*/Workspace.* owns the buffer and is the only party
+//     allowed to Put it back, exactly once;
+//   - a buffer must not be used after Put;
+//   - matrices returned by the allocating API (Mul, Gram, ...) are NOT
+//     pooled and must never be passed to PutDense.
+
+// Telemetry counter names for pool effectiveness; exported so dashboards
+// and the README agree on the vocabulary.
+const (
+	// MetricPoolHits counts checkouts served by a recycled buffer.
+	MetricPoolHits = "mat_pool_hits"
+	// MetricPoolMisses counts checkouts that had to allocate.
+	MetricPoolMisses = "mat_pool_misses"
+)
+
+// Pool buckets cover 2^minPoolShift .. 2^maxPoolShift float64s; requests
+// below the smallest bucket round up, requests above the largest are
+// allocated directly (and dropped on Put).
+const (
+	minPoolShift = 6  // 64 floats = 512 B
+	maxPoolShift = 26 // 64 Mi floats = 512 MiB
+)
+
+var (
+	floatPools [maxPoolShift - minPoolShift + 1]sync.Pool
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+
+	// headerBoxes recycles the *[]float64 boxes that carry slices through
+	// the sync.Pools. Storing a bare []float64 in a sync.Pool heap-boxes
+	// the 3-word slice header on every Put; cycling pre-allocated boxes
+	// (single-word pointers, which interface conversion does not box)
+	// makes the steady-state Get/Put pair allocation-free.
+	headerBoxes = sync.Pool{New: func() any { return new([]float64) }}
+
+	// denseStructs recycles the Dense headers handed out by GetDense so a
+	// pool hit allocates neither the backing array nor the struct.
+	denseStructs = sync.Pool{New: func() any { return new(Dense) }}
+
+	// intSlices/intBoxes recycle the small index vectors (LU pivots, QR
+	// permutations) the decomposition hot paths need, with the same
+	// boxed-header trick as the float pools. Index vectors are small and
+	// similarly sized, so a single unbucketed pool suffices.
+	intSlices sync.Pool
+	intBoxes  = sync.Pool{New: func() any { return new([]int) }}
+)
+
+// poolClass returns the bucket index and capacity for a request of n
+// floats, or (-1, n) when the request is unpoolable (too large).
+func poolClass(n int) (int, int) {
+	if n <= 0 {
+		return -1, 0
+	}
+	shift := bits.Len(uint(n - 1))
+	if shift < minPoolShift {
+		shift = minPoolShift
+	}
+	if shift > maxPoolShift {
+		return -1, n
+	}
+	return shift - minPoolShift, 1 << shift
+}
+
+// getFloatsRaw checks out a length-n slice with unspecified contents.
+func getFloatsRaw(n int) []float64 {
+	class, size := poolClass(n)
+	if class < 0 {
+		if n == 0 {
+			return nil
+		}
+		poolMisses.Add(1)
+		if telemetry.Enabled() {
+			telemetry.IncCounter(MetricPoolMisses, 1)
+		}
+		return make([]float64, n)
+	}
+	if v := floatPools[class].Get(); v != nil {
+		poolHits.Add(1)
+		if telemetry.Enabled() {
+			telemetry.IncCounter(MetricPoolHits, 1)
+		}
+		h := v.(*[]float64)
+		buf := *h
+		*h = nil
+		headerBoxes.Put(h)
+		return buf[:n]
+	}
+	poolMisses.Add(1)
+	if telemetry.Enabled() {
+		telemetry.IncCounter(MetricPoolMisses, 1)
+	}
+	return make([]float64, size)[:n]
+}
+
+// GetFloats checks out a zeroed length-n slice from the pool. Return it
+// with PutFloats when done.
+func GetFloats(n int) []float64 {
+	buf := getFloatsRaw(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// PutFloats returns a slice obtained from GetFloats (or the backing slice
+// of a pooled Dense) to the pool. Slices whose capacity is not an exact
+// bucket size — anything not handed out by this package — are dropped, so
+// accidentally pooling foreign buffers is harmless. buf must not be used
+// after Put.
+func PutFloats(buf []float64) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	class, size := poolClass(c)
+	if class < 0 || c != size {
+		return
+	}
+	h := headerBoxes.Get().(*[]float64)
+	*h = buf[:c]
+	floatPools[class].Put(h)
+}
+
+// getInts checks out a length-n int slice with unspecified contents.
+func getInts(n int) []int {
+	if v := intSlices.Get(); v != nil {
+		h := v.(*[]int)
+		buf := *h
+		*h = nil
+		intBoxes.Put(h)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+// putInts returns a slice obtained from getInts to the pool.
+func putInts(buf []int) {
+	if cap(buf) == 0 {
+		return
+	}
+	h := intBoxes.Get().(*[]int)
+	*h = buf[:cap(buf)]
+	intSlices.Put(h)
+}
+
+// PoolStats returns the cumulative checkout hit/miss counts, the same
+// numbers published as the mat_pool_hits / mat_pool_misses telemetry
+// counters.
+func PoolStats() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// GetDense checks out a zeroed rows×cols matrix backed by pooled storage.
+// Return it with PutDense.
+func GetDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: GetDense negative dimension")
+	}
+	m := getDenseRaw(rows, cols)
+	m.Zero()
+	return m
+}
+
+// getDenseRaw is GetDense without the zeroing pass, for destinations that
+// are fully overwritten. The struct itself comes from a recycled-header
+// pool so a hit performs zero allocations.
+func getDenseRaw(rows, cols int) *Dense {
+	m := denseStructs.Get().(*Dense)
+	m.rows, m.cols, m.data = rows, cols, getFloatsRaw(rows*cols)
+	return m
+}
+
+// PutDense returns a pooled matrix's storage to the pool. m must have come
+// from GetDense/EnsureDense (matrices allocated with NewDense are silently
+// dropped) and must not be used after Put. Nil is ignored.
+func PutDense(m *Dense) {
+	if m == nil {
+		return
+	}
+	PutFloats(m.data)
+	m.data = nil
+	m.rows, m.cols = 0, 0
+	denseStructs.Put(m)
+}
+
+// EnsureDense returns a rows×cols matrix for use as a persistent, reusable
+// workspace: if m already has exactly those dimensions it is returned
+// unchanged (contents preserved); otherwise m's storage is recycled and a
+// pooled replacement is checked out. The replacement's contents are
+// UNSPECIFIED — callers that need zeros must call Zero. Typical use:
+//
+//	st.buf = mat.EnsureDense(st.buf, r, c)
+func EnsureDense(m *Dense, rows, cols int) *Dense {
+	if m != nil && m.rows == rows && m.cols == cols {
+		return m
+	}
+	if m != nil {
+		PutDense(m)
+	}
+	return getDenseRaw(rows, cols)
+}
+
+// EnsureFloats is EnsureDense for vectors: it returns a length-n slice,
+// reusing buf when its capacity suffices (contents beyond are unspecified)
+// and recycling it through the pool otherwise.
+func EnsureFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	if buf != nil {
+		PutFloats(buf)
+	}
+	return getFloatsRaw(n)
+}
+
+// Workspace tracks a set of pooled checkouts so they can be released
+// together. It is the convenient form for scoped scratch:
+//
+//	ws := mat.NewWorkspace()
+//	defer ws.Release()
+//	tmp := ws.Dense(m, n)
+//
+// A Workspace is not safe for concurrent use; each goroutine should own
+// its own.
+type Workspace struct {
+	floats [][]float64
+	dense  []*Dense
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Floats checks out a zeroed length-n slice owned by the workspace.
+func (w *Workspace) Floats(n int) []float64 {
+	buf := GetFloats(n)
+	w.floats = append(w.floats, buf)
+	return buf
+}
+
+// Dense checks out a zeroed rows×cols matrix owned by the workspace.
+func (w *Workspace) Dense(rows, cols int) *Dense {
+	m := GetDense(rows, cols)
+	w.dense = append(w.dense, m)
+	return m
+}
+
+// Release returns every checkout to the pool. The workspace is empty and
+// reusable afterwards; buffers handed out earlier must not be used again.
+func (w *Workspace) Release() {
+	for i, buf := range w.floats {
+		PutFloats(buf)
+		w.floats[i] = nil
+	}
+	w.floats = w.floats[:0]
+	for i, m := range w.dense {
+		PutDense(m)
+		w.dense[i] = nil
+	}
+	w.dense = w.dense[:0]
+}

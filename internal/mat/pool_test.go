@@ -1,0 +1,193 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolClassBuckets(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 64}, {64, 64}, {65, 128}, {1000, 1024}, {1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		class, size := poolClass(c.n)
+		if class < 0 || size != c.wantCap {
+			t.Fatalf("poolClass(%d) = (%d, %d), want cap %d", c.n, class, size, c.wantCap)
+		}
+	}
+	if class, _ := poolClass(0); class >= 0 {
+		t.Fatal("poolClass(0) should be unpoolable")
+	}
+	if class, _ := poolClass(1 << 27); class >= 0 {
+		t.Fatal("oversized request should be unpoolable")
+	}
+}
+
+func TestGetFloatsZeroedAndRecycled(t *testing.T) {
+	a := GetFloats(100)
+	for i := range a {
+		a[i] = float64(i + 1)
+	}
+	PutFloats(a)
+	b := GetFloats(100)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("GetFloats not zeroed at %d: %v", i, v)
+		}
+	}
+	PutFloats(b)
+}
+
+func TestPutFloatsDropsForeignBuffers(t *testing.T) {
+	// Buffers whose capacity is not an exact bucket size must be dropped,
+	// never pooled: pooling them would hand out short-capacity slices.
+	PutFloats(make([]float64, 100))  // cap 100 is not a power-of-two bucket
+	PutFloats(nil)                   // no-op
+	PutFloats(make([]float64, 0, 0)) // no-op
+}
+
+func TestGetDensePutDense(t *testing.T) {
+	m := GetDense(5, 7)
+	if m.Rows() != 5 || m.Cols() != 7 {
+		t.Fatalf("GetDense dims %dx%d", m.Rows(), m.Cols())
+	}
+	for _, v := range m.Data() {
+		if v != 0 {
+			t.Fatal("GetDense not zeroed")
+		}
+	}
+	m.Fill(3)
+	PutDense(m)
+	PutDense(nil) // no-op
+}
+
+func TestEnsureDense(t *testing.T) {
+	m := EnsureDense(nil, 4, 4)
+	m.Fill(1)
+	same := EnsureDense(m, 4, 4)
+	if same != m {
+		t.Fatal("EnsureDense with matching dims must return the same matrix")
+	}
+	if same.At(0, 0) != 1 {
+		t.Fatal("EnsureDense must preserve contents on a dimension match")
+	}
+	resized := EnsureDense(m, 8, 2)
+	if resized.Rows() != 8 || resized.Cols() != 2 {
+		t.Fatalf("EnsureDense resize: %dx%d", resized.Rows(), resized.Cols())
+	}
+	PutDense(resized)
+}
+
+func TestEnsureFloats(t *testing.T) {
+	b := EnsureFloats(nil, 50)
+	if len(b) != 50 {
+		t.Fatalf("EnsureFloats len %d", len(b))
+	}
+	b2 := EnsureFloats(b, 30)
+	if &b2[0] != &b[0] {
+		t.Fatal("EnsureFloats must reuse a buffer with sufficient capacity")
+	}
+	b3 := EnsureFloats(b2, 1<<16)
+	if len(b3) != 1<<16 {
+		t.Fatalf("EnsureFloats grow len %d", len(b3))
+	}
+	PutFloats(b3)
+}
+
+func TestGetIntsPutInts(t *testing.T) {
+	p := getInts(10)
+	if len(p) != 10 {
+		t.Fatalf("getInts len %d", len(p))
+	}
+	for i := range p {
+		p[i] = i
+	}
+	putInts(p)
+	q := getInts(5)
+	if len(q) != 5 {
+		t.Fatalf("getInts len %d", len(q))
+	}
+	putInts(q)
+	putInts(nil) // no-op
+}
+
+func TestWorkspaceRelease(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Floats(64)
+	m := ws.Dense(8, 8)
+	if len(a) != 64 || m.Rows() != 8 {
+		t.Fatal("workspace checkout dims")
+	}
+	ws.Release()
+	// Reusable after release.
+	b := ws.Floats(32)
+	if len(b) != 32 {
+		t.Fatal("workspace reuse after Release")
+	}
+	ws.Release()
+}
+
+func TestPoolStatsMonotone(t *testing.T) {
+	h0, m0 := PoolStats()
+	buf := GetFloats(128)
+	PutFloats(buf)
+	buf = GetFloats(128) // guaranteed hit: the bucket now holds a buffer
+	PutFloats(buf)
+	h1, m1 := PoolStats()
+	if h1 < h0 || m1 < m0 {
+		t.Fatalf("PoolStats went backwards: (%d,%d) -> (%d,%d)", h0, m0, h1, m1)
+	}
+	if h1+m1 < h0+m0+2 {
+		t.Fatalf("PoolStats missed checkouts: (%d,%d) -> (%d,%d)", h0, m0, h1, m1)
+	}
+}
+
+// TestPoolConcurrentHammer drives Get/Put from many goroutines under -race
+// and asserts the pool never hands the same live buffer to two owners:
+// every checked-out backing array (keyed by its first element's address)
+// must be unique among live checkouts.
+func TestPoolConcurrentHammer(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var live sync.Map // &buf[0] -> struct{}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := NewRNG(seed)
+			for r := 0; r < rounds; r++ {
+				n := 64 + rng.Intn(512)
+				switch r % 3 {
+				case 0:
+					buf := GetFloats(n)
+					key := &buf[0]
+					if _, loaded := live.LoadOrStore(key, struct{}{}); loaded {
+						t.Error("pool handed out a live float buffer twice")
+						return
+					}
+					buf[0] = float64(r)
+					live.Delete(key)
+					PutFloats(buf)
+				case 1:
+					m := GetDense(8, n/8)
+					key := &m.Data()[0]
+					if _, loaded := live.LoadOrStore(key, struct{}{}); loaded {
+						t.Error("pool handed out a live Dense buffer twice")
+						return
+					}
+					m.Set(0, 0, float64(r))
+					live.Delete(key)
+					PutDense(m)
+				default:
+					p := getInts(8 + rng.Intn(32))
+					p[0] = r
+					putInts(p)
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+}

@@ -6,17 +6,13 @@ func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 
 // Hadamard returns the element-wise product a ∘ b.
 func Hadamard(a, b *Dense) *Dense {
-	if a.rows != b.rows || a.cols != b.cols {
-		panic("mat: Hadamard dimension mismatch")
-	}
 	out := NewDense(a.rows, a.cols)
-	for i := range out.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
+	HadamardInto(out, a, b)
 	return out
 }
 
-// HadamardInto sets dst = a ∘ b without allocating.
+// HadamardInto sets dst = a ∘ b without allocating. dst may alias a or b
+// (the operation is element-wise).
 func HadamardInto(dst, a, b *Dense) {
 	if a.rows != b.rows || a.cols != b.cols || dst.rows != a.rows || dst.cols != a.cols {
 		panic("mat: HadamardInto dimension mismatch")
@@ -26,29 +22,63 @@ func HadamardInto(dst, a, b *Dense) {
 	}
 }
 
+// SubInto sets dst = a − b without allocating. dst may alias a or b.
+func SubInto(dst, a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols || dst.rows != a.rows || dst.cols != a.cols {
+		panic("mat: SubInto dimension mismatch")
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+}
+
 // Gram returns m*mᵀ (the m.rows × m.rows Gram matrix of the rows of m),
 // computing only the lower triangle and mirroring it (SYRK): half the
 // flops of a general product.
 func Gram(m *Dense) *Dense {
+	out := NewDense(m.rows, m.rows)
+	GramInto(out, m)
+	return out
+}
+
+// GramInto sets dst = m*mᵀ without allocating. dst must be
+// m.rows × m.rows and must not alias m.
+func GramInto(dst, m *Dense) {
 	n := m.rows
-	out := NewDense(n, n)
-	parallelRows(n, func(i int) {
-		ri := m.Row(i)
-		orow := out.Row(i)
-		for j := 0; j <= i; j++ {
-			orow[j] = Dot(ri, m.Row(j))
+	if dst.rows != n || dst.cols != n {
+		panic("mat: GramInto destination dimension mismatch")
+	}
+	checkNoAlias("GramInto", dst, m)
+	if nw := gomaxprocs(); nw <= 1 || n < 32 {
+		// Sequential: no closure, no goroutines, zero allocations.
+		for i := 0; i < n; i++ {
+			ri := m.Row(i)
+			orow := dst.Row(i)
+			for j := 0; j <= i; j++ {
+				orow[j] = Dot(ri, m.Row(j))
+			}
 		}
-	})
+	} else {
+		parallelRows(n, func(i int) {
+			ri := m.Row(i)
+			orow := dst.Row(i)
+			for j := 0; j <= i; j++ {
+				orow[j] = Dot(ri, m.Row(j))
+			}
+		})
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			out.data[i*n+j] = out.data[j*n+i]
+			dst.data[i*n+j] = dst.data[j*n+i]
 		}
 	}
-	return out
 }
 
 // GramT returns mᵀ*m (the m.cols × m.cols Gram matrix of the columns of m).
 func GramT(m *Dense) *Dense { return MulTA(m, m) }
+
+// GramTInto sets dst = mᵀ*m without allocating.
+func GramTInto(dst, m *Dense) { MulTAInto(dst, m, m) }
 
 // parallelRows runs fn(i) for i in [0, n) across GOMAXPROCS goroutines
 // with a static partition (deterministic assignment).
@@ -83,10 +113,28 @@ func parallelRows(n int, fn func(i int)) {
 // A and G must both be m×d (per-sample inputs and output gradients); the
 // result is m×m, symmetric positive semi-definite.
 func KernelMatrix(a, g *Dense) *Dense {
+	out := NewDense(a.rows, a.rows)
+	KernelMatrixInto(out, a, g)
+	return out
+}
+
+// KernelMatrixInto sets dst = (A Aᵀ) ∘ (G Gᵀ) without allocating beyond
+// two pooled m×m scratch matrices. dst must be m×m and must not alias a
+// or g.
+func KernelMatrixInto(dst, a, g *Dense) {
 	if a.rows != g.rows {
 		panic("mat: KernelMatrix row mismatch")
 	}
-	return Hadamard(Gram(a), Gram(g))
+	m := a.rows
+	if dst.rows != m || dst.cols != m {
+		panic("mat: KernelMatrixInto destination dimension mismatch")
+	}
+	checkNoAlias("KernelMatrixInto", dst, a, g)
+	kg := getDenseRaw(m, m)
+	GramInto(dst, a)
+	GramInto(kg, g)
+	HadamardInto(dst, dst, kg)
+	PutDense(kg)
 }
 
 // KhatriRao returns the row-wise Khatri-Rao product U = A ⊙ G of Eq. (5):
@@ -118,34 +166,53 @@ func KhatriRao(a, g *Dense) *Dense {
 // Kron returns the Kronecker product a ⊗ b.
 func Kron(a, b *Dense) *Dense {
 	out := NewDense(a.rows*b.rows, a.cols*b.cols)
+	KronInto(out, a, b)
+	return out
+}
+
+// KronInto sets dst = a ⊗ b without allocating. dst must be
+// (a.rows·b.rows) × (a.cols·b.cols), is fully overwritten, and must not
+// alias a or b.
+func KronInto(dst, a, b *Dense) {
+	if dst.rows != a.rows*b.rows || dst.cols != a.cols*b.cols {
+		panic("mat: KronInto destination dimension mismatch")
+	}
+	checkNoAlias("KronInto", dst, a, b)
 	for i := 0; i < a.rows; i++ {
 		for j := 0; j < a.cols; j++ {
 			av := a.At(i, j)
-			if av == 0 {
-				continue
-			}
 			for p := 0; p < b.rows; p++ {
-				dst := out.Row(i*b.rows + p)[j*b.cols : (j+1)*b.cols]
+				out := dst.Row(i*b.rows + p)[j*b.cols : (j+1)*b.cols]
 				src := b.Row(p)
 				for q := range src {
-					dst[q] += av * src[q]
+					out[q] = av * src[q]
 				}
 			}
 		}
 	}
-	return out
 }
 
 // KhatriRaoApply computes U*v for U = A ⊙ G without materializing U.
 // v has length a.cols*g.cols; the result has length a.rows. Row i of U is
 // vec(aᵢ gᵢᵀ)ᵀ, so (U v)ᵢ = aᵢᵀ V gᵢ where V is v reshaped a.cols×g.cols.
 func KhatriRaoApply(a, g *Dense, v []float64) []float64 {
+	out := make([]float64, a.rows)
+	KhatriRaoApplyInto(out, a, g, v)
+	return out
+}
+
+// KhatriRaoApplyInto computes dst = U*v for U = A ⊙ G without allocating
+// beyond one pooled g.cols scratch vector. dst must have length a.rows and
+// must not alias v.
+func KhatriRaoApplyInto(dst []float64, a, g *Dense, v []float64) {
 	if a.rows != g.rows || len(v) != a.cols*g.cols {
 		panic("mat: KhatriRaoApply dimension mismatch")
 	}
+	if len(dst) != a.rows {
+		panic("mat: KhatriRaoApplyInto destination length mismatch")
+	}
 	dg := g.cols
-	out := make([]float64, a.rows)
-	tmp := make([]float64, dg)
+	tmp := getFloatsRaw(dg)
 	for i := 0; i < a.rows; i++ {
 		ar, gr := a.Row(i), g.Row(i)
 		for q := range tmp {
@@ -157,20 +224,33 @@ func KhatriRaoApply(a, g *Dense, v []float64) []float64 {
 			}
 			axpy(tmp, v[p*dg:(p+1)*dg], av)
 		}
-		out[i] = Dot(tmp, gr)
+		dst[i] = Dot(tmp, gr)
 	}
-	return out
+	PutFloats(tmp)
 }
 
 // KhatriRaoApplyT computes Uᵀ*y for U = A ⊙ G without materializing U.
 // y has length a.rows; the result has length a.cols*g.cols. Uᵀ y =
 // vec(Σᵢ yᵢ aᵢ gᵢᵀ) = vec(Aᵀ diag(y) G).
 func KhatriRaoApplyT(a, g *Dense, y []float64) []float64 {
+	out := make([]float64, a.cols*g.cols)
+	KhatriRaoApplyTInto(out, a, g, y)
+	return out
+}
+
+// KhatriRaoApplyTInto computes dst = Uᵀ*y without allocating. dst must
+// have length a.cols*g.cols, is fully overwritten, and must not alias y.
+func KhatriRaoApplyTInto(dst []float64, a, g *Dense, y []float64) {
 	if a.rows != g.rows || len(y) != a.rows {
 		panic("mat: KhatriRaoApplyT dimension mismatch")
 	}
-	da, dg := a.cols, g.cols
-	out := make([]float64, da*dg)
+	dg := g.cols
+	if len(dst) != a.cols*dg {
+		panic("mat: KhatriRaoApplyTInto destination length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < a.rows; i++ {
 		yi := y[i]
 		if yi == 0 {
@@ -182,17 +262,47 @@ func KhatriRaoApplyT(a, g *Dense, y []float64) []float64 {
 			if c == 0 {
 				continue
 			}
-			axpy(out[p*dg:(p+1)*dg], gr, c)
+			axpy(dst[p*dg:(p+1)*dg], gr, c)
 		}
 	}
-	return out
 }
 
 // RowNorms returns the Euclidean norm of each row of m.
 func RowNorms(m *Dense) []float64 {
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = Norm2(m.Row(i))
-	}
+	RowNormsInto(out, m)
 	return out
+}
+
+// RowNormsInto fills dst with the Euclidean norm of each row of m without
+// allocating. dst must have length m.rows.
+func RowNormsInto(dst []float64, m *Dense) {
+	if len(dst) != m.rows {
+		panic("mat: RowNormsInto destination length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = Norm2(m.Row(i))
+	}
+}
+
+// VStackInto stacks matrices vertically into dst (all inputs must share
+// dst's column count and their row counts must sum to dst's). dst must not
+// alias any input.
+func VStackInto(dst *Dense, ms ...*Dense) {
+	rows := 0
+	for _, m := range ms {
+		if m.cols != dst.cols {
+			panic("mat: VStackInto column mismatch")
+		}
+		rows += m.rows
+	}
+	if rows != dst.rows {
+		panic("mat: VStackInto row mismatch")
+	}
+	checkNoAlias("VStackInto", dst, ms...)
+	off := 0
+	for _, m := range ms {
+		copy(dst.data[off:], m.data)
+		off += len(m.data)
+	}
 }

@@ -14,12 +14,18 @@ type QRPivot struct {
 // FactorQRPivot computes a column-pivoted QR factorization of a.
 // a is not modified.
 func FactorQRPivot(a *Dense) *QRPivot {
-	m, n := a.rows, a.cols
-	qr := a.Clone()
+	return factorQRPivotInPlace(a.Clone())
+}
+
+// factorQRPivotInPlace factors qr destructively, taking ownership of its
+// storage; the hot path pairs it with putQRPivot to recycle everything.
+func factorQRPivotInPlace(qr *Dense) *QRPivot {
+	m, n := qr.rows, qr.cols
 	k := min(m, n)
-	tau := make([]float64, k)
-	perm := make([]int, n)
-	colNorm := make([]float64, n)
+	tau := GetFloats(k)
+	perm := getInts(n)
+	colNorm := GetFloats(n)
+	defer PutFloats(colNorm)
 	for j := 0; j < n; j++ {
 		perm[j] = j
 		colNorm[j] = colNormSq(qr, j, 0)
@@ -110,14 +116,28 @@ func swapCols(m *Dense, a, b int) {
 	}
 }
 
+// putQRPivot recycles a factorization built by factorQRPivotInPlace. Only
+// safe when nothing returned from the factorization object escapes.
+func putQRPivot(f *QRPivot) {
+	PutDense(f.qr)
+	PutFloats(f.tau)
+	putInts(f.perm)
+	f.qr, f.tau, f.perm = nil, nil, nil
+}
+
 // Perm returns the column permutation (position -> original column index).
 func (f *QRPivot) Perm() []int { return f.perm }
 
 // R returns the upper-triangular factor (k×n, k = min(m,n)).
 func (f *QRPivot) R() *Dense {
 	m, n := f.qr.rows, f.qr.cols
-	k := min(m, n)
-	r := NewDense(k, n)
+	return f.rInto(NewDense(min(m, n), n))
+}
+
+// rInto writes the upper-triangular factor into r (pre-zeroed k×n).
+func (f *QRPivot) rInto(r *Dense) *Dense {
+	n := f.qr.cols
+	k := min(f.qr.rows, n)
 	for i := 0; i < k; i++ {
 		for j := i; j < n; j++ {
 			r.Set(i, j, f.qr.At(i, j))
@@ -168,18 +188,22 @@ func InterpolativeDecomp(q *Dense, r int) (p *Dense, s []int) {
 	if r <= 0 {
 		return NewDense(m, 0), nil
 	}
-	f := FactorQRPivot(q.T()) // column ID of qᵀ ≡ row ID of q
+	qt := getDenseRaw(q.cols, q.rows)
+	q.TInto(qt)
+	// Column ID of qᵀ ≡ row ID of q; the factorization takes ownership of
+	// qt and putQRPivot below recycles it.
+	f := factorQRPivotInPlace(qt)
 	perm := f.perm
 	s = append([]int(nil), perm[:r]...)
 
 	// R = [R11 R12] with R11 r×r upper-triangular. The interpolation
 	// coefficients are T = R11⁻¹ R12 (r × (m-r)), giving
 	// qᵀ Π ≈ (qᵀ)_S [I T]  ⇒  q ≈ Πᵀ [I; Tᵀ] q_S.
-	rm := f.R()
-	t := NewDense(r, m-r)
+	rm := f.rInto(GetDense(min(qt.rows, qt.cols), qt.cols))
+	t := GetDense(r, m-r)
+	col := GetFloats(r)
 	for j := 0; j < m-r; j++ {
 		// Back-substitute R11 * x = R12[:, j].
-		col := make([]float64, r)
 		for i := 0; i < r; i++ {
 			col[i] = rm.At(i, r+j)
 		}
@@ -196,6 +220,8 @@ func InterpolativeDecomp(q *Dense, r int) (p *Dense, s []int) {
 			t.Set(i, j, sum/d)
 		}
 	}
+	PutFloats(col)
+	PutDense(rm)
 	// Assemble P: row perm[k] of P is e_k for k<r, and row perm[r+j] is
 	// the j-th column of T.
 	p = NewDense(m, r)
@@ -208,5 +234,7 @@ func InterpolativeDecomp(q *Dense, r int) (p *Dense, s []int) {
 			dst[k] = t.At(k, j)
 		}
 	}
+	PutDense(t)
+	putQRPivot(f)
 	return p, s
 }

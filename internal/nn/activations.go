@@ -9,6 +9,8 @@ import (
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask *mat.Dense
+	out  *mat.Dense
+	gout *mat.Dense
 }
 
 // NewReLU returns a ReLU layer.
@@ -22,13 +24,17 @@ func (r *ReLU) Build(in Shape, _ *mat.RNG) Shape { return in }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
-	out := mat.NewDense(x.Rows(), x.Cols())
-	r.mask = mat.NewDense(x.Rows(), x.Cols())
+	out := mat.EnsureDense(r.out, x.Rows(), x.Cols())
+	r.out = out
+	r.mask = mat.EnsureDense(r.mask, x.Rows(), x.Cols())
 	xd, od, md := x.Data(), out.Data(), r.mask.Data()
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
 			md[i] = 1
+		} else {
+			od[i] = 0
+			md[i] = 0
 		}
 	}
 	return out
@@ -36,7 +42,9 @@ func (r *ReLU) Forward(x *mat.Dense, train bool) *mat.Dense {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *mat.Dense) *mat.Dense {
-	return mat.Hadamard(grad, r.mask)
+	r.gout = mat.EnsureDense(r.gout, grad.Rows(), grad.Cols())
+	mat.HadamardInto(r.gout, grad, r.mask)
+	return r.gout
 }
 
 // Params implements Layer.
@@ -45,7 +53,8 @@ func (r *ReLU) Params() []*Param { return nil }
 // Tanh is the hyperbolic-tangent activation (used by the KBFGS convergence
 // theory, which assumes bounded activations).
 type Tanh struct {
-	out *mat.Dense
+	out  *mat.Dense
+	gout *mat.Dense
 }
 
 // NewTanh returns a Tanh layer.
@@ -59,7 +68,7 @@ func (t *Tanh) Build(in Shape, _ *mat.RNG) Shape { return in }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *mat.Dense, train bool) *mat.Dense {
-	out := mat.NewDense(x.Rows(), x.Cols())
+	out := mat.EnsureDense(t.out, x.Rows(), x.Cols())
 	xd, od := x.Data(), out.Data()
 	for i, v := range xd {
 		od[i] = math.Tanh(v)
@@ -70,7 +79,8 @@ func (t *Tanh) Forward(x *mat.Dense, train bool) *mat.Dense {
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *mat.Dense) *mat.Dense {
-	out := mat.NewDense(grad.Rows(), grad.Cols())
+	t.gout = mat.EnsureDense(t.gout, grad.Rows(), grad.Cols())
+	out := t.gout
 	gd, od, yd := grad.Data(), out.Data(), t.out.Data()
 	for i := range gd {
 		od[i] = gd[i] * (1 - yd[i]*yd[i])
@@ -83,7 +93,8 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation, used by segmentation heads.
 type Sigmoid struct {
-	out *mat.Dense
+	out  *mat.Dense
+	gout *mat.Dense
 }
 
 // NewSigmoid returns a Sigmoid layer.
@@ -97,7 +108,7 @@ func (s *Sigmoid) Build(in Shape, _ *mat.RNG) Shape { return in }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *mat.Dense, train bool) *mat.Dense {
-	out := mat.NewDense(x.Rows(), x.Cols())
+	out := mat.EnsureDense(s.out, x.Rows(), x.Cols())
 	xd, od := x.Data(), out.Data()
 	for i, v := range xd {
 		od[i] = 1 / (1 + math.Exp(-v))
@@ -108,7 +119,8 @@ func (s *Sigmoid) Forward(x *mat.Dense, train bool) *mat.Dense {
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *mat.Dense) *mat.Dense {
-	out := mat.NewDense(grad.Rows(), grad.Cols())
+	s.gout = mat.EnsureDense(s.gout, grad.Rows(), grad.Cols())
+	out := s.gout
 	gd, od, yd := grad.Data(), out.Data(), s.out.Data()
 	for i := range gd {
 		od[i] = gd[i] * yd[i] * (1 - yd[i])

@@ -23,6 +23,10 @@ type BatchNorm2d struct {
 	xhat   *mat.Dense
 	invStd []float64
 	nElem  int
+
+	// persistent output buffers, reused across iterations
+	y    *mat.Dense
+	gout *mat.Dense
 }
 
 // NewBatchNorm2d returns a batch-norm layer with standard defaults.
@@ -50,10 +54,11 @@ func (b *BatchNorm2d) Build(in Shape, _ *mat.RNG) Shape {
 func (b *BatchNorm2d) Forward(x *mat.Dense, train bool) *mat.Dense {
 	m := x.Rows()
 	hw := b.in.H * b.in.W
-	y := mat.NewDense(m, x.Cols())
+	b.y = mat.EnsureDense(b.y, m, x.Cols())
+	y := b.y // fully overwritten channel by channel
 	if train {
-		b.xhat = mat.NewDense(m, x.Cols())
-		b.invStd = make([]float64, b.in.C)
+		b.xhat = mat.EnsureDense(b.xhat, m, x.Cols())
+		b.invStd = mat.EnsureFloats(b.invStd, b.in.C)
 		b.nElem = m * hw
 	}
 	for c := 0; c < b.in.C; c++ {
@@ -111,7 +116,8 @@ func (b *BatchNorm2d) Backward(grad *mat.Dense) *mat.Dense {
 	}
 	m := grad.Rows()
 	hw := b.in.H * b.in.W
-	out := mat.NewDense(m, grad.Cols())
+	b.gout = mat.EnsureDense(b.gout, m, grad.Cols())
+	out := b.gout // fully overwritten channel by channel
 	n := float64(b.nElem)
 	for c := 0; c < b.in.C; c++ {
 		var sumG, sumGH float64

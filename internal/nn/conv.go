@@ -40,6 +40,20 @@ type Conv2d struct {
 	lastX   *mat.Dense // batch input (m × in.Numel())
 	capA    *mat.Dense
 	capG    *mat.Dense
+
+	// Persistent pooled workspaces, reused across iterations (resized by
+	// EnsureDense when the batch size changes). xbar is built once in
+	// Forward and reused by Backward, which both removes the per-sample
+	// im2col recomputation the seed implementation did and lets the whole
+	// backward pass run as two stacked GEMMs.
+	xbar    *mat.Dense // (m·T) × dIn unfolded batch
+	ys      *mat.Dense // (m·T) × OutC forward product
+	gy      *mat.Dense // (m·T) × OutC backward signal
+	dcols   *mat.Dense // (m·T) × patchLen input-gradient columns
+	wTmp    *mat.Dense // dIn × OutC weight-gradient staging
+	y       *mat.Dense // m × out.Numel() forward output
+	gin     *mat.Dense // m × in.Numel() input gradient
+	wNoBias *mat.Dense // zero-copy row-prefix view of Wc without the bias row
 }
 
 // NewConv2d returns an unbuilt conv layer (square kernel k, given stride
@@ -83,9 +97,11 @@ func (c *Conv2d) Forward(x *mat.Dense, train bool) *mat.Dense {
 	c.lastX = x
 	tt := c.out.H * c.out.W
 	pl := c.shape.PatchLen()
-	y := mat.NewDense(m, c.out.Numel())
+	c.y = mat.EnsureDense(c.y, m, c.out.Numel())
+	y := c.y // fully overwritten below
 
-	xbar := mat.NewDense(m*tt, c.dIn)
+	c.xbar = mat.EnsureDense(c.xbar, m*tt, c.dIn)
+	xbar := c.xbar
 	parallelSamples(m, func(i int, cols []float64) {
 		c.shape.Im2col(x.Row(i), cols)
 		for p := 0; p < tt; p++ {
@@ -95,7 +111,8 @@ func (c *Conv2d) Forward(x *mat.Dense, train bool) *mat.Dense {
 		}
 	}, tt*pl)
 
-	ys := mat.Mul(xbar, c.wc.W) // (m·T) × OutC, parallel GEMM
+	c.ys = mat.EnsureDense(c.ys, m*tt, c.OutC)
+	ys := mat.MulInto(c.ys, xbar, c.wc.W) // (m·T) × OutC, parallel GEMM
 	parallelSamples(m, func(i int, _ []float64) {
 		yrow := y.Row(i)
 		for p := 0; p < tt; p++ {
@@ -120,10 +137,11 @@ func parallelSamples(m int, fn func(i int, scratch []float64), scratchLen int) {
 		nw = m
 	}
 	if nw <= 1 {
-		scratch := make([]float64, scratchLen)
+		scratch := mat.GetFloats(scratchLen)
 		for i := 0; i < m; i++ {
 			fn(i, scratch)
 		}
+		mat.PutFloats(scratch)
 		return
 	}
 	var wg sync.WaitGroup
@@ -133,120 +151,96 @@ func parallelSamples(m int, fn func(i int, scratch []float64), scratchLen int) {
 		hi := (w + 1) * m / nw
 		go func(lo, hi int) {
 			defer wg.Done()
-			scratch := make([]float64, scratchLen)
+			scratch := mat.GetFloats(scratchLen)
 			for i := lo; i < hi; i++ {
 				fn(i, scratch)
 			}
+			mat.PutFloats(scratch)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The unfolded batch X̄ persisted by Forward
+// turns the whole pass into two stacked GEMMs — X̄ᵀḠ for the weight
+// gradient and ḠWᵀ for the input-gradient columns — instead of the seed's
+// per-sample im2col recomputation and per-sample small products.
 func (c *Conv2d) Backward(grad *mat.Dense) *mat.Dense {
-	if c.lastX == nil {
+	if c.lastX == nil || c.xbar == nil {
 		panic("nn: Conv2d.Backward before Forward")
 	}
 	m := grad.Rows()
 	tt := c.out.H * c.out.W
 	pl := c.shape.PatchLen()
-	gin := mat.NewDense(m, c.in.Numel())
+	c.gin = mat.EnsureDense(c.gin, m, c.in.Numel())
+	gin := c.gin
+	gin.Zero() // Col2im below accumulates
+
+	// Reshape the incoming NCHW gradient to the stacked (m·T)×OutC layout.
+	c.gy = mat.EnsureDense(c.gy, m*tt, c.OutC)
+	gy := c.gy
+	parallelSamples(m, func(i int, _ []float64) {
+		grow := grad.Row(i)
+		for p := 0; p < tt; p++ {
+			gr := gy.Row(i*tt + p)
+			for ch := 0; ch < c.OutC; ch++ {
+				gr[ch] = grow[ch*tt+p]
+			}
+		}
+	}, 0)
+
+	// Weight gradient in one stacked product: X̄ᵀḠ = Σᵢ X̄ᵢᵀ Ḡᵢ.
+	c.wTmp = mat.EnsureDense(c.wTmp, c.dIn, c.OutC)
+	mat.MulTAInto(c.wTmp, c.xbar, gy)
+	c.wc.Grad.AddMat(c.wTmp)
+
+	// Capture per-sample factors under the sum convention (G scaled by
+	// batch size m): spatially summed (Sec. IV) or one row per position
+	// when ExpandSpatial is set.
 	if c.capture {
 		if c.ExpandSpatial {
-			c.capA = mat.NewDense(m*tt, c.dIn)
-			c.capG = mat.NewDense(m*tt, c.OutC)
+			c.capA = mat.EnsureDense(c.capA, m*tt, c.dIn)
+			c.capA.CopyFrom(c.xbar)
+			c.capG = mat.EnsureDense(c.capG, m*tt, c.OutC)
+			c.capG.CopyFrom(gy)
+			c.capG.Scale(float64(m))
 		} else {
-			c.capA = mat.NewDense(m, c.dIn)
-			c.capG = mat.NewDense(m, c.OutC)
+			c.capA = mat.EnsureDense(c.capA, m, c.dIn)
+			c.capG = mat.EnsureDense(c.capG, m, c.OutC)
+			capA, capG := c.capA, c.capG
+			capA.Zero()
+			capG.Zero()
+			xbar := c.xbar
+			parallelSamples(m, func(i int, _ []float64) {
+				ca, cg := capA.Row(i), capG.Row(i)
+				for p := 0; p < tt; p++ {
+					xr, gr := xbar.Row(i*tt+p), gy.Row(i*tt+p)
+					for j := range ca {
+						ca[j] += xr[j]
+					}
+					for j := range cg {
+						cg[j] += gr[j] * float64(m)
+					}
+				}
+			}, 0)
 		}
-	}
-	wNoBias := mat.NewDense(pl, c.OutC)
-	for p := 0; p < pl; p++ {
-		copy(wNoBias.Row(p), c.wc.W.Row(p))
 	}
 
-	// Samples are independent: parallelize with one scratch set and one
-	// partial weight gradient per worker, reduced at the end. Capture and
-	// gin rows are sample-disjoint, so those writes need no coordination.
-	nw := runtime.GOMAXPROCS(0)
-	if nw > m {
-		nw = m
+	// Input gradient: one stacked ḠWᵀ (bias row dropped via a zero-copy
+	// row-prefix view of Wc), then per-sample col2im folds. Col2im
+	// accumulates, which is why gin must start zeroed.
+	if c.wNoBias == nil {
+		// Wc's backing array is stable for the life of the layer, so the
+		// bias-free view is built once.
+		c.wNoBias = mat.NewDenseData(pl, c.OutC, c.wc.W.Data()[:pl*c.OutC])
 	}
-	if nw < 1 {
-		nw = 1
-	}
-	partials := make([]*mat.Dense, nw)
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		lo := w * m / nw
-		hi := (w + 1) * m / nw
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			cols := make([]float64, tt*pl)
-			xbar := mat.NewDense(tt, c.dIn)
-			gy := mat.NewDense(tt, c.OutC)
-			wGrad := mat.NewDense(c.dIn, c.OutC)
-			partials[w] = wGrad
-			for i := lo; i < hi; i++ {
-				// Rebuild X̄ for sample i (recompute beats storing m copies).
-				c.shape.Im2col(c.lastX.Row(i), cols)
-				for p := 0; p < tt; p++ {
-					row := xbar.Row(p)
-					copy(row, cols[p*pl:(p+1)*pl])
-					row[pl] = 1
-				}
-				// Reshape incoming NCHW gradient to T×OutC.
-				grow := grad.Row(i)
-				for p := 0; p < tt; p++ {
-					gr := gy.Row(p)
-					for ch := 0; ch < c.OutC; ch++ {
-						gr[ch] = grow[ch*tt+p]
-					}
-				}
-				// Weight gradient accumulation: X̄ᵀ Ḡ into the partial.
-				wGrad.AddMat(mat.MulTA(xbar, gy))
-				// Capture per-sample factors under the sum convention (G
-				// scaled by batch size m): spatially summed (Sec. IV) or one
-				// row per position when ExpandSpatial is set.
-				if c.capture {
-					if c.ExpandSpatial {
-						for p := 0; p < tt; p++ {
-							copy(c.capA.Row(i*tt+p), xbar.Row(p))
-							cg := c.capG.Row(i*tt + p)
-							gr := gy.Row(p)
-							for j := range cg {
-								cg[j] = gr[j] * float64(m)
-							}
-						}
-					} else {
-						ca, cg := c.capA.Row(i), c.capG.Row(i)
-						for p := 0; p < tt; p++ {
-							xr, gr := xbar.Row(p), gy.Row(p)
-							for j := range ca {
-								ca[j] += xr[j]
-							}
-							for j := range cg {
-								cg[j] += gr[j] * float64(m)
-							}
-						}
-					}
-				}
-				// Input gradient: fold Ḡ Wᵀ back through col2im.
-				dcols := mat.MulTB(gy, wNoBias) // T × patchLen
-				c.shape.Col2im(dcols.Data(), gin.Row(i))
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	// Reduce the partial weight gradients in worker order: with the static
-	// partition the grouping is fixed for a given GOMAXPROCS, so results
-	// are bitwise reproducible run-to-run on the same machine.
-	for _, p := range partials {
-		if p != nil {
-			c.wc.Grad.AddMat(p)
-		}
-	}
+	wNoBias := c.wNoBias
+	c.dcols = mat.EnsureDense(c.dcols, m*tt, pl)
+	mat.MulTBInto(c.dcols, gy, wNoBias)
+	dcols := c.dcols
+	parallelSamples(m, func(i int, _ []float64) {
+		c.shape.Col2im(dcols.Data()[i*tt*pl:(i+1)*tt*pl], gin.Row(i))
+	}, 0)
 	return gin
 }
 

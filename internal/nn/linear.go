@@ -14,9 +14,13 @@ type Linear struct {
 
 	wc      *Param
 	capture bool
-	lastA   *mat.Dense // m×(in+1), bias-augmented input
+	lastA   *mat.Dense // m×(in+1), bias-augmented input (persistent workspace)
 	capA    *mat.Dense
 	capG    *mat.Dense
+	wTmp    *mat.Dense // (in+1)×out weight-gradient staging
+	giTmp   *mat.Dense // m×(in+1) input-gradient staging
+	y       *mat.Dense // m×out forward output
+	gout    *mat.Dense // m×in input gradient
 	name    string
 }
 
@@ -42,13 +46,14 @@ func (l *Linear) Build(in Shape, rng *mat.RNG) Shape {
 // Forward implements Layer.
 func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
 	m := x.Rows()
-	a := mat.NewDense(m, l.In+1)
+	l.lastA = mat.EnsureDense(l.lastA, m, l.In+1)
+	a := l.lastA
 	for i := 0; i < m; i++ {
 		copy(a.Row(i), x.Row(i))
 		a.Row(i)[l.In] = 1
 	}
-	l.lastA = a
-	return mat.Mul(a, l.wc.W)
+	l.y = mat.EnsureDense(l.y, m, l.Out)
+	return mat.MulInto(l.y, a, l.wc.W)
 }
 
 // Backward implements Layer: accumulates the weight gradient AᵀG/m and
@@ -58,18 +63,25 @@ func (l *Linear) Backward(grad *mat.Dense) *mat.Dense {
 		panic("nn: Linear.Backward before Forward")
 	}
 	m := grad.Rows()
-	// Weight gradient of the mean loss: Aᵀ grad.
-	l.wc.Grad.AddMat(mat.MulTA(l.lastA, grad))
+	// Weight gradient of the mean loss: Aᵀ grad, staged in a persistent
+	// workspace so the steady state allocates nothing here.
+	l.wTmp = mat.EnsureDense(l.wTmp, l.In+1, l.Out)
+	mat.MulTAInto(l.wTmp, l.lastA, grad)
+	l.wc.Grad.AddMat(l.wTmp)
 	if l.capture {
 		l.capA = l.lastA
 		// Per-sample G under the sum convention: m × the mean-loss signal.
-		l.capG = grad.Clone().Scale(float64(m))
+		l.capG = mat.EnsureDense(l.capG, m, l.Out)
+		l.capG.CopyFrom(grad)
+		l.capG.Scale(float64(m))
 	}
 	// Input gradient: grad * Wcᵀ, dropping the bias row.
-	gin := mat.MulTB(grad, l.wc.W)
-	out := mat.NewDense(m, l.In)
+	l.giTmp = mat.EnsureDense(l.giTmp, m, l.In+1)
+	mat.MulTBInto(l.giTmp, grad, l.wc.W)
+	l.gout = mat.EnsureDense(l.gout, m, l.In)
+	out := l.gout // fully overwritten row by row
 	for i := 0; i < m; i++ {
-		copy(out.Row(i), gin.Row(i)[:l.In])
+		copy(out.Row(i), l.giTmp.Row(i)[:l.In])
 	}
 	return out
 }

@@ -88,6 +88,7 @@ type Network struct {
 	inShape Shape
 	out     Shape
 	built   bool
+	params  []*Param // cached Params() result (layer stack is immutable)
 }
 
 // NewNetwork builds the network for the given input shape, initializing all
@@ -127,13 +128,16 @@ func (n *Network) Backward(grad *mat.Dense) *mat.Dense {
 	return grad
 }
 
-// Params returns every trainable parameter, depth-first.
+// Params returns every trainable parameter, depth-first. The slice is
+// built once and cached — the layer stack is fixed after NewNetwork, and
+// callers (ZeroGrad, optimizer steps) hit this every iteration.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
 // ZeroGrad clears all parameter gradients.

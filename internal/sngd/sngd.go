@@ -44,6 +44,12 @@ type SNGD struct {
 type sngdState struct {
 	aGlob, gGlob *mat.Dense // gathered global factors (normalized)
 	kinv         *mat.Dense // explicit inverse, or the damped kernel under UseCG
+
+	// Persistent workspaces reused across iterations: normalized local
+	// factor copies (handed to the communicator, so owned here rather than
+	// pooled) and the Precondition scratch vectors.
+	an, gn     *mat.Dense
+	y, z, corr []float64
 }
 
 // New builds an SNGD preconditioner over the network's kernel layers.
@@ -87,17 +93,21 @@ func (s *SNGD) Update() {
 		// Normalize so the kernel represents the mean Fisher: scaling both
 		// factors by mGlob^(-1/4) scales K by 1/mGlob and U by 1/√mGlob.
 		scale := math.Pow(float64(mGlob), -0.25)
-		an := a.Clone().Scale(scale)
-		gn := g.Clone().Scale(scale)
+		st := s.state[i]
+		st.an = mat.EnsureDense(st.an, a.Rows(), a.Cols())
+		st.an.CopyFrom(a)
+		an := st.an.Scale(scale)
+		st.gn = mat.EnsureDense(st.gn, g.Rows(), g.Cols())
+		st.gn.CopyFrom(g)
+		gn := st.gn.Scale(scale)
 
 		// (2) Gather A_i, G_i from all workers.
 		t0 := time.Now()
 		aParts := s.comm.AllGatherMat(an)
 		gParts := s.comm.AllGatherMat(gn)
 		s.record(dist.PhaseGather, i, t0)
-		st := s.state[i]
-		st.aGlob = mat.VStack(aParts...)
-		st.gGlob = mat.VStack(gParts...)
+		st.aGlob = stackInto(st.aGlob, aParts)
+		st.gGlob = stackInto(st.gGlob, gParts)
 
 		// (3) Kernel inversion on the owning worker (or, under UseCG, just
 		// the damped kernel assembly — solves happen lazily via CG).
@@ -105,11 +115,18 @@ func (s *SNGD) Update() {
 		var kinv *mat.Dense
 		if s.comm.ID() == owner {
 			t0 = time.Now()
-			k := mat.KernelMatrix(st.aGlob, st.gGlob).AddDiag(s.Damping)
+			mg := st.aGlob.Rows()
+			k := mat.GetDense(mg, mg)
+			mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
+			k.AddDiag(s.Damping)
 			if s.UseCG {
-				kinv = k
+				// k escapes into long-lived state under CG: hand it over
+				// un-pooled so the state never holds pool-owned storage.
+				kinv = k.Clone()
+				mat.PutDense(k)
 			} else {
 				kinv = mat.InvSPDDamped(k, 0)
+				mat.PutDense(k)
 			}
 			s.record(dist.PhaseInvert, i, t0)
 		}
@@ -132,7 +149,9 @@ func (s *SNGD) Precondition() {
 		w := l.Weight()
 		g := w.Grad
 		// y = U g (m-vector), z = K⁻¹ y, corr = Uᵀ z.
-		y := mat.KhatriRaoApply(st.aGlob, st.gGlob, g.Data())
+		st.y = mat.EnsureFloats(st.y, st.aGlob.Rows())
+		mat.KhatriRaoApplyInto(st.y, st.aGlob, st.gGlob, g.Data())
+		y := st.y
 		var z []float64
 		if s.UseCG {
 			tol := s.CGTol
@@ -141,15 +160,31 @@ func (s *SNGD) Precondition() {
 			}
 			z, _ = mat.CG(st.kinv, y, tol, 20*len(y))
 		} else {
-			z = mat.MulVec(st.kinv, y)
+			st.z = mat.EnsureFloats(st.z, st.kinv.Rows())
+			mat.MulVecInto(st.z, st.kinv, y)
+			z = st.z
 		}
-		corr := mat.KhatriRaoApplyT(st.aGlob, st.gGlob, z)
+		st.corr = mat.EnsureFloats(st.corr, st.aGlob.Cols()*st.gGlob.Cols())
+		mat.KhatriRaoApplyTInto(st.corr, st.aGlob, st.gGlob, z)
+		corr := st.corr
 		gd := g.Data()
 		inv := 1 / s.Damping
 		for j := range gd {
 			gd[j] = inv * (gd[j] - corr[j])
 		}
 	}
+}
+
+// stackInto vertically stacks parts into a persistent, pool-backed
+// destination (the workspace analogue of mat.VStack).
+func stackInto(dst *mat.Dense, parts []*mat.Dense) *mat.Dense {
+	rows := 0
+	for _, p := range parts {
+		rows += p.Rows()
+	}
+	dst = mat.EnsureDense(dst, rows, parts[0].Cols())
+	mat.VStackInto(dst, parts...)
+	return dst
 }
 
 // LocalSNGD is the SENG-style variant the paper's footnote 4 discusses:
@@ -187,10 +222,18 @@ func (s *LocalSNGD) Update() {
 		}
 		scale := math.Pow(float64(a.Rows()), -0.25)
 		st := s.state[i]
-		st.aGlob = a.Clone().Scale(scale)
-		st.gGlob = g.Clone().Scale(scale)
-		k := mat.KernelMatrix(st.aGlob, st.gGlob).AddDiag(s.Damping)
+		st.aGlob = mat.EnsureDense(st.aGlob, a.Rows(), a.Cols())
+		st.aGlob.CopyFrom(a)
+		st.aGlob.Scale(scale)
+		st.gGlob = mat.EnsureDense(st.gGlob, g.Rows(), g.Cols())
+		st.gGlob.CopyFrom(g)
+		st.gGlob.Scale(scale)
+		m := a.Rows()
+		k := mat.GetDense(m, m)
+		mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
+		k.AddDiag(s.Damping)
 		st.kinv = mat.InvSPDDamped(k, 0)
+		mat.PutDense(k)
 	}
 }
 
@@ -202,9 +245,13 @@ func (s *LocalSNGD) Precondition() {
 			continue
 		}
 		g := l.Weight().Grad
-		y := mat.KhatriRaoApply(st.aGlob, st.gGlob, g.Data())
-		z := mat.MulVec(st.kinv, y)
-		corr := mat.KhatriRaoApplyT(st.aGlob, st.gGlob, z)
+		st.y = mat.EnsureFloats(st.y, st.aGlob.Rows())
+		mat.KhatriRaoApplyInto(st.y, st.aGlob, st.gGlob, g.Data())
+		st.z = mat.EnsureFloats(st.z, st.kinv.Rows())
+		mat.MulVecInto(st.z, st.kinv, st.y)
+		st.corr = mat.EnsureFloats(st.corr, st.aGlob.Cols()*st.gGlob.Cols())
+		mat.KhatriRaoApplyTInto(st.corr, st.aGlob, st.gGlob, st.z)
+		corr := st.corr
 		gd := g.Data()
 		inv := 1 / s.Damping
 		for j := range gd {
