@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race vet cover chaos bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -17,6 +17,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection and recovery suite under the race detector: checkpoint
+# round-trips, injected worker panics recovered via RunElastic, corrupted
+# snapshots falling back, the barrier watchdog, and chaos determinism.
+chaos:
+	$(GO) test -race ./internal/ckpt/ -count=1
+	$(GO) test -race ./internal/dist/ -run 'TestFaultInjector|TestBarrierWatchdog|TestClusterReset|TestAsWorker' -count=1
+	$(GO) test -race ./internal/train/ -run 'TestElastic|TestNonfinite|TestSharding' -count=1
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -66,6 +68,11 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write Prometheus text-format metrics to this file")
 		eventsPath  = flag.String("events", "", "write the compact JSONL span/event log to this file")
 		teleSummary = flag.Bool("telemetry-summary", false, "print the top phase-time table at exit")
+
+		ckptDir     = flag.String("checkpoint-dir", "", "write fault-tolerant checkpoints to this directory (enables elastic recovery)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
+		resume      = flag.Bool("resume", false, "resume from the latest good checkpoint in -checkpoint-dir")
+		faultInject = flag.String("fault-inject", "", "chaos spec, comma-separated: panic:RANK@STEP | bitflip:PROB | delay:PROB@DUR (e.g. panic:1@40,delay:0.1@5ms)")
 	)
 	flag.Parse()
 
@@ -107,10 +114,45 @@ func main() {
 	}
 	pre := precondFactory(*optimizer, *damping, *rankFrac, *eta)
 
+	plan, err := parseFaultSpec(*faultInject)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: -fault-inject: %v\n", err)
+		os.Exit(2)
+	}
+	if plan != nil {
+		plan.Seed = *seed
+	}
+	if plan != nil && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "hylo-train: -fault-inject requires -checkpoint-dir (recovery needs somewhere to restore from)")
+		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "hylo-train: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+
 	var res train.Result
-	if *workers > 1 {
+	switch {
+	case *ckptDir != "":
+		// Checkpointed path: the elastic driver handles any worker count
+		// (P=1 included) and recovers from injected or organic failures.
+		plan := plan
+		if plan == nil {
+			plan = &dist.FaultPlan{Seed: *seed, PanicStep: -1}
+		}
+		res, err = train.RunElastic(*workers, cfg, train.ElasticConfig{
+			Dir:    *ckptDir,
+			Every:  *ckptEvery,
+			Resume: *resume,
+			Faults: plan,
+		}, build, trainSet, testSet, task, pre, target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+			os.Exit(1)
+		}
+	case *workers > 1:
 		res = train.RunDistributed(*workers, cfg, build, trainSet, testSet, task, pre, target)
-	} else {
+	default:
 		res = train.Run(cfg, build, trainSet, testSet, task, pre, target)
 	}
 
@@ -170,6 +212,62 @@ func validateFlags(epochs, batch, workers, freq int, rankFrac float64) error {
 		return fmt.Errorf("-rank-frac must be in (0, 1] (got %g)", rankFrac)
 	}
 	return nil
+}
+
+// parseFaultSpec parses the -fault-inject chaos grammar: comma-separated
+// directives of the form panic:RANK@STEP, bitflip:PROB, delay:PROB@DUR.
+// An empty spec returns (nil, nil) — chaos disabled.
+func parseFaultSpec(spec string) (*dist.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &dist.FaultPlan{PanicStep: -1}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kind, arg, ok := strings.Cut(part, ":")
+		if !ok || arg == "" {
+			return nil, fmt.Errorf("%q: want KIND:ARGS", part)
+		}
+		switch kind {
+		case "panic":
+			rs, ss, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want panic:RANK@STEP", part)
+			}
+			rank, err := strconv.Atoi(rs)
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("%q: bad rank %q", part, rs)
+			}
+			step, err := strconv.Atoi(ss)
+			if err != nil || step < 0 {
+				return nil, fmt.Errorf("%q: bad step %q", part, ss)
+			}
+			plan.PanicRank, plan.PanicStep = rank, step
+		case "bitflip":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
+			}
+			plan.BitFlipProb = p
+		case "delay":
+			ps, ds, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want delay:PROB@DUR", part)
+			}
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("%q: bad duration %q", part, ds)
+			}
+			plan.StragglerProb, plan.StragglerDelay = p, d
+		default:
+			return nil, fmt.Errorf("%q: unknown fault kind %q", part, kind)
+		}
+	}
+	return plan, nil
 }
 
 func buildWorkload(model string, classes, perClass int, seed uint64) (

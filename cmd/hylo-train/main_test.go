@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/mat"
@@ -78,6 +79,57 @@ func TestPrecondFactoryAllOptimizers(t *testing.T) {
 		pre := f(net, dist.Local(), nil, mat.NewRNG(3))
 		if pre == nil || pre.Name() == "" {
 			t.Fatalf("%s: factory produced invalid preconditioner", o)
+		}
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	if plan, err := parseFaultSpec(""); plan != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v); want (nil, nil)", plan, err)
+	}
+
+	plan, err := parseFaultSpec("panic:1@40,bitflip:0.01,delay:0.1@5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanicRank != 1 || plan.PanicStep != 40 {
+		t.Fatalf("panic = rank %d step %d; want 1@40", plan.PanicRank, plan.PanicStep)
+	}
+	if plan.BitFlipProb != 0.01 {
+		t.Fatalf("bitflip prob = %v; want 0.01", plan.BitFlipProb)
+	}
+	if plan.StragglerProb != 0.1 || plan.StragglerDelay != 5*time.Millisecond {
+		t.Fatalf("delay = %v@%v; want 0.1@5ms", plan.StragglerProb, plan.StragglerDelay)
+	}
+	if !plan.Enabled() {
+		t.Fatal("parsed plan reports disabled")
+	}
+
+	// A spec without panic must leave panic injection off.
+	plan, err = parseFaultSpec("bitflip:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanicStep >= 0 {
+		t.Fatalf("panic step = %d; want negative (disabled)", plan.PanicStep)
+	}
+
+	bad := []string{
+		"panic:1",          // missing @STEP
+		"panic:x@4",        // bad rank
+		"panic:1@-2",       // negative step
+		"bitflip:0",        // prob out of range
+		"bitflip:1.5",      // prob out of range
+		"delay:0.1",        // missing duration
+		"delay:0.1@bogus",  // bad duration
+		"delay:2@5ms",      // prob out of range
+		"gremlins:1",       // unknown kind
+		"panic",            // no args
+		"panic:1@40,oops:", // trailing bad directive
+	}
+	for _, spec := range bad {
+		if _, err := parseFaultSpec(spec); err == nil {
+			t.Errorf("spec %q: expected error, got nil", spec)
 		}
 	}
 }

@@ -1,0 +1,315 @@
+// Package ckpt provides fault-tolerant training checkpoints: versioned,
+// checksummed snapshots written atomically (temp file + rename) with
+// keep-last-K retention. Corruption — a torn write, a flipped bit, a
+// truncated file — is detected by a CRC over the payload at load time, and
+// LoadLatest transparently falls back to the previous good snapshot, so a
+// crash during checkpointing can never strand a run.
+//
+// A Snapshot carries the trainer-loop state (epoch, step, batch iterator,
+// early-stopping history) plus one opaque section bundle per rank, built
+// from StateSaver implementations (optimizers, preconditioners, RNG
+// streams). Rank 0 owns the file: per-rank bundles are gathered through
+// the cluster's collectives and written in one atomic operation, so a
+// checkpoint is always globally consistent — there is no per-rank file to
+// half-update.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Version is the current checkpoint format version. Readers reject
+// snapshots from a newer format; older versions are migrated when
+// possible (none exist yet).
+const Version = 1
+
+// magic identifies a HyLo checkpoint file (8 bytes, format v1).
+var magic = [8]byte{'H', 'Y', 'L', 'O', 'C', 'K', 'P', '1'}
+
+// ErrNoCheckpoint is returned by LoadLatest when the directory holds no
+// loadable snapshot at all.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// StateSaver is implemented by components whose state rides in a
+// checkpoint section: optimizers, preconditioners, and any other stateful
+// training participant. Implementations serialize to an opaque byte
+// payload (typically gob) keyed by a stable section name.
+type StateSaver interface {
+	// StateKey names this component's section; it must be unique within a
+	// rank and stable across versions.
+	StateKey() string
+	// SaveState serializes the component's complete mutable state.
+	SaveState() ([]byte, error)
+	// LoadState restores state previously produced by SaveState on an
+	// identically configured component.
+	LoadState(data []byte) error
+}
+
+// Snapshot is the in-memory checkpoint payload.
+type Snapshot struct {
+	// Version is the format version the snapshot was written with.
+	Version int
+	// Epoch is the last fully completed epoch (0-based).
+	Epoch int
+	// Step is the number of optimizer steps completed.
+	Step int
+	// P is the world size at save time.
+	P int
+	// Trainer is the rank-independent trainer-loop section (batch
+	// iterator, early-stopping history, wall-clock offset), written by
+	// rank 0.
+	Trainer []byte
+	// Ranks holds one opaque section bundle per rank (see EncodeSections);
+	// Ranks[r] belongs to rank r. On elastic restarts with a smaller world
+	// size, trailing bundles are simply unused.
+	Ranks [][]byte
+}
+
+// EncodeSections serializes a section map into one rank bundle.
+func EncodeSections(sections map[string][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sections); err != nil {
+		return nil, fmt.Errorf("ckpt: encode sections: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSections parses a rank bundle produced by EncodeSections.
+func DecodeSections(b []byte) (map[string][]byte, error) {
+	var sections map[string][]byte
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&sections); err != nil {
+		return nil, fmt.Errorf("ckpt: decode sections: %w", err)
+	}
+	return sections, nil
+}
+
+// SaveAll collects the sections of every saver into a map.
+func SaveAll(savers ...StateSaver) (map[string][]byte, error) {
+	sections := make(map[string][]byte, len(savers))
+	for _, s := range savers {
+		if s == nil {
+			continue
+		}
+		b, err := s.SaveState()
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: save %q: %w", s.StateKey(), err)
+		}
+		sections[s.StateKey()] = b
+	}
+	return sections, nil
+}
+
+// LoadInto restores saver from its section if present, reporting whether a
+// section existed. A missing section is not an error: elastic restarts may
+// add components (or shrink the world) between snapshots; callers decide
+// whether to rebuild from scratch.
+func LoadInto(sections map[string][]byte, saver StateSaver) (bool, error) {
+	b, ok := sections[saver.StateKey()]
+	if !ok {
+		return false, nil
+	}
+	if err := saver.LoadState(b); err != nil {
+		return true, fmt.Errorf("ckpt: load %q: %w", saver.StateKey(), err)
+	}
+	return true, nil
+}
+
+// Manager reads and writes snapshots in one directory with keep-last-K
+// retention. It is used from a single goroutine (rank 0 / the elastic
+// driver).
+type Manager struct {
+	// Dir is the checkpoint directory (created on first save).
+	Dir string
+	// Keep bounds how many snapshots are retained (<= 0 selects 3). The
+	// retention floor is 2 so corruption of the newest file always leaves
+	// a fallback.
+	Keep int
+}
+
+// NewManager returns a Manager over dir, creating it if needed.
+func NewManager(dir string, keep int) (*Manager, error) {
+	if dir == "" {
+		return nil, errors.New("ckpt: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create dir: %w", err)
+	}
+	return &Manager{Dir: dir, Keep: keep}, nil
+}
+
+func (m *Manager) keep() int {
+	k := m.Keep
+	if k <= 0 {
+		k = 3
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// fileName returns the canonical snapshot name; zero-padded steps keep
+// lexicographic order equal to training order.
+func fileName(step int) string { return fmt.Sprintf("ckpt-%012d.hylo", step) }
+
+// List returns the snapshot paths in the directory, oldest first,
+// excluding quarantined (.corrupt) and temporary files.
+func (m *Manager) List() ([]string, error) {
+	ents, err := os.ReadDir(m.Dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".hylo" {
+			continue
+		}
+		out = append(out, filepath.Join(m.Dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Save writes snap atomically and applies retention, returning the final
+// path. The payload is gob-encoded, framed with a magic header, its length,
+// and a CRC32 (Castagnoli) checksum, staged in a temp file in the same
+// directory, synced, and renamed into place — a reader can never observe a
+// partially written snapshot under POSIX rename semantics.
+func (m *Manager) Save(snap *Snapshot) (string, error) {
+	if err := os.MkdirAll(m.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("ckpt: create dir: %w", err)
+	}
+	snap.Version = Version
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return "", fmt.Errorf("ckpt: encode snapshot: %w", err)
+	}
+
+	var frame bytes.Buffer
+	frame.Write(magic[:])
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], crc32.Checksum(payload.Bytes(), crcTable))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(payload.Len()))
+	frame.Write(hdr[:])
+	frame.Write(payload.Bytes())
+
+	tmp, err := os.CreateTemp(m.Dir, ".tmp-ckpt-*")
+	if err != nil {
+		return "", fmt.Errorf("ckpt: stage temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(frame.Bytes()); err != nil {
+		cleanup()
+		return "", fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("ckpt: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("ckpt: close: %w", err)
+	}
+	final := filepath.Join(m.Dir, fileName(snap.Step))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("ckpt: publish: %w", err)
+	}
+	telemetry.IncCounter(telemetry.MetricCkptWrites, 1)
+	m.retain()
+	return final, nil
+}
+
+// retain deletes the oldest snapshots beyond the keep-last-K budget.
+// Retention failures are ignored: stale files cost disk, not correctness.
+func (m *Manager) retain() {
+	paths, err := m.List()
+	if err != nil {
+		return
+	}
+	for len(paths) > m.keep() {
+		os.Remove(paths[0])
+		paths = paths[1:]
+	}
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Load reads and verifies a single snapshot file. Any framing, checksum,
+// length, or decode failure is reported as corruption.
+func Load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(magic)+12 {
+		return nil, fmt.Errorf("ckpt: %s: truncated header", filepath.Base(path))
+	}
+	if !bytes.Equal(b[:len(magic)], magic[:]) {
+		return nil, fmt.Errorf("ckpt: %s: bad magic", filepath.Base(path))
+	}
+	rest := b[len(magic):]
+	wantCRC := binary.LittleEndian.Uint32(rest[:4])
+	wantLen := binary.LittleEndian.Uint64(rest[4:12])
+	payload := rest[12:]
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("ckpt: %s: payload %d bytes, header says %d",
+			filepath.Base(path), len(payload), wantLen)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("ckpt: %s: checksum mismatch (%08x != %08x)",
+			filepath.Base(path), got, wantCRC)
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: decode: %w", filepath.Base(path), err)
+	}
+	if snap.Version > Version {
+		return nil, fmt.Errorf("ckpt: %s: format version %d newer than supported %d",
+			filepath.Base(path), snap.Version, Version)
+	}
+	return &snap, nil
+}
+
+// LoadLatest returns the newest loadable snapshot and its path. Corrupt
+// snapshots are quarantined (renamed to <name>.corrupt) and counted, and
+// the search rolls back to the previous snapshot — the recovery protocol's
+// "last good checkpoint" semantics. ErrNoCheckpoint is returned when
+// nothing loadable remains.
+func (m *Manager) LoadLatest() (*Snapshot, string, error) {
+	paths, err := m.List()
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(paths) - 1; i >= 0; i-- {
+		snap, err := Load(paths[i])
+		if err == nil {
+			telemetry.IncCounter(telemetry.MetricCkptRestores, 1)
+			return snap, paths[i], nil
+		}
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		telemetry.IncCounter(telemetry.MetricCkptCorrupt, 1)
+		telemetry.Instant("ckpt_corrupt", 0,
+			telemetry.Label{Key: "file", Value: filepath.Base(paths[i])},
+			telemetry.Label{Key: "error", Value: err.Error()})
+		os.Rename(paths[i], paths[i]+".corrupt")
+	}
+	return nil, "", ErrNoCheckpoint
+}

@@ -1,0 +1,210 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testSnap(epoch, step int) *Snapshot {
+	return &Snapshot{
+		Epoch:   epoch,
+		Step:    step,
+		P:       2,
+		Trainer: []byte("trainer-state"),
+		Ranks:   [][]byte{[]byte("rank0"), []byte("rank1")},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := m.Save(testSnap(4, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, got, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != path {
+		t.Fatalf("loaded %s, saved %s", got, path)
+	}
+	if snap.Epoch != 4 || snap.Step != 120 || snap.P != 2 {
+		t.Fatalf("round trip mangled header: %+v", snap)
+	}
+	if string(snap.Trainer) != "trainer-state" {
+		t.Fatalf("trainer section = %q", snap.Trainer)
+	}
+	if len(snap.Ranks) != 2 || string(snap.Ranks[1]) != "rank1" {
+		t.Fatalf("rank sections = %v", snap.Ranks)
+	}
+	if snap.Version != Version {
+		t.Fatalf("version = %d; want %d", snap.Version, Version)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir, 3)
+	for s := 1; s <= 4; s++ {
+		if _, err := m.Save(testSnap(s, s*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestRetentionKeepsLastK(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir, 2)
+	for s := 1; s <= 5; s++ {
+		if _, err := m.Save(testSnap(s, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("retained %d snapshots; want 2 (%v)", len(paths), paths)
+	}
+	snap, _, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != 5 {
+		t.Fatalf("latest step = %d; want 5", snap.Step)
+	}
+}
+
+// Corruption of the newest snapshot must be detected by checksum and roll
+// back to the previous good snapshot, quarantining the bad file.
+func TestCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir, 3)
+	if _, err := m.Save(testSnap(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := m.Save(testSnap(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the newest file.
+	b, _ := os.ReadFile(latest)
+	b[len(b)-3] ^= 0x40
+	if err := os.WriteFile(latest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, path, err := m.LoadLatest()
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if snap.Step != 10 {
+		t.Fatalf("fell back to step %d; want 10", snap.Step)
+	}
+	if path == latest {
+		t.Fatal("returned the corrupted path")
+	}
+	if _, err := os.Stat(latest + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	// A second load must not trip over the quarantined file.
+	if _, _, err := m.LoadLatest(); err != nil {
+		t.Fatalf("reload after quarantine: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir, 3)
+	path, err := m.Save(testSnap(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+	if _, _, err := m.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint after quarantining the only file, got %v", err)
+	}
+}
+
+func TestLoadLatestEmptyDir(t *testing.T) {
+	m, _ := NewManager(t.TempDir(), 3)
+	if _, _, err := m.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestLoadRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-000000000001.hylo")
+	if err := os.WriteFile(path, []byte("not a checkpoint at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want bad-magic error, got %v", err)
+	}
+}
+
+func TestSectionsRoundTrip(t *testing.T) {
+	in := map[string][]byte{"opt/sgd": {1, 2, 3}, "precond/hylo": {4, 5}}
+	b, err := EncodeSections(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSections(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || !bytes.Equal(out["opt/sgd"], in["opt/sgd"]) || !bytes.Equal(out["precond/hylo"], in["precond/hylo"]) {
+		t.Fatalf("sections round trip = %v", out)
+	}
+}
+
+type fakeSaver struct {
+	key    string
+	state  []byte
+	loaded []byte
+}
+
+func (f *fakeSaver) StateKey() string           { return f.key }
+func (f *fakeSaver) SaveState() ([]byte, error) { return f.state, nil }
+func (f *fakeSaver) LoadState(b []byte) error   { f.loaded = b; return nil }
+
+func TestSaveAllLoadInto(t *testing.T) {
+	a := &fakeSaver{key: "a", state: []byte("alpha")}
+	b := &fakeSaver{key: "b", state: []byte("beta")}
+	sections, err := SaveAll(a, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 2 {
+		t.Fatalf("sections = %v", sections)
+	}
+	ok, err := LoadInto(sections, &fakeSaver{key: "a"})
+	if err != nil || !ok {
+		t.Fatalf("LoadInto(a) = %v, %v", ok, err)
+	}
+	ok, err = LoadInto(sections, &fakeSaver{key: "missing"})
+	if err != nil || ok {
+		t.Fatalf("missing section must be (false, nil), got (%v, %v)", ok, err)
+	}
+}

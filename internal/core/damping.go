@@ -45,6 +45,17 @@ func (d *DampingAdapter) Observe(damping, loss float64) float64 {
 	return damping
 }
 
+// State returns the adapter's observation history (for checkpointing).
+func (d *DampingAdapter) State() (prevLoss float64, seen bool) {
+	return d.prevLoss, d.seen
+}
+
+// Restore rewinds the adapter to a captured observation history.
+func (d *DampingAdapter) Restore(prevLoss float64, seen bool) {
+	d.prevLoss = prevLoss
+	d.seen = seen
+}
+
 // SetDamping updates HyLo's damping α (used by the LM adapter between
 // epochs; takes effect at the next Update).
 func (h *HyLo) SetDamping(alpha float64) {

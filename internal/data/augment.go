@@ -23,6 +23,10 @@ func NewAugmenter(rng *mat.RNG, shape nn.Shape, flip bool, pad int) *Augmenter {
 	return &Augmenter{Shape: shape, Flip: flip, Pad: pad, rng: rng}
 }
 
+// RNG exposes the augmenter's random stream so checkpoints can capture and
+// restore it alongside the other per-worker RNGs.
+func (a *Augmenter) RNG() *mat.RNG { return a.rng }
+
 // Apply returns an augmented copy of the batch (one independent draw per
 // sample).
 func (a *Augmenter) Apply(x *mat.Dense) *mat.Dense {

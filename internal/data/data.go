@@ -305,3 +305,29 @@ func (it *BatchIterator) Next() []int {
 
 // BatchesPerEpoch returns the number of full batches per epoch.
 func (it *BatchIterator) BatchesPerEpoch() int { return it.n / it.bs }
+
+// IteratorState is the serializable snapshot of a BatchIterator: the RNG
+// stream, the live permutation, and the cursor. Restoring it resumes the
+// exact batch sequence a checkpointed run would have produced.
+type IteratorState struct {
+	RNG  mat.RNGState
+	Perm []int
+	Pos  int
+}
+
+// State captures the iterator (deep-copying the permutation).
+func (it *BatchIterator) State() IteratorState {
+	return IteratorState{
+		RNG:  it.rng.State(),
+		Perm: append([]int(nil), it.perm...),
+		Pos:  it.pos,
+	}
+}
+
+// Restore rewinds the iterator (and its RNG) to a captured state. The
+// sample count and batch size must match the original iterator.
+func (it *BatchIterator) Restore(s IteratorState) {
+	it.rng.SetState(s.RNG)
+	it.perm = append([]int(nil), s.Perm...)
+	it.pos = s.Pos
+}

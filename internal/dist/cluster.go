@@ -9,6 +9,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/telemetry"
@@ -46,6 +47,35 @@ func NewCluster(p int) *Cluster {
 		panic("dist: cluster needs at least one worker")
 	}
 	return &Cluster{P: p, barrier: newBarrier(p), slots: make([]any, p)}
+}
+
+// SetBarrierTimeout arms the barrier watchdog: a barrier that fails to
+// complete within d is poisoned, converting a silent hang (a worker stuck
+// or stalled without panicking) into the same loud failure a worker death
+// produces, so RunWithRecovery can report it and an elastic driver can
+// recover. d <= 0 disables the watchdog. Call before Run, not during.
+func (c *Cluster) SetBarrierTimeout(d time.Duration) {
+	c.barrier.mu.Lock()
+	c.barrier.timeout = d
+	c.barrier.mu.Unlock()
+}
+
+// Reset returns a cluster whose previous run failed (poisoned barrier,
+// stale slots) to a usable state so an elastic driver can relaunch workers
+// on it. It must only be called between Run/RunWithRecovery invocations —
+// after the previous run's goroutines have all exited.
+func (c *Cluster) Reset() {
+	c.barrier.mu.Lock()
+	timeout := c.barrier.timeout
+	if c.barrier.watchdog != nil {
+		c.barrier.watchdog.Stop()
+	}
+	c.barrier.mu.Unlock()
+	c.barrier = newBarrier(c.P)
+	c.barrier.timeout = timeout
+	c.slots = make([]any, c.P)
+	c.ringOnce = sync.Once{}
+	c.ringSt = nil
 }
 
 // Run launches fn on every worker goroutine and waits for all to finish.
@@ -207,7 +237,8 @@ func (w *Worker) Broadcast(root int, m *mat.Dense) *mat.Dense {
 }
 
 // barrier is a reusable N-party barrier. A poisoned barrier (a peer died
-// under RunWithRecovery) panics in every waiter instead of deadlocking.
+// under RunWithRecovery, or the watchdog expired) panics in every waiter
+// instead of deadlocking.
 type barrier struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -215,6 +246,12 @@ type barrier struct {
 	count    int
 	gen      int
 	poisoned bool
+
+	// timeout arms the watchdog: the first waiter of a generation starts
+	// a timer; if the generation has not completed when it fires, the
+	// barrier is poisoned (a hang becomes a loud failure).
+	timeout  time.Duration
+	watchdog *time.Timer
 }
 
 func newBarrier(n int) *barrier {
@@ -234,9 +271,17 @@ func (b *barrier) await() {
 	if b.count == b.n {
 		b.count = 0
 		b.gen++
+		if b.watchdog != nil {
+			b.watchdog.Stop()
+			b.watchdog = nil
+		}
 		b.cond.Broadcast()
 		b.mu.Unlock()
 		return
+	}
+	if b.count == 1 && b.timeout > 0 {
+		// First waiter of this generation arms the watchdog.
+		b.watchdog = time.AfterFunc(b.timeout, func() { b.bark(gen) })
 	}
 	for gen == b.gen && !b.poisoned {
 		b.cond.Wait()
@@ -248,5 +293,24 @@ func (b *barrier) await() {
 	b.mu.Unlock()
 	if stuck {
 		panic(ErrClusterPoisoned)
+	}
+}
+
+// bark is the watchdog's expiry path: if the generation it was armed for
+// is still incomplete, the barrier is poisoned so every waiter fails
+// loudly instead of hanging forever.
+func (b *barrier) bark(gen int) {
+	b.mu.Lock()
+	expired := gen == b.gen && b.count > 0 && !b.poisoned
+	timeout := b.timeout
+	if expired {
+		b.poisoned = true
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+	if expired {
+		telemetry.IncCounter(telemetry.MetricBarrierWatchdog, 1)
+		telemetry.Instant("barrier_watchdog_expired", 0,
+			telemetry.Label{Key: "timeout", Value: timeout.String()})
 	}
 }

@@ -1,0 +1,76 @@
+package kfac
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Checkpoint persistence for KFAC. Implements the ckpt.StateSaver contract
+// structurally, so this package never imports ckpt.
+//
+// The running Kronecker factors are exponential moving averages — they
+// cannot be rebuilt from a single post-restore batch, so losing them
+// degrades curvature estimates for many update intervals. Under the
+// memory-optimized KAISA placement only the owning rank holds a layer's
+// running factors, which is why KFAC state lives in the checkpoint's
+// per-rank sections rather than a shared one. The inverses are saved too:
+// between update iterations Precondition applies the stored inverses, so
+// a resumed step between refreshes must see identical second-order state.
+
+type kfacLayerState struct {
+	Initialized      bool
+	AFactor, GFactor mat.DenseState
+	AInv, GInv       mat.DenseState
+}
+
+type kfacPersist struct {
+	Damping float64
+	Layers  []kfacLayerState
+}
+
+// StateKey identifies KFAC's checkpoint section.
+func (k *KFAC) StateKey() string { return "precond/kfac" }
+
+// SaveState serializes this rank's running factors and inverses.
+func (k *KFAC) SaveState() ([]byte, error) {
+	st := kfacPersist{Damping: k.Damping, Layers: make([]kfacLayerState, len(k.state))}
+	for i, s := range k.state {
+		st.Layers[i] = kfacLayerState{
+			Initialized: s.initialized,
+			AFactor:     mat.CaptureDense(s.aFactor),
+			GFactor:     mat.CaptureDense(s.gFactor),
+			AInv:        mat.CaptureDense(s.aInv),
+			GInv:        mat.CaptureDense(s.gInv),
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadState restores this rank's factors and inverses. The layer count
+// must match the current network.
+func (k *KFAC) LoadState(b []byte) error {
+	var st kfacPersist
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Layers) != len(k.state) {
+		return fmt.Errorf("kfac: snapshot has %d layers, network has %d", len(st.Layers), len(k.state))
+	}
+	k.Damping = st.Damping
+	for i, l := range st.Layers {
+		s := k.state[i]
+		s.initialized = l.Initialized
+		s.aFactor = l.AFactor.Restore()
+		s.gFactor = l.GFactor.Restore()
+		s.aInv = l.AInv.Restore()
+		s.gInv = l.GInv.Restore()
+	}
+	return nil
+}

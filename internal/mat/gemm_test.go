@@ -129,4 +129,3 @@ func TestMulTransposeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-

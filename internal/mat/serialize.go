@@ -1,0 +1,52 @@
+package mat
+
+// RNGState is the serializable snapshot of an RNG. Capturing and restoring
+// it lets checkpoints resume every stochastic stream (batch order, KIS
+// sampling, augmentation) bit-exactly.
+type RNGState struct {
+	State    uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// State returns a snapshot of the generator.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState rewinds the generator to a previously captured snapshot.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.hasSpare = s.HasSpare
+	r.spare = s.Spare
+}
+
+// DenseState is the serializable (gob-friendly) snapshot of a matrix. The
+// zero value stands for a nil matrix, so optional per-layer state (factors
+// not yet computed) round-trips without pointer gymnastics.
+type DenseState struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// CaptureDense deep-copies m into a DenseState; a nil m yields the zero
+// state.
+func CaptureDense(m *Dense) DenseState {
+	if m == nil {
+		return DenseState{}
+	}
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return DenseState{Rows: m.rows, Cols: m.cols, Data: d}
+}
+
+// Restore materializes the captured matrix, returning nil for the zero
+// state.
+func (s DenseState) Restore() *Dense {
+	if s.Rows == 0 || s.Cols == 0 {
+		return nil
+	}
+	m := NewDense(s.Rows, s.Cols)
+	copy(m.data, s.Data)
+	return m
+}

@@ -126,4 +126,27 @@ const (
 	MetricTestMetric = "train_test_metric"
 	// MetricEpoch is the current epoch index.
 	MetricEpoch = "train_epoch"
+
+	// MetricCkptWrites counts checkpoints published (atomic renames).
+	MetricCkptWrites = "ckpt_writes_total"
+	// MetricCkptRestores counts snapshots successfully loaded.
+	MetricCkptRestores = "ckpt_restores_total"
+	// MetricCkptCorrupt counts snapshots rejected by checksum/decode and
+	// quarantined during load.
+	MetricCkptCorrupt = "ckpt_corrupt_total"
+	// MetricCkptErrors counts failed checkpoint writes (training continues).
+	MetricCkptErrors = "ckpt_errors_total"
+	// MetricFaultsInjected counts faults delivered by the chaos layer,
+	// labeled kind=panic|bitflip|delay.
+	MetricFaultsInjected = "dist_faults_injected_total"
+	// MetricBarrierWatchdog counts barrier hangs converted into poisoning
+	// by the watchdog timeout.
+	MetricBarrierWatchdog = "dist_barrier_watchdog_total"
+	// MetricRecoveries counts elastic restarts that reloaded a checkpoint
+	// after a worker failure.
+	MetricRecoveries = "train_recoveries_total"
+	// MetricNonfiniteSkips counts iterations whose loss/gradient went
+	// NaN/Inf, where the preconditioned update was skipped in favor of a
+	// sanitized first-order fallback step.
+	MetricNonfiniteSkips = "train_nonfinite_skips"
 )

@@ -1,0 +1,140 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+// ElasticConfig controls the fault-tolerant training driver.
+type ElasticConfig struct {
+	// Dir is the checkpoint directory.
+	Dir string
+	// Every is the checkpoint cadence in epochs (default 1).
+	Every int
+	// Keep bounds retained snapshots (default 3, minimum 2 so corruption
+	// of the newest can fall back).
+	Keep int
+	// Resume loads the latest good snapshot in Dir before the first launch
+	// (otherwise existing snapshots are only used after a failure).
+	Resume bool
+	// MaxRestarts bounds recovery attempts before giving up (default 3).
+	MaxRestarts int
+	// AllowShrink relaunches on P−1 workers after a failure instead of
+	// reusing the full cluster — elastic recovery with re-sharding. Rank
+	// sections beyond the new world size are dropped; preconditioners
+	// whose state is lost rebuild on the first resumed step.
+	AllowShrink bool
+	// BarrierTimeout arms the cluster watchdog so a silently hung worker
+	// is converted into a recoverable failure (0 disables).
+	BarrierTimeout time.Duration
+	// Faults, when non-nil and enabled, wraps every worker's communicator
+	// in a deterministic chaos injector. The scheduled panic is disabled
+	// after the first failure so a recovered run does not re-die at the
+	// same step; bit-flip and straggler injection stay active.
+	Faults *dist.FaultPlan
+}
+
+// RunElastic trains like RunDistributed but survives worker failures:
+// training checkpoints every Every epochs, and when a worker panics (or
+// the barrier watchdog converts a hang), the driver reloads the last good
+// snapshot, resets (or shrinks) the cluster, and resumes. It returns the
+// final Result and a non-nil error only when recovery is exhausted.
+func RunElastic(p int, cfg Config, ec ElasticConfig,
+	buildNet func(rng *mat.RNG) *nn.Network,
+	trainSet, testSet *data.Dataset, task Task,
+	makePre PrecondFactory, target float64) (Result, error) {
+
+	mgr, err := ckpt.NewManager(ec.Dir, ec.Keep)
+	if err != nil {
+		return Result{}, fmt.Errorf("train: checkpoint dir: %w", err)
+	}
+	every := ec.Every
+	if every <= 0 {
+		every = 1
+	}
+	maxRestarts := ec.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 3
+	}
+
+	plan := dist.FaultPlan{PanicStep: -1}
+	if ec.Faults != nil {
+		plan = *ec.Faults
+	}
+
+	var resume *ckpt.Snapshot
+	if ec.Resume {
+		snap, _, err := mgr.LoadLatest()
+		switch {
+		case err == nil:
+			resume = snap
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return Result{}, err
+		}
+	}
+
+	cluster := dist.NewCluster(p)
+	if ec.BarrierTimeout > 0 {
+		cluster.SetBarrierTimeout(ec.BarrierTimeout)
+	}
+	for attempt := 0; ; attempt++ {
+		tl := dist.NewTimeline()
+		var res Result
+		snap := resume
+		errs := cluster.RunWithRecovery(func(w *dist.Worker) {
+			var comm dist.Comm = w
+			if plan.Enabled() {
+				comm = dist.NewFaultInjector(w, plan)
+			}
+			run := &workerRun{mgr: mgr, every: every, resume: snap}
+			if w.Rank == 0 {
+				runWorker(comm, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res, run)
+			} else {
+				runWorker(comm, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, nil, run)
+			}
+		})
+		if len(errs) == 0 {
+			return res, nil
+		}
+		if attempt >= maxRestarts {
+			return res, fmt.Errorf("train: giving up after %d restarts: %v", attempt, errs)
+		}
+
+		// Recovery: reload the last good snapshot (corrupt files fall back
+		// inside LoadLatest), disarm the one-shot panic, and rebuild the
+		// worker pool — either in place or one rank smaller.
+		telemetry.IncCounter(telemetry.MetricRecoveries, 1)
+		telemetry.Instant("train_recovery", 0,
+			telemetry.Label{Key: "attempt", Value: fmt.Sprint(attempt + 1)},
+			telemetry.Label{Key: "error", Value: fmt.Sprint(errs[0])})
+		plan.PanicStep = -1
+		latest, _, err := mgr.LoadLatest()
+		switch {
+		case err == nil:
+			resume = latest
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			resume = nil // failed before the first checkpoint: restart cold
+		default:
+			return res, err
+		}
+		if ec.AllowShrink && p > 1 {
+			p--
+			cluster = dist.NewCluster(p)
+			if ec.BarrierTimeout > 0 {
+				cluster.SetBarrierTimeout(ec.BarrierTimeout)
+			}
+		} else {
+			cluster.Reset()
+		}
+	}
+}

@@ -7,10 +7,13 @@
 package train
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"strconv"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
@@ -144,7 +147,7 @@ func Run(cfg Config, buildNet func(rng *mat.RNG) *nn.Network,
 
 	tl := dist.NewTimeline()
 	var res Result
-	runWorker(dist.Local(), cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res)
+	runWorker(dist.Local(), cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res, nil)
 	return res
 }
 
@@ -159,17 +162,90 @@ func RunDistributed(p int, cfg Config, buildNet func(rng *mat.RNG) *nn.Network,
 	var res Result
 	cluster.Run(func(w *dist.Worker) {
 		if w.Rank == 0 {
-			runWorker(w, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res)
+			runWorker(w, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res, nil)
 		} else {
-			runWorker(w, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, nil)
+			runWorker(w, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, nil, nil)
 		}
 	})
 	return res
 }
 
+// workerRun carries the fault-tolerance plumbing for one worker launch:
+// the checkpoint manager and cadence, and the snapshot to resume from
+// (nil = fresh start). A nil *workerRun disables checkpointing entirely —
+// the plain Run/RunDistributed entry points pass nil and are unchanged.
+type workerRun struct {
+	mgr    *ckpt.Manager
+	every  int // epochs between checkpoints
+	resume *ckpt.Snapshot
+}
+
+// trainerState is the rank-independent trainer-loop state (the checkpoint
+// Trainer section): everything identical across replicas — model weights,
+// epoch/step cursors, the batch-order iterator, early-stopping and damping
+// bookkeeping, and the rank-0 result history. Rank 0 writes it; every rank
+// restores from it.
+type trainerState struct {
+	Epoch, Step  int
+	Net          []byte // nn.SaveCheckpoint payload (replicated weights)
+	Iter         data.IteratorState
+	BestMetric   float64
+	Stale        int
+	Stats        []EpochStat
+	Best         float64
+	TimeToTarget time.Duration
+	FinalLoss    float64
+	AdapterPrev  float64
+	AdapterSeen  bool
+	Elapsed      time.Duration
+}
+
+// rngSaver adapts a trainer-owned RNG stream to the ckpt.StateSaver
+// contract so it rides in the per-rank checkpoint sections.
+type rngSaver struct {
+	key string
+	rng *mat.RNG
+}
+
+func (s rngSaver) StateKey() string { return s.key }
+
+func (s rngSaver) SaveState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s.rng.State()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s rngSaver) LoadState(b []byte) error {
+	var st mat.RNGState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	s.rng.SetState(st)
+	return nil
+}
+
+// gatherRankSections collects every rank's encoded section bundle on all
+// workers (rank 0 writes the file). The gather deliberately bypasses any
+// chaos wrapper — checkpoint trafficking is control plane; a bit-flip
+// injector corrupting the payload before the CRC is computed would bake
+// the corruption into a "valid" snapshot.
+func gatherRankSections(comm dist.Comm, local []byte) [][]byte {
+	if w, ok := dist.AsWorker(comm); ok {
+		parts := w.AllGather(local)
+		out := make([][]byte, len(parts))
+		for i, p := range parts {
+			out[i], _ = p.([]byte)
+		}
+		return out
+	}
+	return [][]byte{local}
+}
+
 func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Network,
 	trainSet, testSet *data.Dataset, task Task,
-	makePre PrecondFactory, target float64, tl *dist.Timeline, res *Result) {
+	makePre PrecondFactory, target float64, tl *dist.Timeline, res *Result, run *workerRun) {
 
 	// Identical seeds across workers → identical replicas; the sampling
 	// RNG is rank-offset so KIS draws differ per worker.
@@ -212,7 +288,74 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 		adapter = &core.DampingAdapter{Min: cfg.Damping / 100, Max: cfg.Damping * 100}
 	}
 	rank := comm.ID()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+
+	// Per-rank checkpoint sections: optimizer buffers, preconditioner state
+	// (when the method implements StateSaver), and the rank-offset RNG
+	// streams. sampleRNG is restored here — after the preconditioner was
+	// built — because HyLo aliases the same RNG object.
+	savers := []ckpt.StateSaver{rngSaver{key: "rng/sample", rng: sampleRNG}}
+	if s, ok := optimizer.(ckpt.StateSaver); ok {
+		savers = append(savers, s)
+	}
+	var preSaver ckpt.StateSaver
+	if s, ok := pre.(ckpt.StateSaver); ok {
+		preSaver = s
+		savers = append(savers, s)
+	}
+	if aug != nil {
+		savers = append(savers, rngSaver{key: "rng/aug", rng: aug.RNG()})
+	}
+
+	startEpoch := 0
+	// forceUpdate schedules a second-order refresh on the first resumed
+	// step when the preconditioner's state did not survive the restore
+	// (method without a StateSaver, or a shrunk cluster dropping a rank's
+	// section) — stale-factor-free resumption at the cost of determinism.
+	forceUpdate := false
+	if run != nil && run.resume != nil {
+		snap := run.resume
+		var ts trainerState
+		if err := gob.NewDecoder(bytes.NewReader(snap.Trainer)).Decode(&ts); err == nil {
+			startEpoch = ts.Epoch + 1
+			step = ts.Step
+			if len(ts.Net) > 0 {
+				if err := net.LoadCheckpoint(bytes.NewReader(ts.Net)); err != nil {
+					telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
+				}
+			}
+			it.Restore(ts.Iter)
+			bestMetric, stale = ts.BestMetric, ts.Stale
+			start = time.Now().Add(-ts.Elapsed)
+			if adapter != nil && ts.AdapterSeen {
+				adapter.Restore(ts.AdapterPrev, true)
+			}
+			if res != nil {
+				res.Stats = append([]EpochStat(nil), ts.Stats...)
+				res.Best = ts.Best
+				res.TimeToTarget = ts.TimeToTarget
+				res.FinalLoss = ts.FinalLoss
+			}
+		} else {
+			telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
+		}
+		preRestored := false
+		if rank < len(snap.Ranks) && len(snap.Ranks[rank]) > 0 {
+			if sections, err := ckpt.DecodeSections(snap.Ranks[rank]); err == nil {
+				for _, s := range savers {
+					ok, err := ckpt.LoadInto(sections, s)
+					if err != nil {
+						telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
+					} else if ok && s == preSaver {
+						preRestored = true
+					}
+				}
+			}
+		}
+		if pre != nil && !preRestored {
+			forceUpdate = true
+		}
+	}
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		endEpoch := telemetry.Span("epoch", rank,
 			telemetry.Label{Key: "epoch", Value: strconv.Itoa(epoch)})
 		if rank == 0 {
@@ -225,28 +368,49 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 		}
 		var lossSum float64
 		for b := 0; b < stepsPerEpoch; b++ {
+			// Scheduled fault injection observes step boundaries here.
+			if st, ok := comm.(dist.Stepper); ok {
+				st.OnStep(step)
+			}
 			endIter := telemetry.Span("iteration", rank,
 				telemetry.Label{Key: "epoch", Value: strconv.Itoa(epoch)})
 			globalIdx := it.Next()
-			// Shard: each worker takes its contiguous slice.
+			// Shard: each worker takes its contiguous slice; the trailing
+			// remainder goes to the last rank (the ReduceScatterRows
+			// convention), so no sample is silently dropped.
 			per := len(globalIdx) / p
-			lo := comm.ID() * per
-			localIdx := globalIdx[lo : lo+per]
+			lo := rank * per
+			hi := lo + per
+			if rank == p-1 {
+				hi = len(globalIdx)
+			}
+			localIdx := globalIdx[lo:hi]
+			// With uneven shards, each worker's loss/gradient is a mean
+			// over a different sample count; weighting by
+			// len(local)·P/len(global) before the 1/P average makes the
+			// result exactly the full-batch mean.
+			wgt := float64(len(localIdx)) * float64(p) / float64(len(globalIdx))
 			x, tgt := trainSet.Batch(localIdx)
 			if aug != nil {
 				x = aug.Apply(x)
 			}
 
-			isUpdate := pre != nil && step%updateFreq == 0
+			isUpdate := pre != nil && (step%updateFreq == 0 || forceUpdate)
 			net.SetCapture(isUpdate)
 			net.ZeroGrad()
 			out := net.Forward(x, true)
 			loss, g := task.Loss.Forward(out, tgt)
 			net.Backward(g)
+			if wgt != 1 {
+				loss *= wgt
+				for _, prm := range params {
+					prm.Grad.Scale(wgt)
+				}
+			}
 
 			// Average gradients across workers (standard data parallelism).
 			if p > 1 {
-				ringW, useRing := comm.(*dist.Worker)
+				ringW, useRing := dist.AsWorker(comm)
 				for _, prm := range params {
 					var avg *mat.Dense
 					if cfg.RingAllReduce && useRing {
@@ -258,6 +422,28 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 					prm.Grad.CopyFrom(avg)
 				}
 				loss = comm.AllReduceScalar(loss) / float64(p)
+			}
+
+			// Non-finite guard: a diverged loss or gradient would poison
+			// the curvature estimates and every parameter it touches. Skip
+			// the preconditioned update, zero the offending entries, and
+			// fall back to a plain first-order step. The reduced loss and
+			// gradients are bitwise identical across ranks, so every
+			// worker takes the same branch and collective sequences stay
+			// matched.
+			if !allFinite(loss, params) {
+				telemetry.IncCounter(telemetry.MetricNonfiniteSkips, 1)
+				sanitizeGrads(params)
+				if cfg.MaxGradNorm > 0 {
+					opt.ClipGradNorm(params, cfg.MaxGradNorm)
+				}
+				optimizer.Step()
+				step++
+				endIter()
+				continue
+			}
+			if isUpdate {
+				forceUpdate = false
 			}
 
 			if cfg.MaxGradNorm > 0 {
@@ -328,8 +514,53 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 				dp.SetDamping(adapter.Observe(dp.CurrentDamping(), lossSum/float64(stepsPerEpoch)))
 			}
 		}
+		// Periodic checkpoint: a collective — every rank contributes its
+		// section bundle, rank 0 assembles and atomically publishes the
+		// snapshot. Failures are counted and tolerated; a missed
+		// checkpoint costs recovery granularity, not the run.
+		if run != nil && run.mgr != nil && run.every > 0 && (epoch+1)%run.every == 0 {
+			local, err := encodeRankSections(savers)
+			if err != nil {
+				telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
+				local = nil // still join the gather: it is a collective
+			}
+			ranks := gatherRankSections(comm, local)
+			if res != nil {
+				ts := trainerState{
+					Epoch:        epoch,
+					Step:         step,
+					Iter:         it.State(),
+					BestMetric:   bestMetric,
+					Stale:        stale,
+					Stats:        res.Stats,
+					Best:         res.Best,
+					TimeToTarget: res.TimeToTarget,
+					FinalLoss:    res.FinalLoss,
+					Elapsed:      time.Since(start),
+				}
+				var netBuf bytes.Buffer
+				if err := net.SaveCheckpoint(&netBuf); err == nil {
+					ts.Net = netBuf.Bytes()
+				}
+				if adapter != nil {
+					ts.AdapterPrev, ts.AdapterSeen = adapter.State()
+				}
+				var tb bytes.Buffer
+				if err := gob.NewEncoder(&tb).Encode(ts); err != nil {
+					telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
+				} else if _, err := run.mgr.Save(&ckpt.Snapshot{
+					Epoch:   epoch,
+					Step:    step,
+					P:       p,
+					Trainer: tb.Bytes(),
+					Ranks:   ranks,
+				}); err != nil {
+					telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
+				}
+			}
+		}
 		// Keep workers in step at epoch boundaries (rank 0 evaluates).
-		if w, ok := comm.(*dist.Worker); ok {
+		if w, ok := dist.AsWorker(comm); ok {
 			w.Barrier()
 		}
 		endEpoch()
@@ -367,6 +598,45 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 			}
 		}
 		res.Method = name
+	}
+}
+
+// encodeRankSections serializes this rank's StateSaver sections into one
+// byte bundle for the checkpoint gather.
+func encodeRankSections(savers []ckpt.StateSaver) ([]byte, error) {
+	sections, err := ckpt.SaveAll(savers...)
+	if err != nil {
+		return nil, err
+	}
+	return ckpt.EncodeSections(sections)
+}
+
+// allFinite reports whether the reduced loss and every gradient entry are
+// finite.
+func allFinite(loss float64, params []*nn.Param) bool {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return false
+	}
+	for _, p := range params {
+		for _, v := range p.Grad.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sanitizeGrads zeroes non-finite gradient entries so the fallback
+// first-order step moves only along the healthy coordinates.
+func sanitizeGrads(params []*nn.Param) {
+	for _, p := range params {
+		d := p.Grad.Data()
+		for i, v := range d {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				d[i] = 0
+			}
+		}
 	}
 }
 
