@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover chaos bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race vet cover chaos fuzzsmoke bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -23,8 +23,20 @@ vet:
 # snapshots falling back, the barrier watchdog, and chaos determinism.
 chaos:
 	$(GO) test -race ./internal/ckpt/ -count=1
-	$(GO) test -race ./internal/dist/ -run 'TestFaultInjector|TestBarrierWatchdog|TestClusterReset|TestAsWorker' -count=1
+	$(GO) test -race ./internal/dist/ -run 'TestFaultInjector|TestBarrierWatchdog|TestClusterReset|TestAsWorker|TestFaultPlan' -count=1
 	$(GO) test -race ./internal/train/ -run 'TestElastic|TestNonfinite|TestSharding' -count=1
+	$(GO) test -race ./internal/core/ -run 'TestPreconditionRobust|TestSingularKernel|TestDegenerate' -count=1
+
+# Short fuzz pass over the panic-free solver kernels: each target runs for a
+# few seconds, enough for CI to catch a reintroduced solve-path panic or an
+# unbounded retry loop without a dedicated fuzzing fleet.
+FUZZTIME ?= 5s
+fuzzsmoke:
+	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzFactorLU$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzQRPivot$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzInvSPD$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzInterpolativeDecomp$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzCholeskySolve$$' -fuzztime $(FUZZTIME)
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/numerics"
 	"repro/internal/telemetry"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write Prometheus text-format metrics to this file")
 	eventsPath := flag.String("events", "", "write the compact JSONL span/event log to this file")
 	teleSummary := flag.Bool("telemetry-summary", false, "print the top phase-time table at exit")
+	numReport := flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
 	flag.Parse()
 
 	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary
@@ -79,6 +81,9 @@ func main() {
 			telemetry.WriteSummary(os.Stdout,
 				telemetry.Summarize(telemetry.Default().Trace.Events()), 15)
 		}
+	}
+	if *numReport {
+		fmt.Print(numerics.Report())
 	}
 }
 

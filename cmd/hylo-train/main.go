@@ -19,6 +19,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/numerics"
 	"repro/internal/opt"
 	"repro/internal/sngd"
 	"repro/internal/telemetry"
@@ -72,14 +74,19 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "write fault-tolerant checkpoints to this directory (enables elastic recovery)")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "epochs between checkpoints")
 		resume      = flag.Bool("resume", false, "resume from the latest good checkpoint in -checkpoint-dir")
-		faultInject = flag.String("fault-inject", "", "chaos spec, comma-separated: panic:RANK@STEP | bitflip:PROB | delay:PROB@DUR (e.g. panic:1@40,delay:0.1@5ms)")
+		faultInject = flag.String("fault-inject", "", "chaos spec, comma-separated: panic:RANK@STEP | bitflip:PROB | delay:PROB@DUR | degenerate:KIND@PROB with KIND dup|zero|huge (e.g. panic:1@40,degenerate:dup@0.5)")
+
+		numReport = flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
+		condLimit = flag.Float64("cond-limit", numerics.DefaultCondLimit, "condition-estimate threshold beyond which solves escalate damping / fall back")
+		idTol     = flag.Float64("id-tol", core.DefaultIDTol, "KID numerical-rank truncation tolerance, in [0, 1)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*epochs, *batch, *workers, *freq, *rankFrac); err != nil {
+	if err := validateFlags(*epochs, *batch, *workers, *freq, *rankFrac, *damping, *condLimit, *idTol); err != nil {
 		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
 		os.Exit(2)
 	}
+	numerics.SetCondLimit(*condLimit)
 
 	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary
 	if useTelemetry {
@@ -112,7 +119,7 @@ func main() {
 			return data.NewAugmenter(rng, shape, true, 2)
 		}
 	}
-	pre := precondFactory(*optimizer, *damping, *rankFrac, *eta)
+	pre := precondFactory(*optimizer, *damping, *rankFrac, *eta, *idTol)
 
 	plan, err := parseFaultSpec(*faultInject)
 	if err != nil {
@@ -190,12 +197,17 @@ func main() {
 				telemetry.Summarize(telemetry.Default().Trace.Events()), 15)
 		}
 	}
+	if *numReport {
+		fmt.Println()
+		fmt.Print(numerics.Report())
+	}
 }
 
 // validateFlags rejects hyperparameter values that would otherwise fail in
 // confusing ways downstream (zero-length epochs, empty shards, a rank
-// fraction of zero rounding every kernel to nothing).
-func validateFlags(epochs, batch, workers, freq int, rankFrac float64) error {
+// fraction of zero rounding every kernel to nothing, a damping of zero
+// making every update divide by zero).
+func validateFlags(epochs, batch, workers, freq int, rankFrac, damping, condLimit, idTol float64) error {
 	if epochs <= 0 {
 		return fmt.Errorf("-epochs must be positive (got %d)", epochs)
 	}
@@ -210,6 +222,15 @@ func validateFlags(epochs, batch, workers, freq int, rankFrac float64) error {
 	}
 	if rankFrac <= 0 || rankFrac > 1 {
 		return fmt.Errorf("-rank-frac must be in (0, 1] (got %g)", rankFrac)
+	}
+	if damping <= 0 || math.IsNaN(damping) || math.IsInf(damping, 0) {
+		return fmt.Errorf("-damping must be positive and finite (got %g)", damping)
+	}
+	if condLimit <= 1 || math.IsNaN(condLimit) {
+		return fmt.Errorf("-cond-limit must be > 1 (got %g)", condLimit)
+	}
+	if idTol < 0 || idTol >= 1 || math.IsNaN(idTol) {
+		return fmt.Errorf("-id-tol must be in [0, 1) (got %g)", idTol)
 	}
 	return nil
 }
@@ -263,6 +284,21 @@ func parseFaultSpec(spec string) (*dist.FaultPlan, error) {
 				return nil, fmt.Errorf("%q: bad duration %q", part, ds)
 			}
 			plan.StragglerProb, plan.StragglerDelay = p, d
+		case "degenerate":
+			ks, ps, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want degenerate:KIND@PROB", part)
+			}
+			switch ks {
+			case "dup", "zero", "huge":
+			default:
+				return nil, fmt.Errorf("%q: kind must be dup, zero, or huge", part)
+			}
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
+			}
+			plan.DegenerateKind, plan.DegenerateProb = ks, p
 		default:
 			return nil, fmt.Errorf("%q: unknown fault kind %q", part, kind)
 		}
@@ -327,10 +363,16 @@ func buildWorkload(model string, classes, perClass int, seed uint64) (
 	}
 }
 
-func precondFactory(optimizer string, damping, rankFrac, eta float64) train.PrecondFactory {
+func precondFactory(optimizer string, damping, rankFrac, eta, idTol float64) train.PrecondFactory {
 	hylo := func(policy core.SwitchPolicy) train.PrecondFactory {
 		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
 			h := core.NewHyLo(net, damping, rankFrac, c, tl, rng)
+			// Flag semantics: 0 disables truncation (the struct uses 0 for
+			// "default", negative for "off").
+			h.IDTol = idTol
+			if idTol == 0 {
+				h.IDTol = -1
+			}
 			if policy != nil {
 				h.Policy = policy
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -10,32 +11,45 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	type args struct {
-		epochs, batch, workers, freq int
-		rankFrac                     float64
+		epochs, batch, workers, freq        int
+		rankFrac, damping, condLimit, idTol float64
 	}
-	good := args{epochs: 10, batch: 32, workers: 4, freq: 5, rankFrac: 0.1}
-	if err := validateFlags(good.epochs, good.batch, good.workers, good.freq, good.rankFrac); err != nil {
+	good := args{epochs: 10, batch: 32, workers: 4, freq: 5,
+		rankFrac: 0.1, damping: 0.03, condLimit: 1e14, idTol: 1e-12}
+	if err := validateFlags(good.epochs, good.batch, good.workers, good.freq,
+		good.rankFrac, good.damping, good.condLimit, good.idTol); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
 	}
-	// rank-frac = 1 is the inclusive upper edge.
-	if err := validateFlags(1, 1, 1, 1, 1); err != nil {
+	// rank-frac = 1 is the inclusive upper edge; id-tol 0 disables truncation.
+	if err := validateFlags(1, 1, 1, 1, 1, 1, 2, 0); err != nil {
 		t.Fatalf("edge flags rejected: %v", err)
 	}
 	cases := []struct {
 		name string
 		a    args
 	}{
-		{"zero epochs", args{0, 32, 4, 5, 0.1}},
-		{"negative epochs", args{-3, 32, 4, 5, 0.1}},
-		{"zero batch", args{10, 0, 4, 5, 0.1}},
-		{"zero workers", args{10, 32, 0, 5, 0.1}},
-		{"negative freq", args{10, 32, 4, -1, 0.1}},
-		{"zero rank-frac", args{10, 32, 4, 5, 0}},
-		{"rank-frac above one", args{10, 32, 4, 5, 1.5}},
-		{"negative rank-frac", args{10, 32, 4, 5, -0.1}},
+		{"zero epochs", args{0, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
+		{"negative epochs", args{-3, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
+		{"zero batch", args{10, 0, 4, 5, 0.1, 0.03, 1e14, 0}},
+		{"zero workers", args{10, 32, 0, 5, 0.1, 0.03, 1e14, 0}},
+		{"negative freq", args{10, 32, 4, -1, 0.1, 0.03, 1e14, 0}},
+		{"zero rank-frac", args{10, 32, 4, 5, 0, 0.03, 1e14, 0}},
+		{"rank-frac above one", args{10, 32, 4, 5, 1.5, 0.03, 1e14, 0}},
+		{"negative rank-frac", args{10, 32, 4, 5, -0.1, 0.03, 1e14, 0}},
+		{"zero damping", args{10, 32, 4, 5, 0.1, 0, 1e14, 0}},
+		{"negative damping", args{10, 32, 4, 5, 0.1, -0.01, 1e14, 0}},
+		{"NaN damping", args{10, 32, 4, 5, 0.1, math.NaN(), 1e14, 0}},
+		{"Inf damping", args{10, 32, 4, 5, 0.1, math.Inf(1), 1e14, 0}},
+		{"cond-limit at one", args{10, 32, 4, 5, 0.1, 0.03, 1, 0}},
+		{"negative cond-limit", args{10, 32, 4, 5, 0.1, 0.03, -5, 0}},
+		{"NaN cond-limit", args{10, 32, 4, 5, 0.1, 0.03, math.NaN(), 0}},
+		{"negative id-tol", args{10, 32, 4, 5, 0.1, 0.03, 1e14, -1e-6}},
+		{"id-tol at one", args{10, 32, 4, 5, 0.1, 0.03, 1e14, 1}},
+		{"NaN id-tol", args{10, 32, 4, 5, 0.1, 0.03, 1e14, math.NaN()}},
 	}
 	for _, c := range cases {
-		if err := validateFlags(c.a.epochs, c.a.batch, c.a.workers, c.a.freq, c.a.rankFrac); err == nil {
+		if err := validateFlags(c.a.epochs, c.a.batch, c.a.workers, c.a.freq,
+			c.a.rankFrac, c.a.damping, c.a.condLimit, c.a.idTol); err == nil {
 			t.Errorf("%s: expected error, got nil", c.name)
 		}
 	}
@@ -64,7 +78,7 @@ func TestPrecondFactoryAllOptimizers(t *testing.T) {
 	firstOrder := map[string]bool{"sgd": true, "adam": true}
 	for _, o := range []string{"sgd", "adam", "kfac", "kaisa", "ekfac", "kbfgs",
 		"sngd", "hylo", "hylo-kid", "hylo-kis", "hylo-random"} {
-		f := precondFactory(o, 0.1, 0.1, 0.25)
+		f := precondFactory(o, 0.1, 0.1, 0.25, 1e-12)
 		if firstOrder[o] {
 			if f != nil {
 				t.Fatalf("%s: expected nil factory", o)
@@ -105,6 +119,18 @@ func TestParseFaultSpec(t *testing.T) {
 		t.Fatal("parsed plan reports disabled")
 	}
 
+	// Degenerate payload injection parses kind and probability.
+	plan, err = parseFaultSpec("degenerate:dup@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DegenerateKind != "dup" || plan.DegenerateProb != 1 {
+		t.Fatalf("degenerate = %s@%v; want dup@1", plan.DegenerateKind, plan.DegenerateProb)
+	}
+	if !plan.Enabled() {
+		t.Fatal("degenerate-only plan reports disabled")
+	}
+
 	// A spec without panic must leave panic injection off.
 	plan, err = parseFaultSpec("bitflip:0.5")
 	if err != nil {
@@ -115,17 +141,21 @@ func TestParseFaultSpec(t *testing.T) {
 	}
 
 	bad := []string{
-		"panic:1",          // missing @STEP
-		"panic:x@4",        // bad rank
-		"panic:1@-2",       // negative step
-		"bitflip:0",        // prob out of range
-		"bitflip:1.5",      // prob out of range
-		"delay:0.1",        // missing duration
-		"delay:0.1@bogus",  // bad duration
-		"delay:2@5ms",      // prob out of range
-		"gremlins:1",       // unknown kind
-		"panic",            // no args
-		"panic:1@40,oops:", // trailing bad directive
+		"panic:1",                // missing @STEP
+		"panic:x@4",              // bad rank
+		"panic:1@-2",             // negative step
+		"bitflip:0",              // prob out of range
+		"bitflip:1.5",            // prob out of range
+		"delay:0.1",              // missing duration
+		"delay:0.1@bogus",        // bad duration
+		"delay:2@5ms",            // prob out of range
+		"gremlins:1",             // unknown kind
+		"panic",                  // no args
+		"panic:1@40,oops:",       // trailing bad directive
+		"degenerate:dup",         // missing @PROB
+		"degenerate:dup@0",       // prob out of range
+		"degenerate:dup@1.5",     // prob out of range
+		"degenerate:gremlin@0.5", // unknown kind
 	}
 	for _, spec := range bad {
 		if _, err := parseFaultSpec(spec); err == nil {

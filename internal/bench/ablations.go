@@ -129,11 +129,17 @@ func measureKIDError(cfg RunConfig, randomized bool) float64 {
 		return core.GradError(a, g, grad, 0.1, r, core.ModeKID, rng)
 	}
 	// Randomized variant: rebuild the reduced update by hand.
-	exact := core.PreconditionExact(a, g, grad, 0.1)
+	exact, exErr := core.PreconditionExact(a, g, grad, 0.1)
+	if exErr != nil {
+		return -1
+	}
 	scale := 1 / sqrtSqrt(float64(a.Rows()))
 	an := a.Clone().Scale(scale)
 	gn := g.Clone().Scale(scale)
-	as, gs, y := core.KIDFactorsRand(rng, an, gn, r, 0.1, 8)
+	as, gs, y, idErr := core.KIDFactorsRand(rng, an, gn, r, 0.1, 8)
+	if idErr != nil {
+		return -1
+	}
 	khat := mat.KernelMatrix(as, gs)
 	iyk := mat.Mul(y, khat)
 	iyk.AddDiag(1)
@@ -177,7 +183,11 @@ func AblationKISRescale(cfg RunConfig) *Table {
 	l := kls[len(kls)-1]
 	a, g := l.Capture()
 	grad := l.Weight().Grad.Data()
-	exact := core.PreconditionExact(a, g, grad, 0.1)
+	exact, exErr := core.PreconditionExact(a, g, grad, 0.1)
+	if exErr != nil {
+		t.AddNote("exact SNGD solve failed: " + exErr.Error())
+		return t
+	}
 	const trials = 10
 	for _, v := range []struct {
 		name    string

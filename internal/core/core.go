@@ -11,10 +11,24 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/numerics"
 )
+
+// DefaultIDTol is the default relative tolerance for numerical-rank
+// truncation inside the interpolative decomposition: pivoted-QR diagonal
+// entries below DefaultIDTol·|R(0,0)| are treated as numerically zero
+// (exactly what duplicated batch rows produce) and the KID factors
+// truncate to the detected rank.
+const DefaultIDTol = 1e-12
+
+// maxDampAttempts bounds the Levenberg-Marquardt damping escalation at the
+// reduced-system solve sites before the degradation ladder moves to the
+// next rung.
+const maxDampAttempts = 6
 
 // Mode selects the low-rank reduction used in an epoch.
 type Mode int
@@ -43,16 +57,22 @@ func (m Mode) String() string {
 //
 // It returns the selected rows aˢ = a[S,:], gˢ = g[S,:] and the projected
 // residual correction Y = Pᵀ (R + αI)⁻¹ P with R = Q − P·Q[S,:].
-func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense) {
-	return kidFactorsInto(nil, nil, nil, a, g, r, alpha)
+//
+// The residual solve escalates damping a bounded number of times before
+// giving up with a non-nil error; the inputs are never panicked on, and on
+// error the returned matrices are nil.
+func KIDFactors(a, g *mat.Dense, r int, alpha float64) (as, gs, y *mat.Dense, err error) {
+	return kidFactorsInto(nil, nil, nil, a, g, r, alpha, DefaultIDTol)
 }
 
 // kidFactorsInto is KIDFactors writing the results into persistent
 // pool-backed buffers (checked out when nil or wrongly sized): the returned
 // matrices replace the ones passed in, exactly like mat.EnsureDense. All
 // internal scratch cycles through the pool, so the steady state of an
-// iterative caller allocates nothing.
-func kidFactorsInto(as, gs, y, a, g *mat.Dense, r int, alpha float64) (asOut, gsOut, yOut *mat.Dense) {
+// iterative caller allocates nothing. tol is the interpolative-decomposition
+// numerical-rank tolerance (0 disables truncation). On error the buffers
+// passed in are handed back unchanged so the caller keeps its pooled storage.
+func kidFactorsInto(as, gs, y, a, g *mat.Dense, r int, alpha, tol float64) (asOut, gsOut, yOut *mat.Dense, err error) {
 	m := a.Rows()
 	if g.Rows() != m {
 		panic("core: KIDFactors row mismatch")
@@ -63,21 +83,37 @@ func kidFactorsInto(as, gs, y, a, g *mat.Dense, r int, alpha float64) (asOut, gs
 	// (1) Gram matrix of the Khatri-Rao rows.
 	q := mat.GetDense(m, m)
 	mat.KernelMatrixInto(q, a, g)
-	// (2) Row interpolative decomposition Q ≈ P Q[S,:].
-	p, s := mat.InterpolativeDecomp(q, r)
+	// (2) Row interpolative decomposition Q ≈ P Q[S,:], truncated to the
+	// numerical rank when duplicated/near-collinear rows collapse it.
+	p, s := mat.InterpolativeDecompTol(q, r, tol)
 	// (3) Residue.
 	qs := mat.GetDense(len(s), m)
 	q.SelectRowsInto(qs, s)
 	res := mat.GetDense(m, m)
 	mat.MulInto(res, p, qs)
 	mat.SubInto(res, q, res)
-	// (4) KID factors. (R+αI) is a general matrix; fall back to growing
-	// damping if it is numerically singular.
+	// (4) KID factors. (R+αI) is a general matrix; escalate damping a
+	// bounded number of times if it is numerically singular, then give up
+	// with an error instead of looping (NaN input never converges).
 	damped := res.AddDiag(alpha) // res is pooled scratch; mutate in place
 	rinv := mat.GetDense(m, m)
+	retries := 0
 	for boost := 0.0; ; {
-		if err := mat.InvInto(rinv, damped); err == nil {
+		cond, ierr := mat.InvCondInto(rinv, damped)
+		if ierr == nil && cond <= numerics.CondLimit() {
 			break
+		}
+		if retries >= maxDampAttempts {
+			if retries > 0 {
+				numerics.AddRetries("core.kid.residual", retries)
+			}
+			mat.PutDense(rinv)
+			mat.PutDense(res)
+			mat.PutDense(qs)
+			mat.PutDense(q)
+			err = fmt.Errorf("core: KID residual system unsolvable after %d damped retries (cond %.3g): %w",
+				retries, cond, errOrIllConditioned(ierr))
+			return as, gs, y, err
 		}
 		if boost == 0 {
 			boost = math.Max(alpha, 1e-8)
@@ -85,6 +121,10 @@ func kidFactorsInto(as, gs, y, a, g *mat.Dense, r int, alpha float64) (asOut, gs
 			boost *= 10
 		}
 		damped.AddDiag(boost)
+		retries++
+	}
+	if retries > 0 {
+		numerics.AddRetries("core.kid.residual", retries)
 	}
 	rp := mat.GetDense(m, p.Cols())
 	mat.MulInto(rp, rinv, p)
@@ -99,7 +139,17 @@ func kidFactorsInto(as, gs, y, a, g *mat.Dense, r int, alpha float64) (asOut, gs
 	mat.PutDense(res)
 	mat.PutDense(qs)
 	mat.PutDense(q)
-	return as, gs, y
+	return as, gs, y, nil
+}
+
+// errOrIllConditioned wraps the underlying factorization error, defaulting
+// to mat.ErrIllConditioned when the solve succeeded numerically but the
+// condition estimate exceeded the configured limit.
+func errOrIllConditioned(err error) error {
+	if err != nil {
+		return err
+	}
+	return mat.ErrIllConditioned
 }
 
 // AdaptiveKIDRank chooses the smallest rank whose interpolative
@@ -133,7 +183,7 @@ func AdaptiveKIDRank(a, g *mat.Dense, tol float64, maxRank int) int {
 // [33] (Biagioni & Beylkin): the pivoted QR runs on an m×(r+oversample)
 // sketch instead of the full m×m Gram matrix, trading a small accuracy
 // loss for an asymptotically cheaper factorization.
-func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversample int) (as, gs, y *mat.Dense) {
+func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversample int) (as, gs, y *mat.Dense, err error) {
 	m := a.Rows()
 	if g.Rows() != m {
 		panic("core: KIDFactorsRand row mismatch")
@@ -151,12 +201,19 @@ func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversam
 	mat.MulInto(res, p, qs)
 	mat.SubInto(res, q, res)
 	damped := res.AddDiag(alpha)
-	var rinv *mat.Dense
+	rinv := ws.Dense(m, m)
+	retries := 0
 	for boost := 0.0; ; {
-		var err error
-		rinv, err = mat.Inv(damped)
-		if err == nil {
+		cond, ierr := mat.InvCondInto(rinv, damped)
+		if ierr == nil && cond <= numerics.CondLimit() {
 			break
+		}
+		if retries >= maxDampAttempts {
+			if retries > 0 {
+				numerics.AddRetries("core.kidrand.residual", retries)
+			}
+			return nil, nil, nil, fmt.Errorf("core: randomized KID residual system unsolvable after %d damped retries (cond %.3g): %w",
+				retries, cond, errOrIllConditioned(ierr))
 		}
 		if boost == 0 {
 			boost = math.Max(alpha, 1e-8)
@@ -164,11 +221,15 @@ func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversam
 			boost *= 10
 		}
 		damped.AddDiag(boost)
+		retries++
+	}
+	if retries > 0 {
+		numerics.AddRetries("core.kidrand.residual", retries)
 	}
 	rp := ws.Dense(m, p.Cols())
 	mat.MulInto(rp, rinv, p)
 	y = mat.MulTA(p, rp)
-	return a.SelectRows(s), g.SelectRows(s), y
+	return a.SelectRows(s), g.SelectRows(s), y, nil
 }
 
 // KISFactors implements Algorithm 3: norm-based importance sampling of r
@@ -199,6 +260,13 @@ func kisFactorsInto(as, gs *mat.Dense, rng *mat.RNG, a, g *mat.Dense, r int, res
 	defer mat.PutFloats(ng)
 	mat.RowNormsInto(na, a)
 	mat.RowNormsInto(ng, g)
+	// Normalize each norm vector to [0,1] before forming the products:
+	// rows near √MaxFloat64 would otherwise overflow na·ng to +Inf and
+	// poison the sampling weights. Scores are scale-invariant, so relative
+	// weights (and the (r·q_j)^(-1/4) rescale) are unchanged for finite
+	// inputs; ±Inf norms map to the top weight, NaN to zero.
+	normalizeScores(na)
+	normalizeScores(ng)
 	scores := mat.GetFloats(m)
 	defer mat.PutFloats(scores)
 	var total float64
@@ -232,6 +300,31 @@ func kisFactorsInto(as, gs *mat.Dense, rng *mat.RNG, a, g *mat.Dense, r int, res
 func rowScale(row []float64, c float64) {
 	for i := range row {
 		row[i] *= c
+	}
+}
+
+// normalizeScores rescales a non-negative score vector by its largest
+// finite entry so downstream products cannot overflow: NaN entries become
+// 0 (excluded from sampling), +Inf entries become 1 (the maximum weight).
+func normalizeScores(v []float64) {
+	var mx float64
+	for _, x := range v {
+		if x > mx && !math.IsInf(x, 0) {
+			mx = x
+		}
+	}
+	if mx == 0 {
+		mx = 1
+	}
+	for i, x := range v {
+		switch {
+		case math.IsNaN(x):
+			v[i] = 0
+		case math.IsInf(x, 0):
+			v[i] = 1
+		default:
+			v[i] = x / mx
+		}
 	}
 }
 

@@ -13,7 +13,10 @@ func TestKIDFactorsShapes(t *testing.T) {
 	rng := mat.NewRNG(1)
 	a := mat.RandN(rng, 16, 5, 1)
 	g := mat.RandN(rng, 16, 7, 1)
-	as, gs, y := KIDFactors(a, g, 4, 0.1)
+	as, gs, y, err := KIDFactors(a, g, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if as.Rows() != 4 || as.Cols() != 5 {
 		t.Fatalf("as dims %dx%d; want 4x5", as.Rows(), as.Cols())
 	}
@@ -29,7 +32,10 @@ func TestKIDRankClamp(t *testing.T) {
 	rng := mat.NewRNG(2)
 	a := mat.RandN(rng, 6, 3, 1)
 	g := mat.RandN(rng, 6, 3, 1)
-	as, _, _ := KIDFactors(a, g, 100, 0.1)
+	as, _, _, err := KIDFactors(a, g, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if as.Rows() != 6 {
 		t.Fatalf("clamped rank = %d; want 6", as.Rows())
 	}
@@ -47,8 +53,14 @@ func TestKIDFullRankMatchesExact(t *testing.T) {
 	for i := range grad {
 		grad[i] = rng.Norm()
 	}
-	exact := PreconditionExact(a, g, grad, 0.3)
-	kid := PreconditionReduced(a, g, grad, 0.3, m, ModeKID, rng)
+	exact, err := PreconditionExact(a, g, grad, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kid, err := PreconditionReduced(a, g, grad, 0.3, m, ModeKID, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j := range exact {
 		if math.Abs(exact[j]-kid[j]) > 1e-6*(1+math.Abs(exact[j])) {
 			t.Fatalf("full-rank KID[%d] = %g; exact = %g", j, kid[j], exact[j])
@@ -258,7 +270,10 @@ func TestKIDProperty(t *testing.T) {
 		for i := range grad {
 			grad[i] = rng.Norm()
 		}
-		out := PreconditionReduced(a, g, grad, 0.2, r, ModeKID, rng)
+		out, err := PreconditionReduced(a, g, grad, 0.2, r, ModeKID, rng)
+		if err != nil {
+			return false
+		}
 		for _, v := range out {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return false
@@ -286,7 +301,10 @@ func TestPreconditionContractionProperty(t *testing.T) {
 			grad[i] = rng.Norm()
 		}
 		alpha := 0.5
-		out := PreconditionExact(a, g, grad, alpha)
+		out, err := PreconditionExact(a, g, grad, alpha)
+		if err != nil {
+			return false
+		}
 		return mat.Norm2(out) <= mat.Norm2(grad)/alpha*(1+1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -340,8 +358,14 @@ func TestNystromFullRankMatchesExact(t *testing.T) {
 	for i := range grad {
 		grad[i] = rng.Norm()
 	}
-	exact := PreconditionExact(a, g, grad, 0.4)
-	nys := PreconditionNystrom(a, g, grad, 0.4, m, rng)
+	exact, err := PreconditionExact(a, g, grad, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nys, err := PreconditionNystrom(a, g, grad, 0.4, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j := range exact {
 		if math.Abs(exact[j]-nys[j]) > 1e-5*(1+math.Abs(exact[j])) {
 			t.Fatalf("full-rank Nystrom[%d] = %g; exact = %g", j, nys[j], exact[j])
@@ -378,12 +402,18 @@ func TestNystromErrorDecreasesWithRank(t *testing.T) {
 	for i := range grad {
 		grad[i] = rng.Norm()
 	}
-	exact := PreconditionExact(a, g, grad, 0.2)
+	exact, exErr := PreconditionExact(a, g, grad, 0.2)
+	if exErr != nil {
+		t.Fatal(exErr)
+	}
 	errAt := func(r int) float64 {
 		var sum float64
 		for trial := 0; trial < 5; trial++ {
 			tr := mat.NewRNG(uint64(trial)*7 + 3)
-			approx := PreconditionNystrom(a, g, grad, 0.2, r, tr)
+			approx, aerr := PreconditionNystrom(a, g, grad, 0.2, r, tr)
+			if aerr != nil {
+				t.Fatal(aerr)
+			}
 			var num, den float64
 			for j := range exact {
 				d := approx[j] - exact[j]

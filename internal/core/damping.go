@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // DampingAdapter implements the Levenberg-Marquardt-style damping schedule
 // the original KFAC paper uses: the damping shrinks while the loss keeps
 // improving (trusting the curvature model more) and grows when a step
@@ -19,6 +21,11 @@ type DampingAdapter struct {
 
 // Observe feeds the adapter one training-loss observation and returns the
 // adjusted damping.
+//
+// A NaN or ±Inf loss is treated as a maximally failed step: the damping
+// grows (falling back towards gradient descent), and the poisoned value is
+// NOT stored as prevLoss — a NaN baseline would make every later
+// comparison false and freeze the schedule open at minimum damping.
 func (d *DampingAdapter) Observe(damping, loss float64) float64 {
 	grow, shrink := d.Grow, d.Shrink
 	if grow <= 1 {
@@ -26,6 +33,10 @@ func (d *DampingAdapter) Observe(damping, loss float64) float64 {
 	}
 	if shrink <= 0 || shrink >= 1 {
 		shrink = 0.9
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		damping *= grow
+		return d.clamp(damping)
 	}
 	if d.seen {
 		if loss > d.prevLoss {
@@ -36,6 +47,10 @@ func (d *DampingAdapter) Observe(damping, loss float64) float64 {
 	}
 	d.prevLoss = loss
 	d.seen = true
+	return d.clamp(damping)
+}
+
+func (d *DampingAdapter) clamp(damping float64) float64 {
 	if d.Min > 0 && damping < d.Min {
 		damping = d.Min
 	}

@@ -42,7 +42,10 @@ func ExampleKIDFactors() {
 	rng := mat.NewRNG(3)
 	a := mat.RandN(rng, 12, 5, 1) // per-sample inputs
 	g := mat.RandN(rng, 12, 4, 1) // per-sample output gradients
-	as, gs, y := core.KIDFactors(a, g, 3, 0.1)
+	as, gs, y, err := core.KIDFactors(a, g, 3, 0.1)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("A^s: %dx%d  G^s: %dx%d  Y: %dx%d\n",
 		as.Rows(), as.Cols(), gs.Rows(), gs.Cols(), y.Rows(), y.Cols())
 	// Output:

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/numerics"
 	"repro/internal/telemetry"
 )
 
@@ -44,6 +45,12 @@ type HyLo struct {
 	// reduced-precision collectives of production implementations (Ueno et
 	// al.'s 21-bit format uses 12 mantissa bits). 0 disables quantization.
 	CommMantissaBits int
+	// IDTol is the relative numerical-rank tolerance of the interpolative
+	// decomposition: pivoted-QR diagonals below IDTol·|R(0,0)| truncate the
+	// KID rank (duplicated batch rows collapse cleanly instead of feeding a
+	// singular residual solve). 0 means DefaultIDTol; negative disables
+	// truncation.
+	IDTol float64
 
 	layers   []nn.KernelLayer
 	comm     dist.Comm
@@ -105,6 +112,17 @@ func NewHyLo(net *nn.Network, damping, rankFrac float64, comm dist.Comm, timelin
 
 // Name implements opt.Preconditioner.
 func (h *HyLo) Name() string { return "HyLo" }
+
+// idTol resolves the configured interpolative-decomposition tolerance.
+func (h *HyLo) idTol() float64 {
+	if h.IDTol == 0 {
+		return DefaultIDTol
+	}
+	if h.IDTol < 0 {
+		return 0
+	}
+	return h.IDTol
+}
 
 // Mode returns the reduction currently in use.
 func (h *HyLo) Mode() Mode { return h.mode }
@@ -248,15 +266,29 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 	// pool, and reusing them keeps the steady state allocation-free.
 	t0 := time.Now()
 	var as, gs, y *mat.Dense
+	var facErr error
 	if h.RandomizedKID {
 		over := h.Oversample
 		if over <= 0 {
 			over = 8
 		}
-		as, gs, y = KIDFactorsRand(h.rng, an, gn, rho, h.Damping, over)
+		as, gs, y, facErr = KIDFactorsRand(h.rng, an, gn, rho, h.Damping, over)
 	} else {
-		st.asLoc, st.gsLoc, st.yLoc = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, an, gn, rho, h.Damping)
+		st.asLoc, st.gsLoc, st.yLoc, facErr = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, an, gn, rho, h.Damping, h.idTol())
 		as, gs, y = st.asLoc, st.gsLoc, st.yLoc
+	}
+	if facErr != nil {
+		// Local KID factorization failed (singular residual beyond the
+		// damped retries). Degrade this worker's contribution to importance
+		// sampling with a zero Y block: the gather/block-diagonal schedule
+		// stays identical across workers — only this block's correction
+		// vanishes — so the collective sequence cannot desynchronize.
+		numerics.RecordFallback("hylo.kid.local", numerics.RungKIS, facErr.Error())
+		st.asLoc, st.gsLoc = kisFactorsInto(st.asLoc, st.gsLoc, h.rng, an, gn, rho, true)
+		as, gs = st.asLoc, st.gsLoc
+		st.yLoc = mat.EnsureDense(st.yLoc, as.Rows(), as.Rows())
+		st.yLoc.Zero()
+		y = st.yLoc
 	}
 	h.record(dist.PhaseFactorize, layer, t0)
 
@@ -292,15 +324,41 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 		mat.MulInto(iyk, yBlk, khat)
 		iyk.AddDiag(1)
 		inv := mat.GetDense(rtot, rtot)
-		if err := mat.InvInto(inv, iyk); err != nil {
-			iyk.AddDiag(1e-8)
-			psd := mat.InvSPDDamped(mat.Mul(iyk.T(), iyk), 0) // last-resort PSD fallback
-			inv.CopyFrom(mat.Mul(psd, iyk.T()))
-		}
 		// The result is handed to the broadcast, so it lives in a
-		// state-owned persistent buffer rather than the pool.
+		// state-owned persistent buffer rather than the pool. All ladder
+		// rungs below produce the same rtot×rtot shape, keeping the
+		// broadcast sequence identical no matter which rung fires.
 		st.mbuf = mat.EnsureDense(st.mbuf, rtot, rtot)
-		mat.MulInto(st.mbuf, inv, yBlk)
+		solved := false
+		if err := invGeneralDampedInto(inv, iyk, "hylo.kid.inner"); err == nil {
+			mat.MulInto(st.mbuf, inv, yBlk)
+			solved = st.mbuf.IsFinite()
+			if !solved {
+				numerics.RecordFallback("hylo.kid.inner", numerics.RungKIS,
+					"M = (I+YK̂)⁻¹Y not finite")
+			}
+		} else {
+			numerics.RecordFallback("hylo.kid.inner", numerics.RungKIS, err.Error())
+		}
+		if !solved {
+			// KIS-form rung: M = (K̂+αI)⁻¹ drops the Y correction but keeps
+			// a genuine curvature preconditioner from the gathered factors.
+			kinv, _, retries, _, err := mat.InvSPDDampedChecked(khat, h.Damping)
+			if retries > 0 {
+				numerics.AddRetries("hylo.kid.inner", retries)
+			}
+			if err == nil && kinv.IsFinite() {
+				st.mbuf.CopyFrom(kinv)
+				solved = true
+			}
+		}
+		if !solved {
+			// Identity rung: M = 0 makes the correction vanish, so the
+			// update degrades to the plain scaled-gradient step g/α.
+			numerics.RecordFallback("hylo.kid.inner", numerics.RungIdentity,
+				"KIS-form reduced kernel unsolvable")
+			st.mbuf.Zero()
+		}
 		m = st.mbuf
 		mat.PutDense(inv)
 		mat.PutDense(khat)
@@ -340,8 +398,24 @@ func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 		k := mat.GetDense(rtot, rtot)
 		mat.KernelMatrixInto(k, st.as, st.gs)
 		k.AddDiag(h.Damping)
-		// kinv escapes into long-lived state, so it is NOT pooled.
-		kinv = mat.InvSPDDamped(k, 0)
+		// kinv escapes into long-lived state, so it is NOT pooled. On an
+		// unsolvable kernel the rung degrades to M = 0 (plain g/α step) in
+		// the same rtot×rtot shape, keeping the broadcast sequence matched
+		// across workers.
+		var retries int
+		var err error
+		kinv, _, retries, _, err = mat.InvSPDDampedChecked(k, 0)
+		if retries > 0 {
+			numerics.AddRetries("hylo.kis.inner", retries)
+		}
+		if err != nil || !kinv.IsFinite() {
+			reason := "reduced kernel inverse not finite"
+			if err != nil {
+				reason = err.Error()
+			}
+			numerics.RecordFallback("hylo.kis.inner", numerics.RungIdentity, reason)
+			kinv = mat.NewDense(rtot, rtot)
+		}
 		mat.PutDense(k)
 		h.record(dist.PhaseInvert, layer, t0)
 	}

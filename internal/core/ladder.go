@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/mat"
+	"repro/internal/numerics"
+)
+
+// PreconditionRobust is the per-layer degradation ladder: it applies the
+// requested reduction and, if the solve fails (singular kernel, bad
+// damping, non-finite output), walks down progressively cheaper and more
+// conservative rungs until one produces a finite update:
+//
+//	requested mode (KID or KIS)
+//	  → KIS          (sampling avoids the interpolative solve entirely)
+//	  → Nyström      (landmark solve via CG, tolerant of rank collapse)
+//	  → identity     (plain scaled-gradient direction g/α — always finite)
+//
+// Each rung that fires is recorded on the numerics monitor together with
+// the error that evicted the previous rung, so a training run degrades to
+// SGD on a poisoned batch instead of panicking, and the end-of-run report
+// shows exactly where and why. The returned rung is RungPrimary when the
+// requested mode succeeded.
+func PreconditionRobust(a, g *mat.Dense, grad []float64, alpha float64, r int, mode Mode, rng *mat.RNG) ([]float64, numerics.Rung) {
+	const site = "core.ladder"
+	out, err := PreconditionReduced(a, g, grad, alpha, r, mode, rng)
+	if err == nil {
+		return out, numerics.RungPrimary
+	}
+	if mode != ModeKIS {
+		numerics.RecordFallback(site, numerics.RungKIS, err.Error())
+		if out, err = PreconditionReduced(a, g, grad, alpha, r, ModeKIS, rng); err == nil {
+			return out, numerics.RungKIS
+		}
+	}
+	numerics.RecordFallback(site, numerics.RungNystrom, err.Error())
+	if out, err = PreconditionNystrom(a, g, grad, alpha, r, rng); err == nil {
+		return out, numerics.RungNystrom
+	}
+	// Identity rung: the preconditioner degrades to (αI)⁻¹, i.e. a plain
+	// scaled-gradient step. Non-finite gradient entries are scrubbed so the
+	// step stays finite no matter what arrived.
+	numerics.RecordFallback(site, numerics.RungIdentity, err.Error())
+	out = make([]float64, len(grad))
+	inv := 1.0
+	if err := checkDamping(alpha); err == nil {
+		inv = 1 / alpha
+	}
+	copy(out, grad)
+	if n := mat.ScrubNonFinite(out); n > 0 {
+		numerics.AddScrubs(n)
+	}
+	for j := range out {
+		out[j] *= inv
+	}
+	return out, numerics.RungIdentity
+}

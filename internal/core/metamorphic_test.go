@@ -30,9 +30,12 @@ func TestPreconditionLinearityProperty(t *testing.T) {
 		for i := range comb {
 			comb[i] = g1[i] + c*g2[i]
 		}
-		p1 := PreconditionExact(a, g, g1, 0.3)
-		p2 := PreconditionExact(a, g, g2, 0.3)
-		pc := PreconditionExact(a, g, comb, 0.3)
+		p1, e1 := PreconditionExact(a, g, g1, 0.3)
+		p2, e2 := PreconditionExact(a, g, g2, 0.3)
+		pc, e3 := PreconditionExact(a, g, comb, 0.3)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
 		for i := range pc {
 			want := p1[i] + c*p2[i]
 			if math.Abs(pc[i]-want) > 1e-8*(1+math.Abs(want)) {
@@ -59,7 +62,10 @@ func TestPreconditionDampingLimitProperty(t *testing.T) {
 			grad[i] = rng.Norm()
 		}
 		const alpha = 1e8
-		p := PreconditionExact(a, g, grad, alpha)
+		p, err := PreconditionExact(a, g, grad, alpha)
+		if err != nil {
+			return false
+		}
 		for i := range p {
 			if math.Abs(p[i]*alpha-grad[i]) > 1e-4*(1+math.Abs(grad[i])) {
 				return false
@@ -89,8 +95,11 @@ func TestPreconditionPermutationInvarianceProperty(t *testing.T) {
 		perm := rng.Perm(m)
 		ap := a.SelectRows(perm)
 		gp := g.SelectRows(perm)
-		p1 := PreconditionExact(a, g, grad, 0.4)
-		p2 := PreconditionExact(ap, gp, grad, 0.4)
+		p1, e1 := PreconditionExact(a, g, grad, 0.4)
+		p2, e2 := PreconditionExact(ap, gp, grad, 0.4)
+		if e1 != nil || e2 != nil {
+			return false
+		}
 		for i := range p1 {
 			if math.Abs(p1[i]-p2[i]) > 1e-8*(1+math.Abs(p1[i])) {
 				return false
@@ -110,14 +119,20 @@ func TestPreconditionZeroFixedPoint(t *testing.T) {
 	g := mat.RandN(rng, 10, 3, 1)
 	zero := make([]float64, 12)
 	for _, mode := range []Mode{ModeKID, ModeKIS} {
-		out := PreconditionReduced(a, g, zero, 0.2, 4, mode, rng)
+		out, err := PreconditionReduced(a, g, zero, 0.2, 4, mode, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
 		for _, v := range out {
 			if v != 0 {
 				t.Fatalf("%v: P(0) != 0", mode)
 			}
 		}
 	}
-	out := PreconditionNystrom(a, g, zero, 0.2, 4, rng)
+	out, err := PreconditionNystrom(a, g, zero, 0.2, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range out {
 		if v != 0 {
 			t.Fatal("Nystrom: P(0) != 0")
@@ -140,8 +155,11 @@ func TestPreconditionDuplicationInvariance(t *testing.T) {
 	}
 	a2 := mat.VStack(a, a)
 	g2 := mat.VStack(g, g)
-	p1 := PreconditionExact(a, g, grad, 0.3)
-	p2 := PreconditionExact(a2, g2, grad, 0.3)
+	p1, e1 := PreconditionExact(a, g, grad, 0.3)
+	p2, e2 := PreconditionExact(a2, g2, grad, 0.3)
+	if e1 != nil || e2 != nil {
+		t.Fatal(e1, e2)
+	}
 	for i := range p1 {
 		if math.Abs(p1[i]-p2[i]) > 1e-8*(1+math.Abs(p1[i])) {
 			t.Fatalf("duplicated batch changed the mean-Fisher preconditioner: %g vs %g",

@@ -66,7 +66,11 @@ func NystromFactors(rng *mat.RNG, a, g *mat.Dense, r int) (c, w *mat.Dense, s []
 //	(C W⁺ Cᵀ + αI)⁻¹ = (1/α)(I − C (αW + CᵀC)⁻¹ Cᵀ),
 //
 // so only an r×r system is solved. At r = m this is exactly Eq. (7).
-func PreconditionNystrom(a, g *mat.Dense, grad []float64, alpha float64, r int, rng *mat.RNG) []float64 {
+// Degenerate inputs produce a typed error instead of NaN output.
+func PreconditionNystrom(a, g *mat.Dense, grad []float64, alpha float64, r int, rng *mat.RNG) ([]float64, error) {
+	if err := checkDamping(alpha); err != nil {
+		return nil, err
+	}
 	ws := mat.NewWorkspace()
 	defer ws.Release()
 	scale := math.Pow(float64(a.Rows()), -0.25)
@@ -102,5 +106,5 @@ func PreconditionNystrom(a, g *mat.Dense, grad []float64, alpha float64, r int, 
 	for j := range grad {
 		out[j] = inv * (grad[j] - corr[j])
 	}
-	return out
+	return finiteOrErr(out, "core.nystrom")
 }

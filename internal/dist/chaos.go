@@ -28,11 +28,22 @@ type FaultPlan struct {
 	// probability — simulating transient slow links/workers. 0 disables.
 	StragglerProb  float64
 	StragglerDelay time.Duration
+	// DegenerateKind replaces gathered factor payloads with numerically
+	// degenerate ones, exercising the solver degradation ladder:
+	// "dup" duplicates row 0 into every row (rank-1 kernel), "zero" zeroes
+	// the payload (vanished gradients), "huge" scales it by 1e150 (kernel
+	// entries overflow). Applied with probability DegenerateProb per
+	// all-gather; empty disables.
+	DegenerateKind string
+	// DegenerateProb is the per-collective injection probability for
+	// DegenerateKind.
+	DegenerateProb float64
 }
 
 // Enabled reports whether the plan injects anything at all.
 func (p FaultPlan) Enabled() bool {
-	return p.PanicStep >= 0 || p.BitFlipProb > 0 || (p.StragglerProb > 0 && p.StragglerDelay > 0)
+	return p.PanicStep >= 0 || p.BitFlipProb > 0 || (p.StragglerProb > 0 && p.StragglerDelay > 0) ||
+		(p.DegenerateKind != "" && p.DegenerateProb > 0)
 }
 
 // InjectedFault is the panic value delivered by scheduled worker-death
@@ -125,16 +136,50 @@ func (f *FaultInjector) maybeFlip(m *mat.Dense) *mat.Dense {
 	return out
 }
 
+// maybeDegenerate returns m or a degenerate copy per the plan's draw: a
+// duplicated-row payload (collapses the kernel to numerical rank 1), a
+// zero payload, or a hugely scaled one (kernel entries overflow to ±Inf).
+// The caller's buffers are never mutated — only the exchanged payload.
+func (f *FaultInjector) maybeDegenerate(m *mat.Dense) *mat.Dense {
+	if f.plan.DegenerateKind == "" || f.plan.DegenerateProb <= 0 ||
+		f.rng.Float64() >= f.plan.DegenerateProb {
+		return m
+	}
+	if m.Rows() == 0 || m.Cols() == 0 {
+		return m
+	}
+	out := m.Clone()
+	switch f.plan.DegenerateKind {
+	case "dup":
+		r0 := out.Row(0)
+		for i := 1; i < out.Rows(); i++ {
+			copy(out.Row(i), r0)
+		}
+	case "zero":
+		out.Zero()
+	case "huge":
+		out.Scale(1e150)
+	default:
+		return m
+	}
+	telemetry.IncCounter(telemetry.MetricFaultsInjected, 1,
+		telemetry.Label{Key: "kind", Value: "degenerate-" + f.plan.DegenerateKind})
+	return out
+}
+
 // Size implements Comm.
 func (f *FaultInjector) Size() int { return f.inner.Size() }
 
 // ID implements Comm.
 func (f *FaultInjector) ID() int { return f.inner.ID() }
 
-// AllGatherMat implements Comm with chaos injection.
+// AllGatherMat implements Comm with chaos injection. Degenerate-payload
+// injection targets the factor gathers specifically: they are the inputs to
+// the reduced kernel solves, so this is the path that exercises the
+// numerical degradation ladder end-to-end.
 func (f *FaultInjector) AllGatherMat(m *mat.Dense) []*mat.Dense {
 	f.maybeDelay()
-	return f.inner.AllGatherMat(f.maybeFlip(m))
+	return f.inner.AllGatherMat(f.maybeFlip(f.maybeDegenerate(m)))
 }
 
 // AllReduceMat implements Comm with chaos injection.

@@ -223,3 +223,111 @@ func TestReduceScatterRowsFewerRowsThanWorkers(t *testing.T) {
 		t.Fatalf("last-rank shard sum = %v; want %v", lastSum, 2*3*p)
 	}
 }
+
+// Degenerate-payload injection must corrupt only the exchanged payload
+// (never the caller's buffer), target the factor gathers, and apply the
+// exact configured degeneracy per kind.
+func TestFaultInjectorDegeneratePayloads(t *testing.T) {
+	gatherWith := func(kind string) [][]*mat.Dense {
+		c := NewCluster(2)
+		out := make([][]*mat.Dense, 2)
+		c.Run(func(w *Worker) {
+			f := NewFaultInjector(w, FaultPlan{
+				Seed: 5, PanicStep: -1,
+				DegenerateKind: kind, DegenerateProb: 1,
+			})
+			m := mat.NewDense(3, 2)
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 2; j++ {
+					m.Set(i, j, float64(1+i*2+j))
+				}
+			}
+			got := f.AllGatherMat(m)
+			if m.At(0, 0) != 1 || m.At(2, 1) != 6 {
+				t.Error("degenerate injection mutated the caller's buffer")
+			}
+			out[w.Rank] = got
+		})
+		return out
+	}
+
+	for _, payloads := range gatherWith("dup") {
+		for _, p := range payloads {
+			for i := 1; i < p.Rows(); i++ {
+				for j := 0; j < p.Cols(); j++ {
+					if p.At(i, j) != p.At(0, j) {
+						t.Fatalf("dup: row %d differs from row 0", i)
+					}
+				}
+			}
+		}
+	}
+	for _, payloads := range gatherWith("zero") {
+		for _, p := range payloads {
+			for _, v := range p.Data() {
+				if v != 0 {
+					t.Fatal("zero: non-zero entry in gathered payload")
+				}
+			}
+		}
+	}
+	for _, payloads := range gatherWith("huge") {
+		for _, p := range payloads {
+			if p.At(0, 0) != 1e150 {
+				t.Fatalf("huge: entry = %g; want 1e150", p.At(0, 0))
+			}
+		}
+	}
+	// Unknown kinds pass the payload through untouched.
+	for _, payloads := range gatherWith("gremlin") {
+		for _, p := range payloads {
+			if p.At(0, 0) != 1 {
+				t.Fatal("unknown kind corrupted the payload")
+			}
+		}
+	}
+}
+
+// Degenerate injection draws must be deterministic under a fixed seed so
+// chaos runs are reproducible.
+func TestFaultInjectorDegenerateDeterministic(t *testing.T) {
+	run := func() []float64 {
+		c := NewCluster(2)
+		out := make([]float64, 2)
+		c.Run(func(w *Worker) {
+			f := NewFaultInjector(w, FaultPlan{
+				Seed: 77, PanicStep: -1,
+				DegenerateKind: "zero", DegenerateProb: 0.5,
+			})
+			var sum float64
+			for step := 0; step < 8; step++ {
+				m := mat.NewDense(2, 2)
+				m.Fill(float64(step + 1))
+				for _, p := range f.AllGatherMat(m) {
+					sum += p.At(0, 0)
+				}
+			}
+			out[w.Rank] = sum
+		})
+		return out
+	}
+	a, b := run(), run()
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("degenerate draws not deterministic: %v vs %v", a, b)
+	}
+}
+
+// A degenerate-only plan must report itself enabled so the elastic driver
+// installs the injector.
+func TestFaultPlanDegenerateEnabled(t *testing.T) {
+	p := FaultPlan{PanicStep: -1, DegenerateKind: "dup", DegenerateProb: 0.1}
+	if !p.Enabled() {
+		t.Fatal("degenerate-only plan reports disabled")
+	}
+	if (FaultPlan{PanicStep: -1, DegenerateKind: "dup"}).Enabled() {
+		t.Fatal("zero-probability degenerate plan reports enabled")
+	}
+	if (FaultPlan{PanicStep: -1, DegenerateProb: 1}).Enabled() {
+		t.Fatal("kindless degenerate plan reports enabled")
+	}
+}

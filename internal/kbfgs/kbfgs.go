@@ -6,9 +6,13 @@
 package kbfgs
 
 import (
+	"math"
+
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
+
+	"repro/internal/numerics"
 )
 
 // KBFGSL preconditions each layer gradient with an L-BFGS inverse-Hessian
@@ -108,14 +112,31 @@ func (k *KBFGSL) Precondition() {
 			alpha[j] = st.rho[j] * dot(st.s[j], q)
 			axpy(q, st.y[j], -alpha[j])
 		}
-		// Initial scaling H₀ = (sᵀy / yᵀy) I from the newest pair.
+		// Initial scaling H₀ = (sᵀy / yᵀy) I from the newest pair; a
+		// degenerate pair (yᵀy = 0, or non-finite dots) falls back to H₀ = I
+		// rather than letting a NaN/Inf scale poison the whole direction.
 		gammaN := dot(st.s[n-1], st.y[n-1]) / dot(st.y[n-1], st.y[n-1])
+		if math.IsNaN(gammaN) || math.IsInf(gammaN, 0) || gammaN <= 0 {
+			gammaN = 1
+		}
 		for j := range q {
 			q[j] *= gammaN
 		}
 		for j := 0; j < n; j++ {
 			beta := st.rho[j] * dot(st.y[j], q)
 			axpy(q, st.s[j], alpha[j]-beta)
+		}
+		// A poisoned curvature pair can still make the recursion emit
+		// non-finite coordinates: degrade to the raw (scrubbed) gradient —
+		// the identity rung of the degradation ladder — instead of storing
+		// NaNs into the step.
+		if !mat.AllFinite(q) {
+			numerics.RecordFallback("kbfgs.twoloop", numerics.RungIdentity,
+				"two-loop recursion produced non-finite direction")
+			copy(q, grad.Data())
+			if scrubbed := mat.ScrubNonFinite(q); scrubbed > 0 {
+				numerics.AddScrubs(scrubbed)
+			}
 		}
 		copy(grad.Data(), q)
 		mat.PutFloats(alpha)

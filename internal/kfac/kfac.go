@@ -13,6 +13,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/numerics"
 	"repro/internal/telemetry"
 )
 
@@ -84,6 +85,27 @@ func NewKFAC(net *nn.Network, damping float64, comm dist.Comm, timeline *dist.Ti
 // Name implements opt.Preconditioner.
 func (k *KFAC) Name() string { return "KFAC" }
 
+// invertFactor is the degradation-aware damped inverse of one Kronecker
+// factor: bounded Levenberg-Marquardt escalation first, then the diagonal
+// (Jacobi) pseudo-inverse when no damping stabilizes the solve — the
+// Kronecker product of diagonal inverses is still a usable (Adagrad-like)
+// preconditioner. Retries and fallbacks are recorded under site.
+func invertFactor(f *mat.Dense, gamma float64, site string) *mat.Dense {
+	inv, _, retries, _, err := mat.InvSPDDampedChecked(f, gamma)
+	if retries > 0 {
+		numerics.AddRetries(site, retries)
+	}
+	if err == nil && inv.IsFinite() {
+		return inv
+	}
+	reason := "factor inverse not finite"
+	if err != nil {
+		reason = err.Error()
+	}
+	numerics.RecordFallback(site, numerics.RungDiagonal, reason)
+	return mat.DiagInvDamped(f, gamma)
+}
+
 func (k *KFAC) record(phase string, layer int, start time.Time) {
 	record(k.timeline, k.comm, "kfac", phase, layer, start)
 }
@@ -138,7 +160,7 @@ func (k *KFAC) Update() {
 				dIn, dOut := l.Dims()
 				gA, gG = piCorrection(st.aFactor.Trace(), dIn, st.gFactor.Trace(), dOut, k.Damping)
 			}
-			return mat.InvSPDDamped(st.aFactor, gA), mat.InvSPDDamped(st.gFactor, gG)
+			return invertFactor(st.aFactor, gA, "kfac.A"), invertFactor(st.gFactor, gG, "kfac.G")
 		}
 
 		if commOpt {

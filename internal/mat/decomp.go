@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/numerics"
 )
 
 // ErrNotSPD is returned when a Cholesky factorization encounters a
@@ -13,6 +15,12 @@ var ErrNotSPD = errors.New("mat: matrix is not symmetric positive definite")
 // ErrSingular is returned when an LU factorization encounters an exactly
 // zero pivot.
 var ErrSingular = errors.New("mat: matrix is singular")
+
+// ErrIllConditioned is returned when a solve could not be stabilized
+// within the bounded damping-escalation budget — the matrix is numerically
+// singular (or poisoned by non-finite entries) beyond what Levenberg-
+// Marquardt escalation can repair.
+var ErrIllConditioned = errors.New("mat: matrix is numerically ill-conditioned beyond repair")
 
 // Cholesky computes the lower-triangular L with a = L*Lᵀ for a symmetric
 // positive-definite matrix. The strictly upper part of the result is zero.
@@ -87,16 +95,29 @@ func InvSPD(a *Dense) (*Dense, error) {
 	return SolveCholesky(l, Identity(a.rows)), nil
 }
 
-// InvSPDDamped inverts (a + alpha*I) via Cholesky; it retries with growing
-// damping if the matrix is numerically indefinite, which is the standard
-// behaviour second-order optimizers need from a damped solve.
-func InvSPDDamped(a *Dense, alpha float64) *Dense {
+// maxDampedAttempts bounds the Levenberg-Marquardt damping escalation of
+// the checked damped solves. 40 decades of growth exhaust any finite
+// input's dynamic range, so hitting the bound means the matrix is poisoned
+// (non-finite) rather than merely stiff.
+const maxDampedAttempts = 40
+
+// InvSPDDampedChecked inverts (a + alpha*I) via Cholesky with bounded
+// Levenberg-Marquardt damping escalation: on an indefinite factorization
+// the damping grows by decades until the factorization succeeds or the
+// attempt budget is exhausted. It returns the inverse, the damping
+// actually used, the number of escalation retries, and a condition
+// estimate of the matrix that was finally inverted. The error (wrapping
+// ErrIllConditioned) is non-nil only when no damping stabilized the solve;
+// no input can make it panic.
+func InvSPDDampedChecked(a *Dense, alpha float64) (inv *Dense, usedDamp float64, retries int, cond float64, err error) {
 	damp := alpha
-	for k := 0; k < 60; k++ {
+	for k := 0; k < maxDampedAttempts; k++ {
 		c := a.Clone().AddDiag(damp)
-		inv, err := InvSPD(c)
-		if err == nil {
-			return inv
+		l, cerr := Cholesky(c)
+		if cerr == nil {
+			cond = CondEstCholesky(l, c.Norm1())
+			numerics.ObserveCondition("mat.invspd", cond)
+			return SolveCholesky(l, Identity(a.rows)), damp, k, cond, nil
 		}
 		if damp == 0 {
 			damp = 1e-8
@@ -104,7 +125,44 @@ func InvSPDDamped(a *Dense, alpha float64) *Dense {
 			damp *= 10
 		}
 	}
-	panic("mat: InvSPDDamped failed to stabilize")
+	return nil, damp, maxDampedAttempts, math.Inf(1),
+		fmt.Errorf("%w (damped SPD inverse, %d attempts, damping reached %g)",
+			ErrIllConditioned, maxDampedAttempts, damp)
+}
+
+// InvSPDDamped inverts (a + alpha*I) via Cholesky with bounded damping
+// escalation — the standard behaviour second-order optimizers need from a
+// damped solve. When even maximal damping cannot stabilize the solve (the
+// input is non-finite), it degrades to the diagonal (Jacobi) pseudo-inverse
+// and records the fallback, so the caller always receives a finite,
+// usable matrix: this function never panics. Callers that need to steer
+// their own degradation ladder use InvSPDDampedChecked instead.
+func InvSPDDamped(a *Dense, alpha float64) *Dense {
+	inv, _, retries, _, err := InvSPDDampedChecked(a, alpha)
+	numerics.AddRetries("mat.invspd", retries)
+	if err == nil {
+		return inv
+	}
+	numerics.RecordFallback("mat.invspd", numerics.RungDiagonal, err.Error())
+	return DiagInvDamped(a, alpha)
+}
+
+// DiagInvDamped returns the diagonal (Jacobi) pseudo-inverse of
+// (a + alpha*I): off-diagonals are dropped and each diagonal entry is
+// inverted with a floor so the result is always finite. This is the
+// last-but-one rung of the degradation ladder — a crude but safe
+// preconditioner when the full matrix cannot be inverted.
+func DiagInvDamped(a *Dense, alpha float64) *Dense {
+	n := a.rows
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d := math.Abs(a.At(i, i)) + alpha
+		if math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+			d = 1
+		}
+		out.Set(i, i, 1/d)
+	}
+	return out
 }
 
 // LU holds a row-pivoted LU factorization: P*a = L*U packed into lu.
@@ -262,6 +320,44 @@ func InvInto(dst, a *Dense) error {
 	putInts(piv)
 	PutDense(lu)
 	return nil
+}
+
+// InvCondInto is InvInto plus numerical health: it also computes the
+// Hager 1-norm condition estimate of a from the LU factorization (a few
+// O(n²) solves) before running the substitution, records it on the
+// numerics monitor, and reports it to the caller so degradation ladders
+// can treat a technically-successful but hopelessly ill-conditioned
+// factorization as a failure. On error, cond is +Inf and dst is
+// unspecified.
+func InvCondInto(dst, a *Dense) (cond float64, err error) {
+	if a.rows != a.cols {
+		panic("mat: InvCondInto needs a square matrix")
+	}
+	if dst.rows != a.rows || dst.cols != a.cols {
+		panic("mat: InvCondInto destination dimension mismatch")
+	}
+	checkNoAlias("InvCondInto", dst, a)
+	anorm := a.Norm1()
+	n := a.rows
+	lu := getDenseRaw(n, n)
+	lu.CopyFrom(a)
+	piv := getInts(n)
+	f, err := factorLUInPlace(lu, piv)
+	if err != nil {
+		putInts(piv)
+		PutDense(lu)
+		return math.Inf(1), err
+	}
+	cond = f.Cond1(anorm)
+	numerics.ObserveCondition("mat.inv", cond)
+	dst.Zero()
+	for i, p := range f.piv {
+		dst.data[i*n+p] = 1
+	}
+	f.solveInPlace(dst)
+	putInts(piv)
+	PutDense(lu)
+	return cond, nil
 }
 
 // Solve solves a*x = b via LU for a general square a.

@@ -76,3 +76,123 @@ func FuzzKernelIdentity(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFactorLU asserts the panic-free contract of the LU path: either the
+// factorization reports an error, or the solve it yields is finite and the
+// condition estimate is non-negative — for arbitrary (including degenerate
+// and non-finite) inputs, it must never panic.
+func FuzzFactorLU(f *testing.F) {
+	f.Add(uint64(1), uint8(4), 1.0)
+	f.Add(uint64(9), uint8(1), 0.0)
+	f.Add(uint64(17), uint8(12), math.NaN())
+	f.Fuzz(func(t *testing.T, seed uint64, nDim uint8, poison float64) {
+		n := int(nDim%12) + 1
+		rng := NewRNG(seed)
+		a := RandN(rng, n, n, 1)
+		// Sometimes poison one entry (NaN, Inf, huge) to probe non-finite
+		// handling; sometimes collapse to rank deficiency.
+		if !math.IsNaN(poison) && math.Abs(poison) > 0 {
+			a.Set(rng.Intn(n), rng.Intn(n), poison)
+		}
+		if seed%3 == 0 && n > 1 {
+			copy(a.Row(1), a.Row(0)) // duplicated row: exactly singular
+		}
+		anorm := a.Norm1()
+		lu, err := FactorLU(a)
+		if err != nil {
+			return // degenerate inputs may fail, but only via error
+		}
+		cond := lu.Cond1(anorm)
+		if cond < 0 {
+			t.Fatalf("negative condition estimate %g", cond)
+		}
+		b := RandN(rng, n, 1, 1)
+		x := lu.Solve(b)
+		if x.Rows() != n || x.Cols() != 1 {
+			t.Fatalf("solve shape %dx%d", x.Rows(), x.Cols())
+		}
+	})
+}
+
+// FuzzQRPivot asserts that pivoted QR and its numerical-rank detection
+// never panic and obey the rank contract 0 ≤ rank ≤ min(m,n) for arbitrary
+// inputs, including exactly-singular and non-finite ones.
+func FuzzQRPivot(f *testing.F) {
+	f.Add(uint64(2), uint8(6), uint8(4), 1e-10)
+	f.Add(uint64(8), uint8(1), uint8(9), 0.0)
+	f.Add(uint64(5), uint8(10), uint8(10), math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed uint64, mDim, nDim uint8, tol float64) {
+		m := int(mDim%12) + 1
+		n := int(nDim%12) + 1
+		rng := NewRNG(seed)
+		a := RandN(rng, m, n, 1)
+		switch seed % 4 {
+		case 1: // duplicated rows
+			for i := 1; i < m; i++ {
+				copy(a.Row(i), a.Row(0))
+			}
+		case 2: // zero matrix
+			a.Zero()
+		case 3: // one poisoned entry
+			a.Set(rng.Intn(m), rng.Intn(n), math.NaN())
+		}
+		qr := FactorQRPivot(a)
+		k := m
+		if n < k {
+			k = n
+		}
+		rank := qr.NumericalRank(tol)
+		if rank < 0 || rank > k {
+			t.Fatalf("rank %d out of [0,%d]", rank, k)
+		}
+		// The column pivoting must stay a valid permutation.
+		perm := qr.Perm()
+		seen := map[int]bool{}
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				t.Fatalf("invalid pivot permutation %v", perm)
+			}
+			seen[p] = true
+		}
+	})
+}
+
+// FuzzInvSPD asserts the never-panic contract of the damped SPD inverse:
+// the checked form terminates with a finite inverse or an error, and the
+// wrapper always returns a finite matrix, for arbitrary symmetric inputs.
+func FuzzInvSPD(f *testing.F) {
+	f.Add(uint64(4), uint8(5), 0.1, 1.0)
+	f.Add(uint64(12), uint8(3), 0.0, math.Inf(1))
+	f.Add(uint64(23), uint8(8), 1e-8, math.NaN())
+	f.Fuzz(func(t *testing.T, seed uint64, nDim uint8, alphaRaw, poison float64) {
+		n := int(nDim%10) + 1
+		alpha := math.Abs(alphaRaw)
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha > 1e6 {
+			alpha = 0
+		}
+		rng := NewRNG(seed)
+		var a *Dense
+		switch seed % 3 {
+		case 0:
+			a = RandSPD(rng, n, 1e-6)
+		case 1: // rank-1 Gram: singular
+			v := RandN(rng, n, 1, 1)
+			a = Mul(v, v.T())
+		default: // symmetric with a poisoned diagonal entry
+			a = RandSPD(rng, n, 1)
+			a.Set(n-1, n-1, poison)
+		}
+		inv, _, retries, _, err := InvSPDDampedChecked(a, alpha)
+		if err == nil {
+			if !inv.IsFinite() {
+				t.Fatal("checked success returned non-finite inverse")
+			}
+			if retries < 0 {
+				t.Fatalf("negative retry count %d", retries)
+			}
+		}
+		if safe := InvSPDDamped(a, alpha); safe == nil || !safe.IsFinite() {
+			t.Fatal("InvSPDDamped broke the always-finite contract")
+		}
+	})
+}

@@ -3,7 +3,10 @@ package mat
 import "math"
 
 // Norm2 returns the Euclidean norm of a vector, guarding against overflow
-// by scaling with the largest magnitude element.
+// by scaling with the largest magnitude element: entries up to
+// ~√MaxFloat64 apart stay exact, and even ±MaxFloat64 entries produce a
+// finite-or-+Inf result instead of the NaN a naive sum-of-squares yields.
+// An ±Inf entry returns +Inf (never NaN from the Inf/Inf scaling ratio).
 func Norm2(x []float64) float64 {
 	var maxAbs float64
 	for _, v := range x {
@@ -13,6 +16,9 @@ func Norm2(x []float64) float64 {
 	}
 	if maxAbs == 0 {
 		return 0
+	}
+	if math.IsInf(maxAbs, 0) {
+		return math.Inf(1)
 	}
 	var s float64
 	for _, v := range x {

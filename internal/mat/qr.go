@@ -128,6 +128,33 @@ func putQRPivot(f *QRPivot) {
 // Perm returns the column permutation (position -> original column index).
 func (f *QRPivot) Perm() []int { return f.perm }
 
+// NumericalRank returns the numerical rank detected from the pivoted-QR
+// diagonal: the largest k such that |R(k-1,k-1)| > tol·|R(0,0)|. Column
+// pivoting makes the diagonal magnitudes non-increasing, so the first
+// diagonal entry that decays below the relative tolerance marks the rank.
+// A non-positive tol disables detection (full rank min(m,n) is returned);
+// an all-zero or non-finite leading diagonal reports rank 0.
+func (f *QRPivot) NumericalRank(tol float64) int {
+	k := min(f.qr.rows, f.qr.cols)
+	if k == 0 {
+		return 0
+	}
+	d0 := math.Abs(f.qr.At(0, 0))
+	if d0 == 0 || math.IsNaN(d0) || math.IsInf(d0, 0) {
+		return 0
+	}
+	if tol <= 0 {
+		return k
+	}
+	for i := 1; i < k; i++ {
+		d := math.Abs(f.qr.At(i, i))
+		if math.IsNaN(d) || d <= tol*d0 {
+			return i
+		}
+	}
+	return k
+}
+
 // R returns the upper-triangular factor (k×n, k = min(m,n)).
 func (f *QRPivot) R() *Dense {
 	m, n := f.qr.rows, f.qr.cols
@@ -183,6 +210,17 @@ func (f *QRPivot) Q() *Dense {
 //
 // r is clamped to min(q.Rows(), q.Cols()).
 func InterpolativeDecomp(q *Dense, r int) (p *Dense, s []int) {
+	return InterpolativeDecompTol(q, r, 0)
+}
+
+// InterpolativeDecompTol is InterpolativeDecomp with numerical-rank
+// truncation: when tol > 0 and the pivoted-QR diagonal decays below
+// tol·|R(0,0)| before reaching r, the returned factorization truncates to
+// the detected rank (at least 1). Duplicated or near-collinear batch rows
+// make the Gram matrix numerically rank-deficient — truncating keeps the
+// back-substitution for the interpolation coefficients away from the
+// noise-level pivots that would otherwise amplify into the factors.
+func InterpolativeDecompTol(q *Dense, r int, tol float64) (p *Dense, s []int) {
 	m := q.rows
 	r = min(r, min(m, q.cols))
 	if r <= 0 {
@@ -193,6 +231,11 @@ func InterpolativeDecomp(q *Dense, r int) (p *Dense, s []int) {
 	// Column ID of qᵀ ≡ row ID of q; the factorization takes ownership of
 	// qt and putQRPivot below recycles it.
 	f := factorQRPivotInPlace(qt)
+	if tol > 0 {
+		if nr := f.NumericalRank(tol); nr < r {
+			r = max(nr, 1)
+		}
+	}
 	perm := f.perm
 	s = append([]int(nil), perm[:r]...)
 

@@ -14,8 +14,30 @@ import (
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/numerics"
 	"repro/internal/telemetry"
 )
+
+// invertKernel is the degradation-aware damped kernel inverse shared by the
+// SNGD variants: bounded Levenberg-Marquardt escalation, then M = 0 (the
+// plain g/α step) when no damping stabilizes the solve — the zero matrix
+// keeps the broadcast shape matched across workers. Retries and fallbacks
+// are recorded under site.
+func invertKernel(k *mat.Dense, site string) *mat.Dense {
+	kinv, _, retries, _, err := mat.InvSPDDampedChecked(k, 0)
+	if retries > 0 {
+		numerics.AddRetries(site, retries)
+	}
+	if err == nil && kinv.IsFinite() {
+		return kinv
+	}
+	reason := "kernel inverse not finite"
+	if err != nil {
+		reason = err.Error()
+	}
+	numerics.RecordFallback(site, numerics.RungIdentity, reason)
+	return mat.NewDense(k.Rows(), k.Cols())
+}
 
 // SNGD preconditions gradients with
 //
@@ -125,7 +147,7 @@ func (s *SNGD) Update() {
 				kinv = k.Clone()
 				mat.PutDense(k)
 			} else {
-				kinv = mat.InvSPDDamped(k, 0)
+				kinv = invertKernel(k, "sngd.kernel")
 				mat.PutDense(k)
 			}
 			s.record(dist.PhaseInvert, i, t0)
@@ -232,7 +254,7 @@ func (s *LocalSNGD) Update() {
 		k := mat.GetDense(m, m)
 		mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
 		k.AddDiag(s.Damping)
-		st.kinv = mat.InvSPDDamped(k, 0)
+		st.kinv = invertKernel(k, "sngd.local.kernel")
 		mat.PutDense(k)
 	}
 }

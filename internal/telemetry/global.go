@@ -149,4 +149,17 @@ const (
 	// NaN/Inf, where the preconditioned update was skipped in favor of a
 	// sanitized first-order fallback step.
 	MetricNonfiniteSkips = "train_nonfinite_skips"
+
+	// MetricNumericsRetries counts Levenberg-Marquardt damping-escalation
+	// retries at solve sites, labeled site=<package.site>.
+	MetricNumericsRetries = "numerics_damping_retries_total"
+	// MetricNumericsFallbacks counts degradation-ladder firings, labeled
+	// site=<package.site> and rung=damped-retry|kis|nystrom|diagonal|identity.
+	MetricNumericsFallbacks = "numerics_fallbacks_total"
+	// MetricNumericsScrubs counts non-finite values zeroed out of tensors
+	// by the numerical-health plumbing.
+	MetricNumericsScrubs = "numerics_nonfinite_scrubs_total"
+	// MetricNumericsCond is the latest 1-norm condition estimate per solve
+	// site, labeled site=<package.site>.
+	MetricNumericsCond = "numerics_cond_estimate"
 )

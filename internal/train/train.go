@@ -19,6 +19,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/numerics"
 	"repro/internal/opt"
 	"repro/internal/telemetry"
 )
@@ -433,7 +434,11 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 			// matched.
 			if !allFinite(loss, params) {
 				telemetry.IncCounter(telemetry.MetricNonfiniteSkips, 1)
-				sanitizeGrads(params)
+				numerics.RecordFallback("train.step", numerics.RungIdentity,
+					"non-finite loss or gradient: plain first-order step")
+				if scrubbed := sanitizeGrads(params); scrubbed > 0 {
+					numerics.AddScrubs(scrubbed)
+				}
 				if cfg.MaxGradNorm > 0 {
 					opt.ClipGradNorm(params, cfg.MaxGradNorm)
 				}
@@ -628,16 +633,14 @@ func allFinite(loss float64, params []*nn.Param) bool {
 }
 
 // sanitizeGrads zeroes non-finite gradient entries so the fallback
-// first-order step moves only along the healthy coordinates.
-func sanitizeGrads(params []*nn.Param) {
+// first-order step moves only along the healthy coordinates, returning how
+// many entries were scrubbed for the numerics monitor.
+func sanitizeGrads(params []*nn.Param) int {
+	n := 0
 	for _, p := range params {
-		d := p.Grad.Data()
-		for i, v := range d {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				d[i] = 0
-			}
-		}
+		n += mat.ScrubNonFinite(p.Grad.Data())
 	}
+	return n
 }
 
 // applyKLClip rescales the preconditioned gradients so that the implied KL
