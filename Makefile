@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover chaos fuzzsmoke bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race racesched vet cover chaos fuzzsmoke bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -13,7 +13,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/mat/ ./internal/dist/ ./internal/nn/ ./internal/train/ ./internal/core/ ./internal/sngd/ ./internal/kfac/ ./internal/telemetry/
+	$(GO) test -race ./internal/mat/ ./internal/dist/ ./internal/nn/ ./internal/train/ ./internal/core/ ./internal/sngd/ ./internal/kfac/ ./internal/telemetry/ ./internal/sched/
+
+# Scheduler-focused race suite: the execution engine and token pool, the
+# async collectives they drive, and the cross-optimizer parity tests that
+# prove the layer-parallel path is bit-identical to -sched-workers=1.
+racesched:
+	$(GO) test -race ./internal/sched/ -count=1
+	$(GO) test -race ./internal/dist/ -run 'TestAsync|TestLocalCommInPlace' -count=1
+	$(GO) test -race ./internal/train/ -run 'TestElasticRecoveryWithParallelScheduler' -count=1
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +31,10 @@ vet:
 # snapshots falling back, the barrier watchdog, and chaos determinism.
 chaos:
 	$(GO) test -race ./internal/ckpt/ -count=1
-	$(GO) test -race ./internal/dist/ -run 'TestFaultInjector|TestBarrierWatchdog|TestClusterReset|TestAsWorker|TestFaultPlan' -count=1
+	$(GO) test -race ./internal/dist/ -run 'TestFaultInjector|TestBarrierWatchdog|TestClusterReset|TestAsWorker|TestFaultPlan|TestAsync' -count=1
 	$(GO) test -race ./internal/train/ -run 'TestElastic|TestNonfinite|TestSharding' -count=1
 	$(GO) test -race ./internal/core/ -run 'TestPreconditionRobust|TestSingularKernel|TestDegenerate' -count=1
+	$(GO) test -race ./internal/sched/ -run 'TestSchedParityChaos' -count=1
 
 # Short fuzz pass over the panic-free solver kernels: each target runs for a
 # few seconds, enough for CI to catch a reintroduced solve-path panic or an

@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/numerics"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -31,7 +33,14 @@ func main() {
 	eventsPath := flag.String("events", "", "write the compact JSONL span/event log to this file")
 	teleSummary := flag.Bool("telemetry-summary", false, "print the top phase-time table at exit")
 	numReport := flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
+	schedWorkers := flag.Int("sched-workers", runtime.GOMAXPROCS(0), "layer-parallel preconditioner workers (1 = legacy sequential path; results are bit-identical either way)")
 	flag.Parse()
+
+	if *schedWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "hylo-bench: -sched-workers must be >= 1 (got %d)\n", *schedWorkers)
+		os.Exit(2)
+	}
+	sched.SetWorkers(*schedWorkers)
 
 	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary
 	if useTelemetry {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/numerics"
 	"repro/internal/opt"
+	"repro/internal/sched"
 	"repro/internal/sngd"
 	"repro/internal/telemetry"
 	"repro/internal/train"
@@ -77,8 +79,10 @@ func main() {
 		faultInject = flag.String("fault-inject", "", "chaos spec, comma-separated: panic:RANK@STEP | bitflip:PROB | delay:PROB@DUR | degenerate:KIND@PROB with KIND dup|zero|huge (e.g. panic:1@40,degenerate:dup@0.5)")
 
 		numReport = flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
-		condLimit = flag.Float64("cond-limit", numerics.DefaultCondLimit, "condition-estimate threshold beyond which solves escalate damping / fall back")
-		idTol     = flag.Float64("id-tol", core.DefaultIDTol, "KID numerical-rank truncation tolerance, in [0, 1)")
+
+		schedWorkers = flag.Int("sched-workers", runtime.GOMAXPROCS(0), "layer-parallel preconditioner workers (1 = legacy sequential path; results are bit-identical either way)")
+		condLimit    = flag.Float64("cond-limit", numerics.DefaultCondLimit, "condition-estimate threshold beyond which solves escalate damping / fall back")
+		idTol        = flag.Float64("id-tol", core.DefaultIDTol, "KID numerical-rank truncation tolerance, in [0, 1)")
 	)
 	flag.Parse()
 
@@ -86,6 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
 		os.Exit(2)
 	}
+	if *schedWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "hylo-train: -sched-workers must be >= 1 (got %d)\n", *schedWorkers)
+		os.Exit(2)
+	}
+	sched.SetWorkers(*schedWorkers)
 	numerics.SetCondLimit(*condLimit)
 
 	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary

@@ -245,8 +245,49 @@ func KISFactors(rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (as, gs *mat
 }
 
 // kisFactorsInto is KISFactors writing into persistent pool-backed buffers,
-// with the same replace-on-return contract as kidFactorsInto.
+// with the same replace-on-return contract as kidFactorsInto. It is split
+// into kisSample (the only RNG-consuming part) and kisSelectInto (pure row
+// selection) so the layer-parallel scheduler can draw all samples on the
+// main goroutine in layer order and run the selections concurrently.
 func kisFactorsInto(as, gs *mat.Dense, rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (asOut, gsOut *mat.Dense) {
+	idx, coeff := kisSample(rng, a, g, r, rescale)
+	return kisSelectInto(as, gs, a, g, idx, coeff)
+}
+
+// kisScores fills scores with the normalized sampling weights
+// ‖a_j‖·‖g_j‖ of Algorithm 3 and returns their sum. Each norm vector is
+// normalized to [0,1] before forming the products: rows near √MaxFloat64
+// would otherwise overflow na·ng to +Inf and poison the sampling weights.
+// Scores are scale-invariant, so relative weights (and the (r·q_j)^(-1/4)
+// rescale) are unchanged for finite inputs; ±Inf norms map to the top
+// weight, NaN to zero. A degenerate all-zero batch becomes uniform.
+func kisScores(scores []float64, a, g *mat.Dense) (total float64) {
+	m := a.Rows()
+	na := mat.GetFloats(m)
+	defer mat.PutFloats(na)
+	ng := mat.GetFloats(m)
+	defer mat.PutFloats(ng)
+	mat.RowNormsInto(na, a)
+	mat.RowNormsInto(ng, g)
+	normalizeScores(na)
+	normalizeScores(ng)
+	for j := range scores {
+		scores[j] = na[j] * ng[j]
+		total += scores[j]
+	}
+	if total == 0 {
+		for j := range scores {
+			scores[j] = 1
+		}
+		total = float64(m)
+	}
+	return total
+}
+
+// kisSample draws the KIS row subset — the RNG-consuming half of
+// Algorithm 3. With rescale it also returns the per-row factor
+// (r·q_j)^(-1/4) applied to both selected factors; coeff is nil otherwise.
+func kisSample(rng *mat.RNG, a, g *mat.Dense, r int, rescale bool) (idx []int, coeff []float64) {
 	m := a.Rows()
 	if g.Rows() != m {
 		panic("core: KISFactors row mismatch")
@@ -254,47 +295,65 @@ func kisFactorsInto(as, gs *mat.Dense, rng *mat.RNG, a, g *mat.Dense, r int, res
 	if r > m {
 		r = m
 	}
-	na := mat.GetFloats(m)
-	defer mat.PutFloats(na)
-	ng := mat.GetFloats(m)
-	defer mat.PutFloats(ng)
-	mat.RowNormsInto(na, a)
-	mat.RowNormsInto(ng, g)
-	// Normalize each norm vector to [0,1] before forming the products:
-	// rows near √MaxFloat64 would otherwise overflow na·ng to +Inf and
-	// poison the sampling weights. Scores are scale-invariant, so relative
-	// weights (and the (r·q_j)^(-1/4) rescale) are unchanged for finite
-	// inputs; ±Inf norms map to the top weight, NaN to zero.
-	normalizeScores(na)
-	normalizeScores(ng)
 	scores := mat.GetFloats(m)
 	defer mat.PutFloats(scores)
-	var total float64
-	for j := range scores {
-		scores[j] = na[j] * ng[j]
-		total += scores[j]
-	}
-	if total == 0 {
-		// Degenerate batch: uniform sampling.
-		for j := range scores {
-			scores[j] = 1
+	total := kisScores(scores, a, g)
+	idx = weightedSampleWithoutReplacement(rng, scores, r)
+	if rescale {
+		coeff = make([]float64, len(idx))
+		for k, j := range idx {
+			qj := scores[j] / total
+			coeff[k] = math.Pow(float64(r)*qj, -0.25)
 		}
-		total = float64(m)
 	}
-	idx := weightedSampleWithoutReplacement(rng, scores, r)
+	return idx, coeff
+}
+
+// kisSelectInto materializes the sampled factors: pure per-layer work with
+// no shared state, safe to run concurrently across layers.
+func kisSelectInto(as, gs, a, g *mat.Dense, idx []int, coeff []float64) (asOut, gsOut *mat.Dense) {
 	as = mat.EnsureDense(as, len(idx), a.Cols())
 	a.SelectRowsInto(as, idx)
 	gs = mat.EnsureDense(gs, len(idx), g.Cols())
 	g.SelectRowsInto(gs, idx)
-	if rescale {
-		for k, j := range idx {
-			qj := scores[j] / total
-			c := math.Pow(float64(r)*qj, -0.25)
-			rowScale(as.Row(k), c)
-			rowScale(gs.Row(k), c)
-		}
+	for k, c := range coeff {
+		rowScale(as.Row(k), c)
+		rowScale(gs.Row(k), c)
 	}
 	return as, gs
+}
+
+// kisTopKInto is the deterministic degradation-ladder variant of KIS used
+// when the KID factorization fails: it keeps the r highest-scored rows
+// (ties broken toward the lower index) instead of sampling them. Consuming
+// no RNG, it can fire from any scheduler stage without perturbing the
+// shared stream, and every rank deterministically picks the same subset.
+// There is no importance rescale — the selection is not a probability
+// draw, so the unbiasedness correction does not apply.
+func kisTopKInto(as, gs, a, g *mat.Dense, r int) (asOut, gsOut *mat.Dense) {
+	m := a.Rows()
+	if g.Rows() != m {
+		panic("core: kisTopKInto row mismatch")
+	}
+	if r > m {
+		r = m
+	}
+	scores := mat.GetFloats(m)
+	defer mat.PutFloats(scores)
+	kisScores(scores, a, g)
+	idx := make([]int, 0, r)
+	taken := make([]bool, m)
+	for k := 0; k < r; k++ {
+		best := -1
+		for j := 0; j < m; j++ {
+			if !taken[j] && (best < 0 || scores[j] > scores[best]) {
+				best = j
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return kisSelectInto(as, gs, a, g, idx, nil)
 }
 
 func rowScale(row []float64, c float64) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/numerics"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -54,6 +55,7 @@ type HyLo struct {
 
 	layers   []nn.KernelLayer
 	comm     dist.Comm
+	async    *dist.AsyncComm
 	timeline *dist.Timeline
 	rng      *mat.RNG
 	// policyRNG drives the switching policy. It is seeded identically on
@@ -62,6 +64,16 @@ type HyLo struct {
 	// and deadlock, exactly as divergent control flow would under NCCL.
 	policyRNG *mat.RNG
 	state     []*hyloState
+
+	// Layer-parallel execution (internal/sched): plans carries the
+	// per-layer pipeline state for the current Update, stages the pipeline
+	// definition (built once — its closures index plans), and the engines
+	// the reusable scheduling state for Update and Precondition.
+	plans      []hyloPlan
+	stages     []sched.Stage
+	eng        sched.Engine
+	precStages []sched.Stage
+	precEng    sched.Engine
 
 	mode       Mode
 	delta      [][]float64 // per-layer accumulated gradient Δₑ
@@ -85,6 +97,29 @@ type hyloState struct {
 	y, z, corr         []float64
 }
 
+// hyloPlan is one layer's slot in the scheduled pipeline: inputs prepared
+// on the main goroutine (rho, KIS sample), the local factors handed to the
+// gather, the in-flight collective futures, and the owner's inversion
+// result. Plans persist across updates so the embedded futures and slices
+// are reused allocation-free.
+type hyloPlan struct {
+	layer, rho, owner int
+	st                *hyloState
+
+	// KIS sample drawn on the main goroutine in layer order (the only
+	// RNG-consuming step of the KIS pipeline).
+	kisIdx   []int
+	kisCoeff []float64
+
+	// Local reduced factors produced by the factorize stage.
+	as, gs, y *mat.Dense
+
+	aF, gF, yF             dist.GatherFuture
+	mF                     dist.MatFuture
+	aParts, gParts, yParts []*mat.Dense
+	m                      *mat.Dense // owner's result; nil off-owner
+}
+
 // NewHyLo builds the preconditioner over the network's kernel layers.
 // comm may be dist.Local(); timeline is optional; rng drives KIS sampling
 // and the Random ablation policy.
@@ -95,6 +130,7 @@ func NewHyLo(net *nn.Network, damping, rankFrac float64, comm dist.Comm, timelin
 		Policy:    GradientSwitch{Eta: 0.25},
 		layers:    net.KernelLayers(),
 		comm:      comm,
+		async:     dist.Async(comm),
 		timeline:  timeline,
 		rng:       rng,
 		policyRNG: mat.NewRNG(0xC0FFEE),
@@ -145,7 +181,14 @@ func (h *HyLo) ModeStrings() []string {
 // rank emits a span tagged with mode and layer so Chrome-trace lanes show
 // the per-GPU schedule.
 func (h *HyLo) record(phase string, layer int, start time.Time) {
-	dur := time.Since(start)
+	h.recordDur(phase, layer, time.Since(start))
+}
+
+// recordDur is record for phases whose duration was measured elsewhere —
+// the collective futures report their own execution time, which is what
+// the Fig. 7 communication buckets should contain (not the near-zero
+// submission time the dispatcher observes).
+func (h *HyLo) recordDur(phase string, layer int, dur time.Duration) {
 	if h.timeline != nil && h.comm.ID() == 0 {
 		h.timeline.Add(phase, dur.Seconds())
 	}
@@ -162,17 +205,18 @@ func (h *HyLo) record(phase string, layer int, start time.Time) {
 // relative change R (Eq. 10), and lets the policy choose the mode.
 func (h *HyLo) OnEpochStart(epoch int, lrDecayed bool) {
 	if epoch > 0 {
-		// Close out Δ of the epoch that just finished.
-		var s float64
+		// Close out Δ of the epoch that just finished. The per-layer norms
+		// are scaled sums of squares (mat.Norm2) combined with Hypot, so a
+		// gradient component near √MaxFloat64 cannot overflow the
+		// accumulator the way the naive Σv² did.
+		var total float64
 		for _, d := range h.delta {
-			for _, v := range d {
-				s += v * v
-			}
+			total = math.Hypot(total, mat.Norm2(d))
 			for j := range d {
 				d[j] = 0
 			}
 		}
-		h.prevNorms = append(h.prevNorms, math.Sqrt(s))
+		h.prevNorms = append(h.prevNorms, total)
 	}
 	ratio := math.NaN()
 	if n := len(h.prevNorms); n >= 2 {
@@ -209,10 +253,34 @@ func boolGauge(b bool) float64 {
 	return 0
 }
 
+// ensureStages builds the pipeline definition once. The closures capture
+// only h and index h.plans, so the same slice serves every Update.
+func (h *HyLo) ensureStages() {
+	if h.stages != nil {
+		return
+	}
+	h.stages = []sched.Stage{
+		{Name: "factorize", Fn: h.stageFactorize},
+		{Name: "gather", Comm: true, Fn: h.stageGather},
+		{Name: "invert", Wait: h.waitGather, Fn: h.stageInvert},
+		{Name: "broadcast", Comm: true, Fn: h.stageBroadcast},
+		{Name: "store", Wait: h.waitBroadcast, Fn: h.stageStore},
+	}
+}
+
 // Update implements opt.Preconditioner: lines 5-11 (KID) or 16-22 (KIS) of
-// Algorithm 1 for every layer.
+// Algorithm 1 for every layer, executed as a scheduled pipeline — layer
+// i's gather can be in flight while layer i+1 factorizes. Everything
+// consuming the shared sampling RNG happens here on the calling goroutine
+// in layer order (KIS sampling) or in an Ordered stage (randomized KID),
+// so the result is bit-identical to the sequential schedule.
 func (h *HyLo) Update() {
 	p := h.comm.Size()
+	if h.async == nil {
+		h.async = dist.Async(h.comm)
+	}
+	h.ensureStages()
+	h.plans = h.plans[:0]
 	for i, l := range h.layers {
 		a, g := l.Capture()
 		if a == nil {
@@ -237,86 +305,129 @@ func (h *HyLo) Update() {
 		st := h.state[i]
 		st.an = mat.EnsureDense(st.an, a.Rows(), a.Cols())
 		st.an.CopyFrom(a)
-		an := st.an.Scale(scale)
+		st.an.Scale(scale)
 		st.gn = mat.EnsureDense(st.gn, g.Rows(), g.Cols())
 		st.gn.CopyFrom(g)
-		gn := st.gn.Scale(scale)
-		switch h.mode {
-		case ModeKID:
-			h.updateKID(i, st, an, gn, rho, p)
-		case ModeKIS:
-			h.updateKIS(i, st, an, gn, rho, p)
+		st.gn.Scale(scale)
+		h.plans = append(h.plans, hyloPlan{layer: i, rho: rho, owner: i % p, st: st})
+		if h.mode == ModeKIS {
+			pl := &h.plans[len(h.plans)-1]
+			pl.kisIdx, pl.kisCoeff = kisSample(h.rng, st.an, st.gn, rho, true)
 		}
+	}
+	// The randomized-ID sketch draws from the shared RNG inside the
+	// factorize stage; Ordered serializes those draws in layer order.
+	h.stages[0].Ordered = h.mode == ModeKID && h.RandomizedKID
+	sched.Run(&h.eng, len(h.plans), h.stages)
+}
+
+// stageFactorize runs the local reduction for one layer (Algorithm 2 for
+// KID, the row selection of Algorithm 3 for KIS) into state-owned
+// persistent buffers: they are handed to the communicator in the next
+// stage, so they must not cycle through the pool, and reusing them keeps
+// the steady state allocation-free.
+func (h *HyLo) stageFactorize(i int) {
+	pl := &h.plans[i]
+	st := pl.st
+	t0 := time.Now()
+	if h.mode == ModeKID {
+		rho := pl.rho
+		if h.AdaptiveRank {
+			tol := h.AdaptiveTol
+			if tol <= 0 {
+				tol = 1e-3
+			}
+			if ar := AdaptiveKIDRank(st.an, st.gn, tol, rho); ar < rho {
+				rho = ar
+			}
+		}
+		var facErr error
+		if h.RandomizedKID {
+			over := h.Oversample
+			if over <= 0 {
+				over = 8
+			}
+			pl.as, pl.gs, pl.y, facErr = KIDFactorsRand(h.rng, st.an, st.gn, rho, h.Damping, over)
+		} else {
+			st.asLoc, st.gsLoc, st.yLoc, facErr = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, st.an, st.gn, rho, h.Damping, h.idTol())
+			pl.as, pl.gs, pl.y = st.asLoc, st.gsLoc, st.yLoc
+		}
+		if facErr != nil {
+			// Local KID factorization failed (singular residual beyond the
+			// damped retries). Degrade this worker's contribution to the
+			// deterministic top-k row selection with a zero Y block: the
+			// gather/block-diagonal schedule stays identical across workers
+			// — only this block's correction vanishes — so the collective
+			// sequence cannot desynchronize. Top-k rather than sampling so
+			// the fallback consumes no RNG: it may fire from a concurrent
+			// stage without perturbing the shared stream.
+			numerics.RecordFallback("hylo.kid.local", numerics.RungKIS, facErr.Error())
+			st.asLoc, st.gsLoc = kisTopKInto(st.asLoc, st.gsLoc, st.an, st.gn, rho)
+			st.yLoc = mat.EnsureDense(st.yLoc, st.asLoc.Rows(), st.asLoc.Rows())
+			st.yLoc.Zero()
+			pl.as, pl.gs, pl.y = st.asLoc, st.gsLoc, st.yLoc
+		}
+		h.quantize(pl.as, pl.gs, pl.y)
+	} else {
+		st.asLoc, st.gsLoc = kisSelectInto(st.asLoc, st.gsLoc, st.an, st.gn, pl.kisIdx, pl.kisCoeff)
+		pl.as, pl.gs = st.asLoc, st.gsLoc
+		h.quantize(pl.as, pl.gs)
+	}
+	h.record(dist.PhaseFactorize, pl.layer, t0)
+}
+
+// stageGather submits the factor all-gathers (lines 7 / 18) without
+// blocking; the dispatcher issues them in canonical layer order.
+func (h *HyLo) stageGather(i int) {
+	pl := &h.plans[i]
+	h.async.StartAllGatherMat(&pl.aF, pl.as)
+	h.async.StartAllGatherMat(&pl.gF, pl.gs)
+	if h.mode == ModeKID {
+		h.async.StartAllGatherMat(&pl.yF, pl.y)
 	}
 }
 
-func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int) {
-	if h.AdaptiveRank {
-		tol := h.AdaptiveTol
-		if tol <= 0 {
-			tol = 1e-3
-		}
-		if ar := AdaptiveKIDRank(an, gn, tol, rho); ar < rho {
-			rho = ar
-		}
+// waitGather drains this layer's gather futures (tokenless — waiting on
+// communication must not hold a compute token).
+func (h *HyLo) waitGather(i int) {
+	pl := &h.plans[i]
+	pl.aParts = pl.aF.Wait()
+	pl.gParts = pl.gF.Wait()
+	if h.mode == ModeKID {
+		pl.yParts = pl.yF.Wait()
 	}
-	// Local factorization (Algorithm 2), optionally with the randomized ID.
-	// The reduced factors land in state-owned persistent buffers: they are
-	// handed to the communicator below, so they must not cycle through the
-	// pool, and reusing them keeps the steady state allocation-free.
+}
+
+// stageInvert assembles the gathered factors and, on the owning worker
+// (round-robin layer % P, lines 9-10 / 20-21), inverts the reduced system.
+func (h *HyLo) stageInvert(i int) {
+	pl := &h.plans[i]
+	st := pl.st
+	gdur := pl.aF.Dur() + pl.gF.Dur()
+	if h.mode == ModeKID {
+		gdur += pl.yF.Dur()
+	}
+	h.recordDur(dist.PhaseGather, pl.layer, gdur)
+	st.as = stackInto(st.as, pl.aParts)
+	st.gs = stackInto(st.gs, pl.gParts)
+	pl.m = nil
+	if h.comm.ID() != pl.owner {
+		return
+	}
 	t0 := time.Now()
-	var as, gs, y *mat.Dense
-	var facErr error
-	if h.RandomizedKID {
-		over := h.Oversample
-		if over <= 0 {
-			over = 8
+	if h.mode == ModeKID {
+		// Y is block-diagonal across workers (line 7); build
+		// M = Y − Y(K̂⁻¹+Y)⁻¹Y in the equivalent single-inverse form
+		// M = (I + Y·K̂)⁻¹ Y, which avoids inverting a possibly
+		// rank-deficient K̂.
+		ybr, ybc := 0, 0
+		for _, b := range pl.yParts {
+			ybr += b.Rows()
+			ybc += b.Cols()
 		}
-		as, gs, y, facErr = KIDFactorsRand(h.rng, an, gn, rho, h.Damping, over)
-	} else {
-		st.asLoc, st.gsLoc, st.yLoc, facErr = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, an, gn, rho, h.Damping, h.idTol())
-		as, gs, y = st.asLoc, st.gsLoc, st.yLoc
-	}
-	if facErr != nil {
-		// Local KID factorization failed (singular residual beyond the
-		// damped retries). Degrade this worker's contribution to importance
-		// sampling with a zero Y block: the gather/block-diagonal schedule
-		// stays identical across workers — only this block's correction
-		// vanishes — so the collective sequence cannot desynchronize.
-		numerics.RecordFallback("hylo.kid.local", numerics.RungKIS, facErr.Error())
-		st.asLoc, st.gsLoc = kisFactorsInto(st.asLoc, st.gsLoc, h.rng, an, gn, rho, true)
-		as, gs = st.asLoc, st.gsLoc
-		st.yLoc = mat.EnsureDense(st.yLoc, as.Rows(), as.Rows())
-		st.yLoc.Zero()
-		y = st.yLoc
-	}
-	h.record(dist.PhaseFactorize, layer, t0)
-
-	// Gather KID factors; Y is block-diagonal across workers (line 7).
-	t0 = time.Now()
-	h.quantize(as, gs, y)
-	aParts := h.comm.AllGatherMat(as)
-	gParts := h.comm.AllGatherMat(gs)
-	yParts := h.comm.AllGatherMat(y)
-	h.record(dist.PhaseGather, layer, t0)
-	st.as = stackInto(st.as, aParts)
-	st.gs = stackInto(st.gs, gParts)
-	ybr, ybc := 0, 0
-	for _, b := range yParts {
-		ybr += b.Rows()
-		ybc += b.Cols()
-	}
-	st.yblk = mat.EnsureDense(st.yblk, ybr, ybc)
-	st.yblk.Zero()
-	yBlk := mat.BlockDiagInto(st.yblk, yParts...)
-
-	// Inversion on the owning worker (lines 9-10): build
-	// M = Y − Y(K̂⁻¹+Y)⁻¹Y, computed in the equivalent single-inverse form
-	// M = (I + Y·K̂)⁻¹ Y, which avoids inverting a possibly rank-deficient K̂.
-	owner := layer % p
-	var m *mat.Dense
-	if h.comm.ID() == owner {
-		t0 = time.Now()
+		st.yblk = mat.EnsureDense(st.yblk, ybr, ybc)
+		st.yblk.Zero()
+		yBlk := mat.BlockDiagInto(st.yblk, pl.yParts...)
 		rtot := st.as.Rows()
 		khat := mat.GetDense(rtot, rtot)
 		mat.KernelMatrixInto(khat, st.as, st.gs)
@@ -359,41 +470,12 @@ func (h *HyLo) updateKID(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 				"KIS-form reduced kernel unsolvable")
 			st.mbuf.Zero()
 		}
-		m = st.mbuf
+		pl.m = st.mbuf
 		mat.PutDense(inv)
 		mat.PutDense(khat)
 		mat.PutDense(iyk)
-		h.record(dist.PhaseInvert, layer, t0)
-	}
-
-	// Broadcast (line 11).
-	t0 = time.Now()
-	st.m = h.comm.BroadcastMat(owner, m)
-	h.record(dist.PhaseBroadcast, layer, t0)
-}
-
-func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int) {
-	// Local importance sampling (Algorithm 3), into state-owned buffers
-	// (handed to the communicator below, so never pooled).
-	t0 := time.Now()
-	st.asLoc, st.gsLoc = kisFactorsInto(st.asLoc, st.gsLoc, h.rng, an, gn, rho, true)
-	as, gs := st.asLoc, st.gsLoc
-	h.record(dist.PhaseFactorize, layer, t0)
-
-	// Gather KIS factors (line 18).
-	t0 = time.Now()
-	h.quantize(as, gs)
-	aParts := h.comm.AllGatherMat(as)
-	gParts := h.comm.AllGatherMat(gs)
-	h.record(dist.PhaseGather, layer, t0)
-	st.as = stackInto(st.as, aParts)
-	st.gs = stackInto(st.gs, gParts)
-
-	// Inversion on the owning worker (lines 20-21): K̂ = AˢAˢᵀ∘GˢGˢᵀ + αI.
-	owner := layer % p
-	var kinv *mat.Dense
-	if h.comm.ID() == owner {
-		t0 = time.Now()
+	} else {
+		// K̂ = AˢAˢᵀ∘GˢGˢᵀ + αI.
 		rtot := st.as.Rows()
 		k := mat.GetDense(rtot, rtot)
 		mat.KernelMatrixInto(k, st.as, st.gs)
@@ -402,9 +484,7 @@ func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 		// unsolvable kernel the rung degrades to M = 0 (plain g/α step) in
 		// the same rtot×rtot shape, keeping the broadcast sequence matched
 		// across workers.
-		var retries int
-		var err error
-		kinv, _, retries, _, err = mat.InvSPDDampedChecked(k, 0)
+		kinv, _, retries, _, err := mat.InvSPDDampedChecked(k, 0)
 		if retries > 0 {
 			numerics.AddRetries("hylo.kis.inner", retries)
 		}
@@ -416,14 +496,29 @@ func (h *HyLo) updateKIS(layer int, st *hyloState, an, gn *mat.Dense, rho, p int
 			numerics.RecordFallback("hylo.kis.inner", numerics.RungIdentity, reason)
 			kinv = mat.NewDense(rtot, rtot)
 		}
+		pl.m = kinv
 		mat.PutDense(k)
-		h.record(dist.PhaseInvert, layer, t0)
 	}
+	h.record(dist.PhaseInvert, pl.layer, t0)
+}
 
-	// Broadcast (line 22).
-	t0 = time.Now()
-	st.m = h.comm.BroadcastMat(owner, kinv)
-	h.record(dist.PhaseBroadcast, layer, t0)
+// stageBroadcast submits the result broadcast (lines 11 / 22).
+func (h *HyLo) stageBroadcast(i int) {
+	pl := &h.plans[i]
+	h.async.StartBroadcastMat(&pl.mF, pl.owner, pl.m)
+}
+
+// waitBroadcast drains the broadcast future and installs the result.
+func (h *HyLo) waitBroadcast(i int) {
+	pl := &h.plans[i]
+	pl.st.m = pl.mF.Wait()
+}
+
+// stageStore attributes the broadcast's execution time to the Fig. 7
+// communication bucket.
+func (h *HyLo) stageStore(i int) {
+	pl := &h.plans[i]
+	h.recordDur(dist.PhaseBroadcast, pl.layer, pl.mF.Dur())
 }
 
 // quantize reduces the factors' mantissa precision before communication
@@ -439,31 +534,39 @@ func (h *HyLo) quantize(ms ...*mat.Dense) {
 
 // Precondition implements opt.Preconditioner, applying Eq. (8) (KID) or
 // Eq. (9) (KIS) — both have the form (1/α)(g − Uˢᵀ M Uˢ g) and differ only
-// in M. It also accumulates Δₑ += g for the switching heuristic.
+// in M. It also accumulates Δₑ += g for the switching heuristic. The layers
+// are independent (per-layer state, per-layer gradients, no collectives),
+// so they run through the scheduler as a single compute stage.
 func (h *HyLo) Precondition() {
-	for i, l := range h.layers {
-		w := l.Weight()
-		gd := w.Grad.Data()
-		// Accumulate the raw gradient before transforming (Alg. 1, l. 13).
-		acc := h.delta[i]
-		for j, v := range gd {
-			acc[j] += v
-		}
-		st := h.state[i]
-		if st.m == nil {
-			continue
-		}
-		st.y = mat.EnsureFloats(st.y, st.as.Rows())
-		mat.KhatriRaoApplyInto(st.y, st.as, st.gs, gd)
-		st.z = mat.EnsureFloats(st.z, st.m.Rows())
-		mat.MulVecInto(st.z, st.m, st.y)
-		st.corr = mat.EnsureFloats(st.corr, len(gd))
-		mat.KhatriRaoApplyTInto(st.corr, st.as, st.gs, st.z)
-		corr := st.corr
-		inv := 1 / h.Damping
-		for j := range gd {
-			gd[j] = inv * (gd[j] - corr[j])
-		}
+	if h.precStages == nil {
+		h.precStages = []sched.Stage{{Name: "precondition", Fn: h.stagePrecondition}}
+	}
+	sched.Run(&h.precEng, len(h.layers), h.precStages)
+}
+
+func (h *HyLo) stagePrecondition(i int) {
+	l := h.layers[i]
+	w := l.Weight()
+	gd := w.Grad.Data()
+	// Accumulate the raw gradient before transforming (Alg. 1, l. 13).
+	acc := h.delta[i]
+	for j, v := range gd {
+		acc[j] += v
+	}
+	st := h.state[i]
+	if st.m == nil {
+		return
+	}
+	st.y = mat.EnsureFloats(st.y, st.as.Rows())
+	mat.KhatriRaoApplyInto(st.y, st.as, st.gs, gd)
+	st.z = mat.EnsureFloats(st.z, st.m.Rows())
+	mat.MulVecInto(st.z, st.m, st.y)
+	st.corr = mat.EnsureFloats(st.corr, len(gd))
+	mat.KhatriRaoApplyTInto(st.corr, st.as, st.gs, st.z)
+	corr := st.corr
+	inv := 1 / h.Damping
+	for j := range gd {
+		gd[j] = inv * (gd[j] - corr[j])
 	}
 }
 

@@ -68,6 +68,9 @@ func (s *seqChecker) step(rank, pos int, op collectiveOp) {
 	slot[rank] = op
 }
 
+// Unwrap returns the wrapped Comm (used by AsWorker).
+func (c *CheckedComm) Unwrap() Comm { return c.inner }
+
 func (c *CheckedComm) next() int {
 	p := c.pos
 	c.pos++

@@ -36,9 +36,14 @@ func Local() Comm { return localComm{} }
 
 type localComm struct{}
 
-func (localComm) Size() int                                   { return 1 }
-func (localComm) ID() int                                     { return 0 }
-func (localComm) AllGatherMat(m *mat.Dense) []*mat.Dense      { return []*mat.Dense{m} }
-func (localComm) AllReduceMat(m *mat.Dense) *mat.Dense        { return m.Clone() }
+func (localComm) Size() int                              { return 1 }
+func (localComm) ID() int                                { return 0 }
+func (localComm) AllGatherMat(m *mat.Dense) []*mat.Dense { return []*mat.Dense{m} }
+
+// AllReduceMat returns m itself: the single-worker sum is the input, and the
+// callers' contract (the result may alias the input, which must not be
+// mutated until the result is consumed) holds trivially. Cloning here cost
+// one allocation per collective on every local run's hot path.
+func (localComm) AllReduceMat(m *mat.Dense) *mat.Dense        { return m }
 func (localComm) BroadcastMat(_ int, m *mat.Dense) *mat.Dense { return m }
 func (localComm) AllReduceScalar(v float64) float64           { return v }

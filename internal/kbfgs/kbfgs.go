@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 
 	"repro/internal/numerics"
@@ -26,6 +27,13 @@ type KBFGSL struct {
 
 	layers []nn.KernelLayer
 	state  []*lbfgsState
+
+	// Comm-free per-layer work: one compute stage each for the pair
+	// harvest and the two-loop recursion (internal/sched).
+	updStages  []sched.Stage
+	updEng     sched.Engine
+	precStages []sched.Stage
+	precEng    sched.Engine
 }
 
 type lbfgsState struct {
@@ -51,10 +59,20 @@ func (k *KBFGSL) Name() string { return "KBFGS-L" }
 // per layer from the weight and gradient deltas since the last update.
 func (k *KBFGSL) Update() {
 	// KBFGS-L runs single-process; its trace lane is rank 0. Pair harvest
-	// is this method's analogue of the factorization phase.
+	// is this method's analogue of the factorization phase. Layers are
+	// independent (no communication, no shared rng), so the harvest runs
+	// through the scheduler as a single compute stage.
 	defer telemetry.Span("curvature_pairs", 0,
 		telemetry.Label{Key: "optimizer", Value: "kbfgs"})()
-	for i, l := range k.layers {
+	if k.updStages == nil {
+		k.updStages = []sched.Stage{{Name: "curvature_pairs", Fn: k.stageHarvest}}
+	}
+	sched.Run(&k.updEng, len(k.layers), k.updStages)
+}
+
+func (k *KBFGSL) stageHarvest(i int) {
+	{
+		l := k.layers[i]
 		st := k.state[i]
 		w := flat(l.Weight().W)
 		g := flat(l.Weight().Grad)
@@ -99,10 +117,18 @@ func (k *KBFGSL) Precondition() {
 	// The two-loop recursion is the inverse-application phase.
 	defer telemetry.Span("two_loop_recursion", 0,
 		telemetry.Label{Key: "optimizer", Value: "kbfgs"})()
-	for i, l := range k.layers {
+	if k.precStages == nil {
+		k.precStages = []sched.Stage{{Name: "two_loop", Fn: k.stageTwoLoop}}
+	}
+	sched.Run(&k.precEng, len(k.layers), k.precStages)
+}
+
+func (k *KBFGSL) stageTwoLoop(i int) {
+	{
+		l := k.layers[i]
 		st := k.state[i]
 		if len(st.s) == 0 {
-			continue
+			return
 		}
 		grad := l.Weight().Grad
 		q := flat(grad)

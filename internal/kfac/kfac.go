@@ -14,6 +14,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/numerics"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -21,7 +22,14 @@ import (
 // keeps the four-bucket totals, and — when telemetry is on — every rank
 // emits a span tagged optimizer/layer for the Chrome-trace lanes.
 func record(tl *dist.Timeline, comm dist.Comm, optimizer, phase string, layer int, start time.Time) {
-	dur := time.Since(start)
+	recordDur(tl, comm, optimizer, phase, layer, time.Since(start))
+}
+
+// recordDur is record for phases whose duration was measured elsewhere —
+// async collective futures report their own execution time, which is what
+// the communication buckets should contain rather than the near-zero
+// submission time.
+func recordDur(tl *dist.Timeline, comm dist.Comm, optimizer, phase string, layer int, dur time.Duration) {
 	if tl != nil && comm.ID() == 0 {
 		tl.Add(phase, dur.Seconds())
 	}
@@ -53,8 +61,16 @@ type KFAC struct {
 
 	layers   []nn.KernelLayer
 	comm     dist.Comm
+	async    *dist.AsyncComm
 	timeline *dist.Timeline
 	state    []*kfacState
+
+	// Layer-parallel execution (internal/sched): see the HyLo counterpart.
+	plans      []kfacPlan
+	stages     []sched.Stage
+	eng        sched.Engine
+	precStages []sched.Stage
+	precEng    sched.Engine
 }
 
 type kfacState struct {
@@ -65,6 +81,22 @@ type kfacState struct {
 	// Persistent staging for the freshly computed factors (handed to the
 	// communicator, so owned here rather than pooled).
 	faBuf, fgBuf *mat.Dense
+}
+
+// kfacPlan is one layer's slot in the scheduled pipeline; it persists
+// across updates so the embedded futures are reused allocation-free.
+type kfacPlan struct {
+	layer, owner int
+	l            nn.KernelLayer
+	st           *kfacState
+	m            float64
+	commOpt      bool
+
+	a, g       *mat.Dense // this step's captures
+	fa, fg     *mat.Dense // all-reduced factors
+	aF, gF     dist.MatFuture
+	aInv, gInv *mat.Dense // owner's inverses headed for broadcast
+	aBF, gBF   dist.MatFuture
 }
 
 // NewKFAC builds a KFAC preconditioner over the network's kernel layers.
@@ -110,98 +142,175 @@ func (k *KFAC) record(phase string, layer int, start time.Time) {
 	record(k.timeline, k.comm, "kfac", phase, layer, start)
 }
 
+func (k *KFAC) recordDur(phase string, layer int, dur time.Duration) {
+	recordDur(k.timeline, k.comm, "kfac", phase, layer, dur)
+}
+
+// ensureStages builds the pipeline definition once; its closures index
+// k.plans.
+func (k *KFAC) ensureStages() {
+	if k.stages != nil {
+		return
+	}
+	k.stages = []sched.Stage{
+		{Name: "factorize", Fn: k.stageFactorize},
+		{Name: "reduce", Comm: true, Fn: k.stageReduce},
+		{Name: "invert", Wait: k.waitReduce, Fn: k.stageInvert},
+		{Name: "broadcast", Comm: true, Fn: k.stageBroadcast},
+		{Name: "store", Wait: k.waitBroadcast, Fn: k.stageStore},
+	}
+}
+
 // Update implements opt.Preconditioner: recompute factors from the latest
-// captures, all-reduce them, invert owned layers, broadcast inverses.
+// captures, all-reduce them, invert owned layers, broadcast inverses —
+// executed as a scheduled pipeline so one layer's factor all-reduce is in
+// flight while the next layer still computes its Gram factors.
 func (k *KFAC) Update() {
 	p := k.comm.Size()
+	if k.async == nil {
+		k.async = dist.Async(k.comm)
+	}
+	k.ensureStages()
+	k.plans = k.plans[:0]
 	for i, l := range k.layers {
 		a, g := l.Capture()
 		if a == nil {
 			continue
 		}
-		m := float64(a.Rows() * p)
-		st := k.state[i]
+		k.plans = append(k.plans, kfacPlan{
+			layer: i, owner: i % p, l: l, st: k.state[i],
+			m: float64(a.Rows() * p), commOpt: k.layerCommOpt(i),
+			a: a, g: g,
+		})
+	}
+	sched.Run(&k.eng, len(k.plans), k.stages)
+}
 
-		// (2) Factor computation, staged in persistent workspaces.
+// stageFactorize computes this step's factors, staged in persistent
+// workspaces (KAISA step 2).
+func (k *KFAC) stageFactorize(i int) {
+	pl := &k.plans[i]
+	st := pl.st
+	t0 := time.Now()
+	st.faBuf = mat.EnsureDense(st.faBuf, pl.a.Cols(), pl.a.Cols())
+	mat.GramTInto(st.faBuf, pl.a)
+	st.faBuf.Scale(1 / pl.m)
+	st.fgBuf = mat.EnsureDense(st.fgBuf, pl.g.Cols(), pl.g.Cols())
+	mat.GramTInto(st.fgBuf, pl.g)
+	st.fgBuf.Scale(1 / pl.m)
+	k.record(dist.PhaseFactorize, pl.layer, t0)
+}
+
+// stageReduce submits the factor all-reduces (KAISA step 3).
+func (k *KFAC) stageReduce(i int) {
+	pl := &k.plans[i]
+	k.async.StartAllReduceMat(&pl.aF, pl.st.faBuf)
+	k.async.StartAllReduceMat(&pl.gF, pl.st.fgBuf)
+}
+
+func (k *KFAC) waitReduce(i int) {
+	pl := &k.plans[i]
+	pl.fa = pl.aF.Wait()
+	pl.fg = pl.gF.Wait()
+}
+
+// stageInvert folds the reduced factors into the running averages held by
+// this rank and inverts where the placement strategy says to (KAISA step 4).
+func (k *KFAC) stageInvert(i int) {
+	pl := &k.plans[i]
+	st := pl.st
+	k.recordDur(dist.PhaseGather, pl.layer, pl.aF.Dur()+pl.gF.Dur())
+	// Memory-optimal layers keep the running factor state only on
+	// their owner; comm-optimal layers keep it everywhere.
+	keepFactors := pl.commOpt || k.comm.ID() == pl.owner
+	if keepFactors {
+		if !st.initialized {
+			// Bootstrap the running average from the first observation.
+			st.aFactor.CopyFrom(pl.fa)
+			st.gFactor.CopyFrom(pl.fg)
+			st.initialized = true
+		} else {
+			st.aFactor.Scale(k.Decay).AddScaled(pl.fa, 1-k.Decay)
+			st.gFactor.Scale(k.Decay).AddScaled(pl.fg, 1-k.Decay)
+		}
+	}
+	if pl.commOpt {
+		// (4') Communication-optimal: every worker inverts locally; no
+		// inverse broadcast (KAISA's comm-opt placement).
 		t0 := time.Now()
-		st.faBuf = mat.EnsureDense(st.faBuf, a.Cols(), a.Cols())
-		mat.GramTInto(st.faBuf, a)
-		fa := st.faBuf.Scale(1 / m)
-		st.fgBuf = mat.EnsureDense(st.fgBuf, g.Cols(), g.Cols())
-		mat.GramTInto(st.fgBuf, g)
-		fg := st.fgBuf.Scale(1 / m)
-		k.record(dist.PhaseFactorize, i, t0)
-
-		// (3) Factor all-reduce across workers (KAISA step 3).
-		t0 = time.Now()
-		fa = k.comm.AllReduceMat(fa)
-		fg = k.comm.AllReduceMat(fg)
-		k.record(dist.PhaseGather, i, t0)
-		owner := i % p
-		commOpt := k.layerCommOpt(i)
-		// Memory-optimal layers keep the running factor state only on
-		// their owner; comm-optimal layers keep it everywhere.
-		keepFactors := commOpt || k.comm.ID() == owner
-		if keepFactors {
-			if !st.initialized {
-				// Bootstrap the running average from the first observation.
-				st.aFactor.CopyFrom(fa)
-				st.gFactor.CopyFrom(fg)
-				st.initialized = true
-			} else {
-				st.aFactor.Scale(k.Decay).AddScaled(fa, 1-k.Decay)
-				st.gFactor.Scale(k.Decay).AddScaled(fg, 1-k.Decay)
-			}
-		}
-
-		invert := func() (aInv, gInv *mat.Dense) {
-			gA, gG := math.Sqrt(k.Damping), math.Sqrt(k.Damping)
-			if k.PiCorrection {
-				dIn, dOut := l.Dims()
-				gA, gG = piCorrection(st.aFactor.Trace(), dIn, st.gFactor.Trace(), dOut, k.Damping)
-			}
-			return invertFactor(st.aFactor, gA, "kfac.A"), invertFactor(st.gFactor, gG, "kfac.G")
-		}
-
-		if commOpt {
-			// (4') Communication-optimal: every worker inverts locally; no
-			// inverse broadcast (KAISA's comm-opt placement).
-			t0 = time.Now()
-			st.aInv, st.gInv = invert()
-			k.record(dist.PhaseInvert, i, t0)
-			continue
-		}
-
-		// (4) Inversion on the owning worker.
-		var aInv, gInv *mat.Dense
-		if k.comm.ID() == owner {
-			t0 = time.Now()
-			aInv, gInv = invert()
-			k.record(dist.PhaseInvert, i, t0)
-		}
-
-		// (5) Broadcast the inverses to everyone.
-		t0 = time.Now()
-		st.aInv = k.comm.BroadcastMat(owner, aInv)
-		st.gInv = k.comm.BroadcastMat(owner, gInv)
-		k.record(dist.PhaseBroadcast, i, t0)
+		st.aInv, st.gInv = k.invertPair(pl.l, st)
+		k.record(dist.PhaseInvert, pl.layer, t0)
+		return
+	}
+	pl.aInv, pl.gInv = nil, nil
+	if k.comm.ID() == pl.owner {
+		t0 := time.Now()
+		pl.aInv, pl.gInv = k.invertPair(pl.l, st)
+		k.record(dist.PhaseInvert, pl.layer, t0)
 	}
 }
 
-// Precondition implements opt.Preconditioner: grad ← A⁻¹ · grad · G⁻¹.
-func (k *KFAC) Precondition() {
-	for i, l := range k.layers {
-		st := k.state[i]
-		if st.aInv == nil {
-			continue
-		}
-		w := l.Weight()
-		rows, cols := w.Grad.Dims()
-		tmp := mat.GetDense(rows, cols)
-		mat.MulInto(tmp, w.Grad, st.gInv)
-		mat.MulInto(w.Grad, st.aInv, tmp)
-		mat.PutDense(tmp)
+// invertPair inverts both Kronecker factors with optional π damping split.
+func (k *KFAC) invertPair(l nn.KernelLayer, st *kfacState) (aInv, gInv *mat.Dense) {
+	gA, gG := math.Sqrt(k.Damping), math.Sqrt(k.Damping)
+	if k.PiCorrection {
+		dIn, dOut := l.Dims()
+		gA, gG = piCorrection(st.aFactor.Trace(), dIn, st.gFactor.Trace(), dOut, k.Damping)
 	}
+	return invertFactor(st.aFactor, gA, "kfac.A"), invertFactor(st.gFactor, gG, "kfac.G")
+}
+
+// stageBroadcast submits the inverse broadcasts (KAISA step 5).
+// Comm-optimal layers submit nothing — layerCommOpt is rank-independent,
+// so every rank skips the same layers and the canonical collective
+// sequence stays matched.
+func (k *KFAC) stageBroadcast(i int) {
+	pl := &k.plans[i]
+	if pl.commOpt {
+		return
+	}
+	k.async.StartBroadcastMat(&pl.aBF, pl.owner, pl.aInv)
+	k.async.StartBroadcastMat(&pl.gBF, pl.owner, pl.gInv)
+}
+
+func (k *KFAC) waitBroadcast(i int) {
+	pl := &k.plans[i]
+	if pl.commOpt {
+		return
+	}
+	pl.st.aInv = pl.aBF.Wait()
+	pl.st.gInv = pl.gBF.Wait()
+}
+
+func (k *KFAC) stageStore(i int) {
+	pl := &k.plans[i]
+	if pl.commOpt {
+		return
+	}
+	k.recordDur(dist.PhaseBroadcast, pl.layer, pl.aBF.Dur()+pl.gBF.Dur())
+}
+
+// Precondition implements opt.Preconditioner: grad ← A⁻¹ · grad · G⁻¹.
+// The layers are independent, so they run through the scheduler as a
+// single compute stage.
+func (k *KFAC) Precondition() {
+	if k.precStages == nil {
+		k.precStages = []sched.Stage{{Name: "precondition", Fn: k.stagePrecondition}}
+	}
+	sched.Run(&k.precEng, len(k.layers), k.precStages)
+}
+
+func (k *KFAC) stagePrecondition(i int) {
+	st := k.state[i]
+	if st.aInv == nil {
+		return
+	}
+	w := k.layers[i].Weight()
+	rows, cols := w.Grad.Dims()
+	tmp := mat.GetDense(rows, cols)
+	mat.MulInto(tmp, w.Grad, st.gInv)
+	mat.MulInto(w.Grad, st.aInv, tmp)
+	mat.PutDense(tmp)
 }
 
 // StateBytes implements opt.Preconditioner: the per-worker state actually

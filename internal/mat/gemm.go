@@ -219,6 +219,13 @@ func gemmPacked(out, a, b *Dense, transA, transB bool, m, k, n int) {
 	if nw < 1 {
 		nw = 1
 	}
+	// Extra workers beyond the calling goroutine come from the shared
+	// token pool (when installed), so a GEMM nested under scheduler stages
+	// degrades to fewer workers instead of oversubscribing cores. The
+	// k-slice accumulation order is fixed, so the result does not depend on
+	// how many workers are granted.
+	nw, releaseWorkers := acquireWorkers(nw)
+	defer releaseWorkers()
 
 	if nw == 1 {
 		// Sequential path: no goroutines, no work-stealing state, and one

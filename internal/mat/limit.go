@@ -1,0 +1,62 @@
+package mat
+
+import "sync/atomic"
+
+// Limiter bounds the extra worker goroutines mat's parallel kernels may
+// spawn. The scheduler (internal/sched) installs its process-wide token
+// pool here so nested parallelism — layer-parallel preconditioner stages
+// each calling the parallel GEMM — never oversubscribes the machine: a
+// kernel that wants w workers keeps the calling goroutine for free and asks
+// the limiter for up to w−1 extras, running with whatever it is granted.
+//
+// TryAcquire must be non-blocking (a kernel denied extras degrades to fewer
+// workers, it never waits), and Release must return exactly the granted
+// count. Results of the parallel kernels are independent of the worker
+// count, so limiting never changes numerics — only the parallelism.
+type Limiter interface {
+	// TryAcquire grants up to n tokens without blocking, returning the
+	// number granted (possibly 0).
+	TryAcquire(n int) int
+	// Release returns n previously granted tokens.
+	Release(n int)
+}
+
+// parallelLimiter holds the installed Limiter; nil means unlimited (the
+// default, preserving the historical GOMAXPROCS-wide behavior).
+var parallelLimiter atomic.Pointer[limiterBox]
+
+type limiterBox struct{ l Limiter }
+
+// SetParallelLimiter installs (or, with nil, removes) the process-wide
+// limiter consulted by the parallel kernels. Safe to call concurrently
+// with running kernels: in-flight acquisitions release against the limiter
+// they were granted by.
+func SetParallelLimiter(l Limiter) {
+	if l == nil {
+		parallelLimiter.Store(nil)
+		return
+	}
+	parallelLimiter.Store(&limiterBox{l: l})
+}
+
+func noopRelease() {}
+
+// acquireWorkers resolves how many workers (including the caller) a
+// parallel kernel may actually use, given that it wants `want`: the caller
+// is always granted, and want−1 extras are requested from the installed
+// limiter. The returned release func must be called when the parallel
+// region ends.
+func acquireWorkers(want int) (int, func()) {
+	if want <= 1 {
+		return 1, noopRelease
+	}
+	box := parallelLimiter.Load()
+	if box == nil {
+		return want, noopRelease
+	}
+	granted := box.l.TryAcquire(want - 1)
+	if granted <= 0 {
+		return 1, noopRelease
+	}
+	return 1 + granted, func() { box.l.Release(granted) }
+}

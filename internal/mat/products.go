@@ -81,13 +81,24 @@ func GramT(m *Dense) *Dense { return MulTA(m, m) }
 func GramTInto(dst, m *Dense) { MulTAInto(dst, m, m) }
 
 // parallelRows runs fn(i) for i in [0, n) across GOMAXPROCS goroutines
-// with a static partition (deterministic assignment).
+// with a static partition (deterministic assignment). Workers beyond the
+// calling goroutine are subject to the shared limiter, so row-parallel
+// kernels nested under scheduler stages shrink rather than oversubscribe;
+// the static partition makes the result identical for any worker count.
 func parallelRows(n int, fn func(i int)) {
 	nw := gomaxprocs()
 	if nw > n {
 		nw = n
 	}
 	if nw <= 1 || n < 32 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	nw, releaseWorkers := acquireWorkers(nw)
+	defer releaseWorkers()
+	if nw == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}

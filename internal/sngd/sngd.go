@@ -15,6 +15,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/numerics"
+	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
@@ -59,8 +60,16 @@ type SNGD struct {
 
 	layers   []nn.KernelLayer
 	comm     dist.Comm
+	async    *dist.AsyncComm
 	timeline *dist.Timeline
 	state    []*sngdState
+
+	// Layer-parallel execution (internal/sched): see the HyLo counterpart.
+	plans      []sngdPlan
+	stages     []sched.Stage
+	eng        sched.Engine
+	precStages []sched.Stage
+	precEng    sched.Engine
 }
 
 type sngdState struct {
@@ -72,6 +81,20 @@ type sngdState struct {
 	// pooled) and the Precondition scratch vectors.
 	an, gn     *mat.Dense
 	y, z, corr []float64
+}
+
+// sngdPlan is one layer's slot in the scheduled pipeline; it persists
+// across updates so the embedded futures are reused allocation-free.
+type sngdPlan struct {
+	layer, owner int
+	st           *sngdState
+	a, g         *mat.Dense // this step's captures
+	scale        float64
+
+	aF, gF         dist.GatherFuture
+	aParts, gParts []*mat.Dense
+	m              *mat.Dense // owner's result; nil off-owner
+	mF             dist.MatFuture
 }
 
 // New builds an SNGD preconditioner over the network's kernel layers.
@@ -91,7 +114,12 @@ func (s *SNGD) Name() string { return "SNGD" }
 // Timeline keeps the four-bucket totals, and — when telemetry is on —
 // every rank emits a span tagged optimizer/layer.
 func (s *SNGD) record(phase string, layer int, start time.Time) {
-	dur := time.Since(start)
+	s.recordDur(phase, layer, time.Since(start))
+}
+
+// recordDur is record for phases whose duration was measured elsewhere
+// (async collective futures report their own execution time).
+func (s *SNGD) recordDur(phase string, layer int, dur time.Duration) {
 	if s.timeline != nil && s.comm.ID() == 0 {
 		s.timeline.Add(phase, dur.Seconds())
 	}
@@ -102,10 +130,32 @@ func (s *SNGD) record(phase string, layer int, start time.Time) {
 	}
 }
 
+// ensureStages builds the pipeline definition once; its closures index
+// s.plans.
+func (s *SNGD) ensureStages() {
+	if s.stages != nil {
+		return
+	}
+	s.stages = []sched.Stage{
+		{Name: "normalize", Fn: s.stageNormalize},
+		{Name: "gather", Comm: true, Fn: s.stageGather},
+		{Name: "invert", Wait: s.waitGather, Fn: s.stageInvert},
+		{Name: "broadcast", Comm: true, Fn: s.stageBroadcast},
+		{Name: "store", Wait: s.waitBroadcast, Fn: s.stageStore},
+	}
+}
+
 // Update implements opt.Preconditioner: gather per-worker factors, build
-// and invert the global kernel on the owning worker, broadcast.
+// and invert the global kernel on the owning worker, broadcast — executed
+// as a scheduled pipeline so one layer's gather is in flight while the
+// next layer still normalizes or a previous owner still inverts.
 func (s *SNGD) Update() {
 	p := s.comm.Size()
+	if s.async == nil {
+		s.async = dist.Async(s.comm)
+	}
+	s.ensureStages()
+	s.plans = s.plans[:0]
 	for i, l := range s.layers {
 		a, g := l.Capture()
 		if a == nil {
@@ -115,85 +165,123 @@ func (s *SNGD) Update() {
 		// Normalize so the kernel represents the mean Fisher: scaling both
 		// factors by mGlob^(-1/4) scales K by 1/mGlob and U by 1/√mGlob.
 		scale := math.Pow(float64(mGlob), -0.25)
-		st := s.state[i]
-		st.an = mat.EnsureDense(st.an, a.Rows(), a.Cols())
-		st.an.CopyFrom(a)
-		an := st.an.Scale(scale)
-		st.gn = mat.EnsureDense(st.gn, g.Rows(), g.Cols())
-		st.gn.CopyFrom(g)
-		gn := st.gn.Scale(scale)
-
-		// (2) Gather A_i, G_i from all workers.
-		t0 := time.Now()
-		aParts := s.comm.AllGatherMat(an)
-		gParts := s.comm.AllGatherMat(gn)
-		s.record(dist.PhaseGather, i, t0)
-		st.aGlob = stackInto(st.aGlob, aParts)
-		st.gGlob = stackInto(st.gGlob, gParts)
-
-		// (3) Kernel inversion on the owning worker (or, under UseCG, just
-		// the damped kernel assembly — solves happen lazily via CG).
-		owner := i % p
-		var kinv *mat.Dense
-		if s.comm.ID() == owner {
-			t0 = time.Now()
-			mg := st.aGlob.Rows()
-			k := mat.GetDense(mg, mg)
-			mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
-			k.AddDiag(s.Damping)
-			if s.UseCG {
-				// k escapes into long-lived state under CG: hand it over
-				// un-pooled so the state never holds pool-owned storage.
-				kinv = k.Clone()
-				mat.PutDense(k)
-			} else {
-				kinv = invertKernel(k, "sngd.kernel")
-				mat.PutDense(k)
-			}
-			s.record(dist.PhaseInvert, i, t0)
-		}
-
-		// (4) Broadcast the inverted kernel.
-		t0 = time.Now()
-		st.kinv = s.comm.BroadcastMat(owner, kinv)
-		s.record(dist.PhaseBroadcast, i, t0)
+		s.plans = append(s.plans, sngdPlan{
+			layer: i, owner: i % p, st: s.state[i], a: a, g: g, scale: scale,
+		})
 	}
+	sched.Run(&s.eng, len(s.plans), s.stages)
+}
+
+func (s *SNGD) stageNormalize(i int) {
+	pl := &s.plans[i]
+	st := pl.st
+	st.an = mat.EnsureDense(st.an, pl.a.Rows(), pl.a.Cols())
+	st.an.CopyFrom(pl.a)
+	st.an.Scale(pl.scale)
+	st.gn = mat.EnsureDense(st.gn, pl.g.Rows(), pl.g.Cols())
+	st.gn.CopyFrom(pl.g)
+	st.gn.Scale(pl.scale)
+}
+
+// stageGather submits the factor all-gathers (Fig. 1 step 2).
+func (s *SNGD) stageGather(i int) {
+	pl := &s.plans[i]
+	s.async.StartAllGatherMat(&pl.aF, pl.st.an)
+	s.async.StartAllGatherMat(&pl.gF, pl.st.gn)
+}
+
+func (s *SNGD) waitGather(i int) {
+	pl := &s.plans[i]
+	pl.aParts = pl.aF.Wait()
+	pl.gParts = pl.gF.Wait()
+}
+
+// stageInvert assembles the global factors and, on the owning worker,
+// inverts the global kernel (or just assembles it under UseCG).
+func (s *SNGD) stageInvert(i int) {
+	pl := &s.plans[i]
+	st := pl.st
+	s.recordDur(dist.PhaseGather, pl.layer, pl.aF.Dur()+pl.gF.Dur())
+	st.aGlob = stackInto(st.aGlob, pl.aParts)
+	st.gGlob = stackInto(st.gGlob, pl.gParts)
+	pl.m = nil
+	if s.comm.ID() != pl.owner {
+		return
+	}
+	t0 := time.Now()
+	mg := st.aGlob.Rows()
+	k := mat.GetDense(mg, mg)
+	mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
+	k.AddDiag(s.Damping)
+	if s.UseCG {
+		// k escapes into long-lived state under CG: hand it over
+		// un-pooled so the state never holds pool-owned storage.
+		pl.m = k.Clone()
+		mat.PutDense(k)
+	} else {
+		pl.m = invertKernel(k, "sngd.kernel")
+		mat.PutDense(k)
+	}
+	s.record(dist.PhaseInvert, pl.layer, t0)
+}
+
+// stageBroadcast submits the inverted-kernel broadcast (Fig. 1 step 4).
+func (s *SNGD) stageBroadcast(i int) {
+	pl := &s.plans[i]
+	s.async.StartBroadcastMat(&pl.mF, pl.owner, pl.m)
+}
+
+func (s *SNGD) waitBroadcast(i int) {
+	pl := &s.plans[i]
+	pl.st.kinv = pl.mF.Wait()
+}
+
+func (s *SNGD) stageStore(i int) {
+	pl := &s.plans[i]
+	s.recordDur(dist.PhaseBroadcast, pl.layer, pl.mF.Dur())
 }
 
 // Precondition implements opt.Preconditioner, applying Eq. (7) through the
-// Khatri-Rao structure (no dIn·dOut × dIn·dOut matrices are formed).
+// Khatri-Rao structure (no dIn·dOut × dIn·dOut matrices are formed). The
+// layers are independent, so they run through the scheduler as a single
+// compute stage.
 func (s *SNGD) Precondition() {
-	for i, l := range s.layers {
-		st := s.state[i]
-		if st.kinv == nil {
-			continue
+	if s.precStages == nil {
+		s.precStages = []sched.Stage{{Name: "precondition", Fn: s.stagePrecondition}}
+	}
+	sched.Run(&s.precEng, len(s.layers), s.precStages)
+}
+
+func (s *SNGD) stagePrecondition(i int) {
+	st := s.state[i]
+	if st.kinv == nil {
+		return
+	}
+	w := s.layers[i].Weight()
+	g := w.Grad
+	// y = U g (m-vector), z = K⁻¹ y, corr = Uᵀ z.
+	st.y = mat.EnsureFloats(st.y, st.aGlob.Rows())
+	mat.KhatriRaoApplyInto(st.y, st.aGlob, st.gGlob, g.Data())
+	y := st.y
+	var z []float64
+	if s.UseCG {
+		tol := s.CGTol
+		if tol <= 0 {
+			tol = 1e-10
 		}
-		w := l.Weight()
-		g := w.Grad
-		// y = U g (m-vector), z = K⁻¹ y, corr = Uᵀ z.
-		st.y = mat.EnsureFloats(st.y, st.aGlob.Rows())
-		mat.KhatriRaoApplyInto(st.y, st.aGlob, st.gGlob, g.Data())
-		y := st.y
-		var z []float64
-		if s.UseCG {
-			tol := s.CGTol
-			if tol <= 0 {
-				tol = 1e-10
-			}
-			z, _ = mat.CG(st.kinv, y, tol, 20*len(y))
-		} else {
-			st.z = mat.EnsureFloats(st.z, st.kinv.Rows())
-			mat.MulVecInto(st.z, st.kinv, y)
-			z = st.z
-		}
-		st.corr = mat.EnsureFloats(st.corr, st.aGlob.Cols()*st.gGlob.Cols())
-		mat.KhatriRaoApplyTInto(st.corr, st.aGlob, st.gGlob, z)
-		corr := st.corr
-		gd := g.Data()
-		inv := 1 / s.Damping
-		for j := range gd {
-			gd[j] = inv * (gd[j] - corr[j])
-		}
+		z, _ = mat.CG(st.kinv, y, tol, 20*len(y))
+	} else {
+		st.z = mat.EnsureFloats(st.z, st.kinv.Rows())
+		mat.MulVecInto(st.z, st.kinv, y)
+		z = st.z
+	}
+	st.corr = mat.EnsureFloats(st.corr, st.aGlob.Cols()*st.gGlob.Cols())
+	mat.KhatriRaoApplyTInto(st.corr, st.aGlob, st.gGlob, z)
+	corr := st.corr
+	gd := g.Data()
+	inv := 1 / s.Damping
+	for j := range gd {
+		gd[j] = inv * (gd[j] - corr[j])
 	}
 }
 
@@ -220,6 +308,13 @@ type LocalSNGD struct {
 
 	layers []nn.KernelLayer
 	state  []*sngdState
+
+	// Comm-free per-layer work: one compute stage each for Update and
+	// Precondition.
+	updStages  []sched.Stage
+	updEng     sched.Engine
+	precStages []sched.Stage
+	precEng    sched.Engine
 }
 
 // NewLocal builds the communication-free SENG-style preconditioner.
@@ -236,49 +331,60 @@ func NewLocal(net *nn.Network, damping float64) *LocalSNGD {
 func (s *LocalSNGD) Name() string { return "SENG-local" }
 
 // Update implements opt.Preconditioner: invert each layer's local kernel.
+// Entirely communication-free, so the whole update is one parallel stage.
 func (s *LocalSNGD) Update() {
-	for i, l := range s.layers {
-		a, g := l.Capture()
-		if a == nil {
-			continue
-		}
-		scale := math.Pow(float64(a.Rows()), -0.25)
-		st := s.state[i]
-		st.aGlob = mat.EnsureDense(st.aGlob, a.Rows(), a.Cols())
-		st.aGlob.CopyFrom(a)
-		st.aGlob.Scale(scale)
-		st.gGlob = mat.EnsureDense(st.gGlob, g.Rows(), g.Cols())
-		st.gGlob.CopyFrom(g)
-		st.gGlob.Scale(scale)
-		m := a.Rows()
-		k := mat.GetDense(m, m)
-		mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
-		k.AddDiag(s.Damping)
-		st.kinv = invertKernel(k, "sngd.local.kernel")
-		mat.PutDense(k)
+	if s.updStages == nil {
+		s.updStages = []sched.Stage{{Name: "local-kernel", Fn: s.stageUpdate}}
 	}
+	sched.Run(&s.updEng, len(s.layers), s.updStages)
+}
+
+func (s *LocalSNGD) stageUpdate(i int) {
+	a, g := s.layers[i].Capture()
+	if a == nil {
+		return
+	}
+	scale := math.Pow(float64(a.Rows()), -0.25)
+	st := s.state[i]
+	st.aGlob = mat.EnsureDense(st.aGlob, a.Rows(), a.Cols())
+	st.aGlob.CopyFrom(a)
+	st.aGlob.Scale(scale)
+	st.gGlob = mat.EnsureDense(st.gGlob, g.Rows(), g.Cols())
+	st.gGlob.CopyFrom(g)
+	st.gGlob.Scale(scale)
+	m := a.Rows()
+	k := mat.GetDense(m, m)
+	mat.KernelMatrixInto(k, st.aGlob, st.gGlob)
+	k.AddDiag(s.Damping)
+	st.kinv = invertKernel(k, "sngd.local.kernel")
+	mat.PutDense(k)
 }
 
 // Precondition implements opt.Preconditioner (Eq. 7 on local factors).
 func (s *LocalSNGD) Precondition() {
-	for i, l := range s.layers {
-		st := s.state[i]
-		if st.kinv == nil {
-			continue
-		}
-		g := l.Weight().Grad
-		st.y = mat.EnsureFloats(st.y, st.aGlob.Rows())
-		mat.KhatriRaoApplyInto(st.y, st.aGlob, st.gGlob, g.Data())
-		st.z = mat.EnsureFloats(st.z, st.kinv.Rows())
-		mat.MulVecInto(st.z, st.kinv, st.y)
-		st.corr = mat.EnsureFloats(st.corr, st.aGlob.Cols()*st.gGlob.Cols())
-		mat.KhatriRaoApplyTInto(st.corr, st.aGlob, st.gGlob, st.z)
-		corr := st.corr
-		gd := g.Data()
-		inv := 1 / s.Damping
-		for j := range gd {
-			gd[j] = inv * (gd[j] - corr[j])
-		}
+	if s.precStages == nil {
+		s.precStages = []sched.Stage{{Name: "precondition", Fn: s.stagePrecondition}}
+	}
+	sched.Run(&s.precEng, len(s.layers), s.precStages)
+}
+
+func (s *LocalSNGD) stagePrecondition(i int) {
+	st := s.state[i]
+	if st.kinv == nil {
+		return
+	}
+	g := s.layers[i].Weight().Grad
+	st.y = mat.EnsureFloats(st.y, st.aGlob.Rows())
+	mat.KhatriRaoApplyInto(st.y, st.aGlob, st.gGlob, g.Data())
+	st.z = mat.EnsureFloats(st.z, st.kinv.Rows())
+	mat.MulVecInto(st.z, st.kinv, st.y)
+	st.corr = mat.EnsureFloats(st.corr, st.aGlob.Cols()*st.gGlob.Cols())
+	mat.KhatriRaoApplyTInto(st.corr, st.aGlob, st.gGlob, st.z)
+	corr := st.corr
+	gd := g.Data()
+	inv := 1 / s.Damping
+	for j := range gd {
+		gd[j] = inv * (gd[j] - corr[j])
 	}
 }
 
