@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race racesched vet cover chaos fuzzsmoke bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race racesched serve-smoke vet cover chaos fuzzsmoke bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -22,6 +22,12 @@ racesched:
 	$(GO) test -race ./internal/sched/ -count=1
 	$(GO) test -race ./internal/dist/ -run 'TestAsync|TestLocalCommInPlace' -count=1
 	$(GO) test -race ./internal/train/ -run 'TestElasticRecoveryWithParallelScheduler' -count=1
+
+# End-to-end smoke of the hylo-serve daemon: boot the binary, submit a
+# 2-epoch job over HTTP, assert completion and a non-empty /metrics, then
+# drain via SIGTERM. The in-process HTTP tests live in internal/serve.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 vet:
 	$(GO) vet ./...

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/numerics"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
@@ -36,8 +37,8 @@ func main() {
 	schedWorkers := flag.Int("sched-workers", runtime.GOMAXPROCS(0), "layer-parallel preconditioner workers (1 = legacy sequential path; results are bit-identical either way)")
 	flag.Parse()
 
-	if *schedWorkers < 1 {
-		fmt.Fprintf(os.Stderr, "hylo-bench: -sched-workers must be >= 1 (got %d)\n", *schedWorkers)
+	if err := cliutil.ValidateSchedWorkers(*schedWorkers); err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-bench: %v\n", err)
 		os.Exit(2)
 	}
 	sched.SetWorkers(*schedWorkers)

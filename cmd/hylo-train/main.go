@@ -19,26 +19,18 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
-	"sort"
-	"strconv"
 	"strings"
-	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
-	"repro/internal/kbfgs"
-	"repro/internal/kfac"
 	"repro/internal/mat"
-	"repro/internal/models"
-	"repro/internal/nn"
 	"repro/internal/numerics"
 	"repro/internal/opt"
 	"repro/internal/sched"
-	"repro/internal/sngd"
 	"repro/internal/telemetry"
 	"repro/internal/train"
 )
@@ -86,12 +78,15 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*epochs, *batch, *workers, *freq, *rankFrac, *damping, *condLimit, *idTol); err != nil {
+	if err := cliutil.ValidateHyper(cliutil.Hyper{
+		Epochs: *epochs, Batch: *batch, Workers: *workers, Freq: *freq,
+		RankFrac: *rankFrac, Damping: *damping, CondLimit: *condLimit, IDTol: *idTol,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
 		os.Exit(2)
 	}
-	if *schedWorkers < 1 {
-		fmt.Fprintf(os.Stderr, "hylo-train: -sched-workers must be >= 1 (got %d)\n", *schedWorkers)
+	if err := cliutil.ValidateSchedWorkers(*schedWorkers); err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
 		os.Exit(2)
 	}
 	sched.SetWorkers(*schedWorkers)
@@ -102,14 +97,10 @@ func main() {
 		telemetry.SetEnabled(true)
 	}
 
-	var decays []int
-	if *decayAt != "" {
-		for _, s := range strings.Split(*decayAt, ",") {
-			var e int
-			fmt.Sscanf(s, "%d", &e)
-			decays = append(decays, e)
-		}
-		sort.Ints(decays)
+	decays, err := cliutil.ParseDecayEpochs(*decayAt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+		os.Exit(2)
 	}
 
 	cfg := train.Config{
@@ -121,16 +112,25 @@ func main() {
 		Patience: *patience, MaxGradNorm: *clip,
 	}
 
-	build, trainSet, testSet, task, target := buildWorkload(*model, *classes, *samples, *seed)
+	wl, err := cliutil.BuildWorkload(*model, *classes, *samples, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+		os.Exit(2)
+	}
+	build, trainSet, testSet, task, target := wl.Build, wl.Train, wl.Test, wl.Task, wl.Target
 	if *augment {
 		shape := trainSet.Shape
 		cfg.Augment = func(rng *mat.RNG) *data.Augmenter {
 			return data.NewAugmenter(rng, shape, true, 2)
 		}
 	}
-	pre := precondFactory(*optimizer, *damping, *rankFrac, *eta, *idTol)
+	pre, err := cliutil.PrecondFactory(*optimizer, *damping, *rankFrac, *eta, *idTol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+		os.Exit(2)
+	}
 
-	plan, err := parseFaultSpec(*faultInject)
+	plan, err := cliutil.ParseFaultSpec(*faultInject)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hylo-train: -fault-inject: %v\n", err)
 		os.Exit(2)
@@ -209,216 +209,6 @@ func main() {
 	if *numReport {
 		fmt.Println()
 		fmt.Print(numerics.Report())
-	}
-}
-
-// validateFlags rejects hyperparameter values that would otherwise fail in
-// confusing ways downstream (zero-length epochs, empty shards, a rank
-// fraction of zero rounding every kernel to nothing, a damping of zero
-// making every update divide by zero).
-func validateFlags(epochs, batch, workers, freq int, rankFrac, damping, condLimit, idTol float64) error {
-	if epochs <= 0 {
-		return fmt.Errorf("-epochs must be positive (got %d)", epochs)
-	}
-	if batch <= 0 {
-		return fmt.Errorf("-batch must be positive (got %d)", batch)
-	}
-	if workers <= 0 {
-		return fmt.Errorf("-workers must be positive (got %d)", workers)
-	}
-	if freq <= 0 {
-		return fmt.Errorf("-freq must be positive (got %d)", freq)
-	}
-	if rankFrac <= 0 || rankFrac > 1 {
-		return fmt.Errorf("-rank-frac must be in (0, 1] (got %g)", rankFrac)
-	}
-	if damping <= 0 || math.IsNaN(damping) || math.IsInf(damping, 0) {
-		return fmt.Errorf("-damping must be positive and finite (got %g)", damping)
-	}
-	if condLimit <= 1 || math.IsNaN(condLimit) {
-		return fmt.Errorf("-cond-limit must be > 1 (got %g)", condLimit)
-	}
-	if idTol < 0 || idTol >= 1 || math.IsNaN(idTol) {
-		return fmt.Errorf("-id-tol must be in [0, 1) (got %g)", idTol)
-	}
-	return nil
-}
-
-// parseFaultSpec parses the -fault-inject chaos grammar: comma-separated
-// directives of the form panic:RANK@STEP, bitflip:PROB, delay:PROB@DUR.
-// An empty spec returns (nil, nil) — chaos disabled.
-func parseFaultSpec(spec string) (*dist.FaultPlan, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	plan := &dist.FaultPlan{PanicStep: -1}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		kind, arg, ok := strings.Cut(part, ":")
-		if !ok || arg == "" {
-			return nil, fmt.Errorf("%q: want KIND:ARGS", part)
-		}
-		switch kind {
-		case "panic":
-			rs, ss, ok := strings.Cut(arg, "@")
-			if !ok {
-				return nil, fmt.Errorf("%q: want panic:RANK@STEP", part)
-			}
-			rank, err := strconv.Atoi(rs)
-			if err != nil || rank < 0 {
-				return nil, fmt.Errorf("%q: bad rank %q", part, rs)
-			}
-			step, err := strconv.Atoi(ss)
-			if err != nil || step < 0 {
-				return nil, fmt.Errorf("%q: bad step %q", part, ss)
-			}
-			plan.PanicRank, plan.PanicStep = rank, step
-		case "bitflip":
-			p, err := strconv.ParseFloat(arg, 64)
-			if err != nil || p <= 0 || p > 1 {
-				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
-			}
-			plan.BitFlipProb = p
-		case "delay":
-			ps, ds, ok := strings.Cut(arg, "@")
-			if !ok {
-				return nil, fmt.Errorf("%q: want delay:PROB@DUR", part)
-			}
-			p, err := strconv.ParseFloat(ps, 64)
-			if err != nil || p <= 0 || p > 1 {
-				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
-			}
-			d, err := time.ParseDuration(ds)
-			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("%q: bad duration %q", part, ds)
-			}
-			plan.StragglerProb, plan.StragglerDelay = p, d
-		case "degenerate":
-			ks, ps, ok := strings.Cut(arg, "@")
-			if !ok {
-				return nil, fmt.Errorf("%q: want degenerate:KIND@PROB", part)
-			}
-			switch ks {
-			case "dup", "zero", "huge":
-			default:
-				return nil, fmt.Errorf("%q: kind must be dup, zero, or huge", part)
-			}
-			p, err := strconv.ParseFloat(ps, 64)
-			if err != nil || p <= 0 || p > 1 {
-				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
-			}
-			plan.DegenerateKind, plan.DegenerateProb = ks, p
-		default:
-			return nil, fmt.Errorf("%q: unknown fault kind %q", part, kind)
-		}
-	}
-	return plan, nil
-}
-
-func buildWorkload(model string, classes, perClass int, seed uint64) (
-	func(rng *mat.RNG) *nn.Network, *data.Dataset, *data.Dataset, train.Task, float64) {
-
-	switch model {
-	case "mlp":
-		ds := data.SynthVectors(mat.NewRNG(seed+100), classes, perClass*4, 32, 0.3)
-		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
-		return func(rng *mat.RNG) *nn.Network {
-			return models.MLP(nn.Vec(32), []int{64, 32}, classes, rng)
-		}, tr, te, train.Classification(), 0.9
-	case "3c1f":
-		shape := nn.Shape{C: 1, H: 16, W: 16}
-		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
-			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
-		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
-		return func(rng *mat.RNG) *nn.Network {
-			return models.ThreeC1F(shape, 8, classes, rng)
-		}, tr, te, train.Classification(), 0.9
-	case "resnet":
-		shape := nn.Shape{C: 3, H: 16, W: 16}
-		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
-			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
-		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
-		return func(rng *mat.RNG) *nn.Network {
-			return models.ResNetCIFAR(shape, 2, 8, classes, rng)
-		}, tr, te, train.Classification(), 0.85
-	case "densenet":
-		shape := nn.Shape{C: 3, H: 16, W: 16}
-		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
-			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
-		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
-		return func(rng *mat.RNG) *nn.Network {
-			return models.DenseNetLite(shape, 6, classes, rng)
-		}, tr, te, train.Classification(), 0.75
-	case "vit":
-		shape := nn.Shape{C: 1, H: 16, W: 16}
-		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
-			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
-		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
-		return func(rng *mat.RNG) *nn.Network {
-			return models.TransformerLite(shape, 4, 12, 2, classes, rng)
-		}, tr, te, train.Classification(), 0.85
-	case "unet":
-		shape := nn.Shape{C: 1, H: 16, W: 16}
-		ds := data.SynthSegmentation(mat.NewRNG(seed+100), data.SegSpec{
-			N: classes * perClass, Shape: shape, Noise: 0.4})
-		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
-		return func(rng *mat.RNG) *nn.Network {
-			return models.MiniUNet(shape, 4, rng)
-		}, tr, te, train.Segmentation(), 0.8
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", model)
-		os.Exit(2)
-		return nil, nil, nil, train.Task{}, 0
-	}
-}
-
-func precondFactory(optimizer string, damping, rankFrac, eta, idTol float64) train.PrecondFactory {
-	hylo := func(policy core.SwitchPolicy) train.PrecondFactory {
-		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			h := core.NewHyLo(net, damping, rankFrac, c, tl, rng)
-			// Flag semantics: 0 disables truncation (the struct uses 0 for
-			// "default", negative for "off").
-			h.IDTol = idTol
-			if idTol == 0 {
-				h.IDTol = -1
-			}
-			if policy != nil {
-				h.Policy = policy
-			}
-			return h
-		}
-	}
-	switch optimizer {
-	case "sgd", "adam":
-		return nil
-	case "kfac", "kaisa":
-		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return kfac.NewKFAC(net, damping, c, tl)
-		}
-	case "ekfac":
-		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return kfac.NewEKFAC(net, damping, c, tl)
-		}
-	case "kbfgs":
-		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return kbfgs.NewKBFGSL(net, 0.01, 10)
-		}
-	case "sngd":
-		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return sngd.New(net, damping, c, tl)
-		}
-	case "hylo":
-		return hylo(core.GradientSwitch{Eta: eta})
-	case "hylo-kid":
-		return hylo(core.FixedSwitch{Mode: core.ModeKID})
-	case "hylo-kis":
-		return hylo(core.FixedSwitch{Mode: core.ModeKIS})
-	case "hylo-random":
-		return hylo(core.RandomSwitch{})
-	default:
-		fmt.Fprintf(os.Stderr, "unknown optimizer %q\n", optimizer)
-		os.Exit(2)
-		return nil
 	}
 }
 

@@ -1,165 +1,41 @@
 package main
 
+// The flag-validation, workload-builder, preconditioner-factory, and
+// fault-spec tests moved to internal/cliutil with the helpers themselves —
+// hylo-train, hylo-bench, and hylo-serve now share one copy of those rules.
+
 import (
-	"math"
+	"encoding/csv"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
-	"repro/internal/dist"
-	"repro/internal/mat"
+	"repro/internal/train"
 )
 
-func TestValidateFlags(t *testing.T) {
-	type args struct {
-		epochs, batch, workers, freq        int
-		rankFrac, damping, condLimit, idTol float64
+func TestWriteCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.csv")
+	res := train.Result{Stats: []train.EpochStat{
+		{Epoch: 0, TrainLoss: 1.5, Metric: 0.25, Elapsed: 1500 * time.Millisecond},
+		{Epoch: 1, TrainLoss: 0.75, Metric: 0.5, Elapsed: 3 * time.Second},
+	}}
+	if err := writeCSV(path, res); err != nil {
+		t.Fatal(err)
 	}
-	good := args{epochs: 10, batch: 32, workers: 4, freq: 5,
-		rankFrac: 0.1, damping: 0.03, condLimit: 1e14, idTol: 1e-12}
-	if err := validateFlags(good.epochs, good.batch, good.workers, good.freq,
-		good.rankFrac, good.damping, good.condLimit, good.idTol); err != nil {
-		t.Fatalf("valid flags rejected: %v", err)
-	}
-	// rank-frac = 1 is the inclusive upper edge; id-tol 0 disables truncation.
-	if err := validateFlags(1, 1, 1, 1, 1, 1, 2, 0); err != nil {
-		t.Fatalf("edge flags rejected: %v", err)
-	}
-	cases := []struct {
-		name string
-		a    args
-	}{
-		{"zero epochs", args{0, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
-		{"negative epochs", args{-3, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
-		{"zero batch", args{10, 0, 4, 5, 0.1, 0.03, 1e14, 0}},
-		{"zero workers", args{10, 32, 0, 5, 0.1, 0.03, 1e14, 0}},
-		{"negative freq", args{10, 32, 4, -1, 0.1, 0.03, 1e14, 0}},
-		{"zero rank-frac", args{10, 32, 4, 5, 0, 0.03, 1e14, 0}},
-		{"rank-frac above one", args{10, 32, 4, 5, 1.5, 0.03, 1e14, 0}},
-		{"negative rank-frac", args{10, 32, 4, 5, -0.1, 0.03, 1e14, 0}},
-		{"zero damping", args{10, 32, 4, 5, 0.1, 0, 1e14, 0}},
-		{"negative damping", args{10, 32, 4, 5, 0.1, -0.01, 1e14, 0}},
-		{"NaN damping", args{10, 32, 4, 5, 0.1, math.NaN(), 1e14, 0}},
-		{"Inf damping", args{10, 32, 4, 5, 0.1, math.Inf(1), 1e14, 0}},
-		{"cond-limit at one", args{10, 32, 4, 5, 0.1, 0.03, 1, 0}},
-		{"negative cond-limit", args{10, 32, 4, 5, 0.1, 0.03, -5, 0}},
-		{"NaN cond-limit", args{10, 32, 4, 5, 0.1, 0.03, math.NaN(), 0}},
-		{"negative id-tol", args{10, 32, 4, 5, 0.1, 0.03, 1e14, -1e-6}},
-		{"id-tol at one", args{10, 32, 4, 5, 0.1, 0.03, 1e14, 1}},
-		{"NaN id-tol", args{10, 32, 4, 5, 0.1, 0.03, 1e14, math.NaN()}},
-	}
-	for _, c := range cases {
-		if err := validateFlags(c.a.epochs, c.a.batch, c.a.workers, c.a.freq,
-			c.a.rankFrac, c.a.damping, c.a.condLimit, c.a.idTol); err == nil {
-			t.Errorf("%s: expected error, got nil", c.name)
-		}
-	}
-}
-
-func TestBuildWorkloadAllModels(t *testing.T) {
-	for _, model := range []string{"mlp", "3c1f", "resnet", "densenet", "unet", "vit"} {
-		build, tr, te, task, target := buildWorkload(model, 3, 8, 1)
-		if build == nil || tr == nil || te == nil || task.Loss == nil {
-			t.Fatalf("%s: incomplete workload", model)
-		}
-		if target <= 0 || target > 1 {
-			t.Fatalf("%s: target %g out of range", model, target)
-		}
-		// The builder must produce a net compatible with the data.
-		net := build(mat.NewRNG(1))
-		x, _ := tr.Batch([]int{0})
-		out := net.Forward(x, false)
-		if out.Rows() != 1 {
-			t.Fatalf("%s: forward produced %d rows", model, out.Rows())
-		}
-	}
-}
-
-func TestPrecondFactoryAllOptimizers(t *testing.T) {
-	firstOrder := map[string]bool{"sgd": true, "adam": true}
-	for _, o := range []string{"sgd", "adam", "kfac", "kaisa", "ekfac", "kbfgs",
-		"sngd", "hylo", "hylo-kid", "hylo-kis", "hylo-random"} {
-		f := precondFactory(o, 0.1, 0.1, 0.25, 1e-12)
-		if firstOrder[o] {
-			if f != nil {
-				t.Fatalf("%s: expected nil factory", o)
-			}
-			continue
-		}
-		if f == nil {
-			t.Fatalf("%s: nil factory", o)
-		}
-		build, _, _, _, _ := buildWorkload("mlp", 3, 8, 2)
-		net := build(mat.NewRNG(2))
-		pre := f(net, dist.Local(), nil, mat.NewRNG(3))
-		if pre == nil || pre.Name() == "" {
-			t.Fatalf("%s: factory produced invalid preconditioner", o)
-		}
-	}
-}
-
-func TestParseFaultSpec(t *testing.T) {
-	if plan, err := parseFaultSpec(""); plan != nil || err != nil {
-		t.Fatalf("empty spec = (%v, %v); want (nil, nil)", plan, err)
-	}
-
-	plan, err := parseFaultSpec("panic:1@40,bitflip:0.01,delay:0.1@5ms")
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.PanicRank != 1 || plan.PanicStep != 40 {
-		t.Fatalf("panic = rank %d step %d; want 1@40", plan.PanicRank, plan.PanicStep)
-	}
-	if plan.BitFlipProb != 0.01 {
-		t.Fatalf("bitflip prob = %v; want 0.01", plan.BitFlipProb)
-	}
-	if plan.StragglerProb != 0.1 || plan.StragglerDelay != 5*time.Millisecond {
-		t.Fatalf("delay = %v@%v; want 0.1@5ms", plan.StragglerProb, plan.StragglerDelay)
-	}
-	if !plan.Enabled() {
-		t.Fatal("parsed plan reports disabled")
-	}
-
-	// Degenerate payload injection parses kind and probability.
-	plan, err = parseFaultSpec("degenerate:dup@1")
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.DegenerateKind != "dup" || plan.DegenerateProb != 1 {
-		t.Fatalf("degenerate = %s@%v; want dup@1", plan.DegenerateKind, plan.DegenerateProb)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d; want header + 2", len(rows))
 	}
-	if !plan.Enabled() {
-		t.Fatal("degenerate-only plan reports disabled")
-	}
-
-	// A spec without panic must leave panic injection off.
-	plan, err = parseFaultSpec("bitflip:0.5")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if plan.PanicStep >= 0 {
-		t.Fatalf("panic step = %d; want negative (disabled)", plan.PanicStep)
-	}
-
-	bad := []string{
-		"panic:1",                // missing @STEP
-		"panic:x@4",              // bad rank
-		"panic:1@-2",             // negative step
-		"bitflip:0",              // prob out of range
-		"bitflip:1.5",            // prob out of range
-		"delay:0.1",              // missing duration
-		"delay:0.1@bogus",        // bad duration
-		"delay:2@5ms",            // prob out of range
-		"gremlins:1",             // unknown kind
-		"panic",                  // no args
-		"panic:1@40,oops:",       // trailing bad directive
-		"degenerate:dup",         // missing @PROB
-		"degenerate:dup@0",       // prob out of range
-		"degenerate:dup@1.5",     // prob out of range
-		"degenerate:gremlin@0.5", // unknown kind
-	}
-	for _, spec := range bad {
-		if _, err := parseFaultSpec(spec); err == nil {
-			t.Errorf("spec %q: expected error, got nil", spec)
-		}
+	if rows[0][0] != "epoch" || rows[1][0] != "0" || rows[2][3] != "3.000" {
+		t.Fatalf("unexpected csv contents: %v", rows)
 	}
 }

@@ -1,0 +1,167 @@
+// Package cliutil holds the validation rules, spec grammars, and workload
+// builders shared by every front end that launches training — the
+// hylo-train and hylo-bench CLIs and the hylo-serve job API. Keeping one
+// copy here is what guarantees a hyperparameter rejected on the command
+// line is rejected identically by the server's job-spec validation (and
+// vice versa), instead of the three front ends drifting apart.
+//
+// Everything returns errors; callers decide between os.Exit(2) (CLIs) and
+// a 400 response (the server).
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Hyper bundles the cross-front-end training hyperparameters subject to
+// shared validation.
+type Hyper struct {
+	Epochs    int
+	Batch     int
+	Workers   int
+	Freq      int
+	RankFrac  float64
+	Damping   float64
+	CondLimit float64
+	IDTol     float64
+}
+
+// ValidateHyper rejects hyperparameter values that would otherwise fail in
+// confusing ways downstream (zero-length epochs, empty shards, a rank
+// fraction of zero rounding every kernel to nothing, a damping of zero
+// making every update divide by zero). Flag names in messages use the CLI
+// spelling; the server maps them onto JSON field names.
+func ValidateHyper(h Hyper) error {
+	if h.Epochs <= 0 {
+		return fmt.Errorf("-epochs must be positive (got %d)", h.Epochs)
+	}
+	if h.Batch <= 0 {
+		return fmt.Errorf("-batch must be positive (got %d)", h.Batch)
+	}
+	if h.Workers <= 0 {
+		return fmt.Errorf("-workers must be positive (got %d)", h.Workers)
+	}
+	if h.Freq <= 0 {
+		return fmt.Errorf("-freq must be positive (got %d)", h.Freq)
+	}
+	if h.RankFrac <= 0 || h.RankFrac > 1 {
+		return fmt.Errorf("-rank-frac must be in (0, 1] (got %g)", h.RankFrac)
+	}
+	if h.Damping <= 0 || math.IsNaN(h.Damping) || math.IsInf(h.Damping, 0) {
+		return fmt.Errorf("-damping must be positive and finite (got %g)", h.Damping)
+	}
+	if h.CondLimit <= 1 || math.IsNaN(h.CondLimit) {
+		return fmt.Errorf("-cond-limit must be > 1 (got %g)", h.CondLimit)
+	}
+	if h.IDTol < 0 || h.IDTol >= 1 || math.IsNaN(h.IDTol) {
+		return fmt.Errorf("-id-tol must be in [0, 1) (got %g)", h.IDTol)
+	}
+	return nil
+}
+
+// ValidateSchedWorkers checks the layer-parallel scheduler worker count.
+func ValidateSchedWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-sched-workers must be >= 1 (got %d)", n)
+	}
+	return nil
+}
+
+// ParseDecayEpochs parses a comma-separated LR decay-epoch list ("30,60")
+// into a sorted slice. The empty string returns nil (no decay).
+func ParseDecayEpochs(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var decays []int
+	for _, s := range strings.Split(spec, ",") {
+		e, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("-decay-at: %q is not an epoch number", s)
+		}
+		if e < 0 {
+			return nil, fmt.Errorf("-decay-at: epoch %d is negative", e)
+		}
+		decays = append(decays, e)
+	}
+	sort.Ints(decays)
+	return decays, nil
+}
+
+// ParseFaultSpec parses the -fault-inject chaos grammar: comma-separated
+// directives of the form panic:RANK@STEP, bitflip:PROB, delay:PROB@DUR,
+// degenerate:KIND@PROB. An empty spec returns (nil, nil) — chaos disabled.
+func ParseFaultSpec(spec string) (*dist.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &dist.FaultPlan{PanicStep: -1}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kind, arg, ok := strings.Cut(part, ":")
+		if !ok || arg == "" {
+			return nil, fmt.Errorf("%q: want KIND:ARGS", part)
+		}
+		switch kind {
+		case "panic":
+			rs, ss, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want panic:RANK@STEP", part)
+			}
+			rank, err := strconv.Atoi(rs)
+			if err != nil || rank < 0 {
+				return nil, fmt.Errorf("%q: bad rank %q", part, rs)
+			}
+			step, err := strconv.Atoi(ss)
+			if err != nil || step < 0 {
+				return nil, fmt.Errorf("%q: bad step %q", part, ss)
+			}
+			plan.PanicRank, plan.PanicStep = rank, step
+		case "bitflip":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
+			}
+			plan.BitFlipProb = p
+		case "delay":
+			ps, ds, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want delay:PROB@DUR", part)
+			}
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("%q: bad duration %q", part, ds)
+			}
+			plan.StragglerProb, plan.StragglerDelay = p, d
+		case "degenerate":
+			ks, ps, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("%q: want degenerate:KIND@PROB", part)
+			}
+			switch ks {
+			case "dup", "zero", "huge":
+			default:
+				return nil, fmt.Errorf("%q: kind must be dup, zero, or huge", part)
+			}
+			p, err := strconv.ParseFloat(ps, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("%q: probability must be in (0, 1]", part)
+			}
+			plan.DegenerateKind, plan.DegenerateProb = ks, p
+		default:
+			return nil, fmt.Errorf("%q: unknown fault kind %q", part, kind)
+		}
+	}
+	return plan, nil
+}

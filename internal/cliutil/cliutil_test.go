@@ -1,0 +1,207 @@
+package cliutil
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+)
+
+func TestValidateHyper(t *testing.T) {
+	good := Hyper{Epochs: 10, Batch: 32, Workers: 4, Freq: 5,
+		RankFrac: 0.1, Damping: 0.03, CondLimit: 1e14, IDTol: 1e-12}
+	if err := ValidateHyper(good); err != nil {
+		t.Fatalf("valid hypers rejected: %v", err)
+	}
+	// rank-frac = 1 is the inclusive upper edge; id-tol 0 disables truncation.
+	edge := Hyper{Epochs: 1, Batch: 1, Workers: 1, Freq: 1,
+		RankFrac: 1, Damping: 1, CondLimit: 2, IDTol: 0}
+	if err := ValidateHyper(edge); err != nil {
+		t.Fatalf("edge hypers rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		h    Hyper
+	}{
+		{"zero epochs", Hyper{0, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
+		{"negative epochs", Hyper{-3, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
+		{"zero batch", Hyper{10, 0, 4, 5, 0.1, 0.03, 1e14, 0}},
+		{"zero workers", Hyper{10, 32, 0, 5, 0.1, 0.03, 1e14, 0}},
+		{"negative freq", Hyper{10, 32, 4, -1, 0.1, 0.03, 1e14, 0}},
+		{"zero rank-frac", Hyper{10, 32, 4, 5, 0, 0.03, 1e14, 0}},
+		{"rank-frac above one", Hyper{10, 32, 4, 5, 1.5, 0.03, 1e14, 0}},
+		{"negative rank-frac", Hyper{10, 32, 4, 5, -0.1, 0.03, 1e14, 0}},
+		{"zero damping", Hyper{10, 32, 4, 5, 0.1, 0, 1e14, 0}},
+		{"negative damping", Hyper{10, 32, 4, 5, 0.1, -0.01, 1e14, 0}},
+		{"NaN damping", Hyper{10, 32, 4, 5, 0.1, math.NaN(), 1e14, 0}},
+		{"Inf damping", Hyper{10, 32, 4, 5, 0.1, math.Inf(1), 1e14, 0}},
+		{"cond-limit at one", Hyper{10, 32, 4, 5, 0.1, 0.03, 1, 0}},
+		{"negative cond-limit", Hyper{10, 32, 4, 5, 0.1, 0.03, -5, 0}},
+		{"NaN cond-limit", Hyper{10, 32, 4, 5, 0.1, 0.03, math.NaN(), 0}},
+		{"negative id-tol", Hyper{10, 32, 4, 5, 0.1, 0.03, 1e14, -1e-6}},
+		{"id-tol at one", Hyper{10, 32, 4, 5, 0.1, 0.03, 1e14, 1}},
+		{"NaN id-tol", Hyper{10, 32, 4, 5, 0.1, 0.03, 1e14, math.NaN()}},
+	}
+	for _, c := range cases {
+		if err := ValidateHyper(c.h); err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestValidateSchedWorkers(t *testing.T) {
+	if err := ValidateSchedWorkers(1); err != nil {
+		t.Fatalf("1 worker rejected: %v", err)
+	}
+	if err := ValidateSchedWorkers(16); err != nil {
+		t.Fatalf("16 workers rejected: %v", err)
+	}
+	for _, n := range []int{0, -1} {
+		if err := ValidateSchedWorkers(n); err == nil {
+			t.Errorf("%d workers: expected error", n)
+		}
+	}
+}
+
+func TestParseDecayEpochs(t *testing.T) {
+	if d, err := ParseDecayEpochs(""); d != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v); want (nil, nil)", d, err)
+	}
+	d, err := ParseDecayEpochs("60, 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0] != 30 || d[1] != 60 {
+		t.Fatalf("decays = %v; want sorted [30 60]", d)
+	}
+	for _, bad := range []string{"x", "3,-1", "3,,5"} {
+		if _, err := ParseDecayEpochs(bad); err == nil {
+			t.Errorf("spec %q: expected error", bad)
+		}
+	}
+}
+
+func TestBuildWorkloadAllModels(t *testing.T) {
+	for _, model := range Models() {
+		w, err := BuildWorkload(model, 3, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if w.Build == nil || w.Train == nil || w.Test == nil || w.Task.Loss == nil {
+			t.Fatalf("%s: incomplete workload", model)
+		}
+		if w.Target <= 0 || w.Target > 1 {
+			t.Fatalf("%s: target %g out of range", model, w.Target)
+		}
+		// The builder must produce a net compatible with the data.
+		net := w.Build(mat.NewRNG(1))
+		x, _ := w.Train.Batch([]int{0})
+		out := net.Forward(x, false)
+		if out.Rows() != 1 {
+			t.Fatalf("%s: forward produced %d rows", model, out.Rows())
+		}
+	}
+	if _, err := BuildWorkload("nope", 3, 8, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestPrecondFactoryAllOptimizers(t *testing.T) {
+	firstOrder := map[string]bool{"sgd": true, "adam": true}
+	for _, o := range Optimizers() {
+		f, err := PrecondFactory(o, 0.1, 0.1, 0.25, 1e-12)
+		if err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		if firstOrder[o] {
+			if f != nil {
+				t.Fatalf("%s: expected nil factory", o)
+			}
+			continue
+		}
+		if f == nil {
+			t.Fatalf("%s: nil factory", o)
+		}
+		w, err := BuildWorkload("mlp", 3, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := w.Build(mat.NewRNG(2))
+		pre := f(net, dist.Local(), nil, mat.NewRNG(3))
+		if pre == nil || pre.Name() == "" {
+			t.Fatalf("%s: factory produced invalid preconditioner", o)
+		}
+	}
+	if _, err := PrecondFactory("nope", 0.1, 0.1, 0.25, 0); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	if plan, err := ParseFaultSpec(""); plan != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v); want (nil, nil)", plan, err)
+	}
+
+	plan, err := ParseFaultSpec("panic:1@40,bitflip:0.01,delay:0.1@5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanicRank != 1 || plan.PanicStep != 40 {
+		t.Fatalf("panic = rank %d step %d; want 1@40", plan.PanicRank, plan.PanicStep)
+	}
+	if plan.BitFlipProb != 0.01 {
+		t.Fatalf("bitflip prob = %v; want 0.01", plan.BitFlipProb)
+	}
+	if plan.StragglerProb != 0.1 || plan.StragglerDelay != 5*time.Millisecond {
+		t.Fatalf("delay = %v@%v; want 0.1@5ms", plan.StragglerProb, plan.StragglerDelay)
+	}
+	if !plan.Enabled() {
+		t.Fatal("parsed plan reports disabled")
+	}
+
+	// Degenerate payload injection parses kind and probability.
+	plan, err = ParseFaultSpec("degenerate:dup@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DegenerateKind != "dup" || plan.DegenerateProb != 1 {
+		t.Fatalf("degenerate = %s@%v; want dup@1", plan.DegenerateKind, plan.DegenerateProb)
+	}
+	if !plan.Enabled() {
+		t.Fatal("degenerate-only plan reports disabled")
+	}
+
+	// A spec without panic must leave panic injection off.
+	plan, err = ParseFaultSpec("bitflip:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanicStep >= 0 {
+		t.Fatalf("panic step = %d; want negative (disabled)", plan.PanicStep)
+	}
+
+	bad := []string{
+		"panic:1",                // missing @STEP
+		"panic:x@4",              // bad rank
+		"panic:1@-2",             // negative step
+		"bitflip:0",              // prob out of range
+		"bitflip:1.5",            // prob out of range
+		"delay:0.1",              // missing duration
+		"delay:0.1@bogus",        // bad duration
+		"delay:2@5ms",            // prob out of range
+		"gremlins:1",             // unknown kind
+		"panic",                  // no args
+		"panic:1@40,oops:",       // trailing bad directive
+		"degenerate:dup",         // missing @PROB
+		"degenerate:dup@0",       // prob out of range
+		"degenerate:dup@1.5",     // prob out of range
+		"degenerate:gremlin@0.5", // unknown kind
+	}
+	for _, spec := range bad {
+		if _, err := ParseFaultSpec(spec); err == nil {
+			t.Errorf("spec %q: expected error, got nil", spec)
+		}
+	}
+}

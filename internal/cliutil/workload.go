@@ -1,0 +1,165 @@
+package cliutil
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/kbfgs"
+	"repro/internal/kfac"
+	"repro/internal/mat"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/sngd"
+	"repro/internal/train"
+)
+
+// Models lists the workload model names accepted by BuildWorkload, in the
+// order the CLIs document them.
+func Models() []string {
+	return []string{"3c1f", "mlp", "resnet", "densenet", "unet", "vit"}
+}
+
+// Optimizers lists the optimizer names accepted by PrecondFactory.
+func Optimizers() []string {
+	return []string{"sgd", "adam", "kfac", "kaisa", "ekfac", "kbfgs",
+		"sngd", "hylo", "hylo-kid", "hylo-kis", "hylo-random"}
+}
+
+// Workload is a fully assembled training scenario: a network builder, the
+// train/test split, the task (loss + metric), and the target metric at
+// which time-to-target stops.
+type Workload struct {
+	Build  func(rng *mat.RNG) *nn.Network
+	Train  *data.Dataset
+	Test   *data.Dataset
+	Task   train.Task
+	Target float64
+}
+
+// BuildWorkload assembles the named synthetic workload. Every front end
+// (CLI flags, server job specs) goes through here so a model name means
+// the same dataset, architecture, and target everywhere.
+func BuildWorkload(model string, classes, perClass int, seed uint64) (Workload, error) {
+	switch model {
+	case "mlp":
+		ds := data.SynthVectors(mat.NewRNG(seed+100), classes, perClass*4, 32, 0.3)
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return Workload{
+			Build: func(rng *mat.RNG) *nn.Network {
+				return models.MLP(nn.Vec(32), []int{64, 32}, classes, rng)
+			},
+			Train: tr, Test: te, Task: train.Classification(), Target: 0.9,
+		}, nil
+	case "3c1f":
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return Workload{
+			Build: func(rng *mat.RNG) *nn.Network {
+				return models.ThreeC1F(shape, 8, classes, rng)
+			},
+			Train: tr, Test: te, Task: train.Classification(), Target: 0.9,
+		}, nil
+	case "resnet":
+		shape := nn.Shape{C: 3, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return Workload{
+			Build: func(rng *mat.RNG) *nn.Network {
+				return models.ResNetCIFAR(shape, 2, 8, classes, rng)
+			},
+			Train: tr, Test: te, Task: train.Classification(), Target: 0.85,
+		}, nil
+	case "densenet":
+		shape := nn.Shape{C: 3, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return Workload{
+			Build: func(rng *mat.RNG) *nn.Network {
+				return models.DenseNetLite(shape, 6, classes, rng)
+			},
+			Train: tr, Test: te, Task: train.Classification(), Target: 0.75,
+		}, nil
+	case "vit":
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds := data.SynthImages(mat.NewRNG(seed+100), data.ClassSpec{
+			Classes: classes, PerClass: perClass, Shape: shape, Noise: 0.3})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return Workload{
+			Build: func(rng *mat.RNG) *nn.Network {
+				return models.TransformerLite(shape, 4, 12, 2, classes, rng)
+			},
+			Train: tr, Test: te, Task: train.Classification(), Target: 0.85,
+		}, nil
+	case "unet":
+		shape := nn.Shape{C: 1, H: 16, W: 16}
+		ds := data.SynthSegmentation(mat.NewRNG(seed+100), data.SegSpec{
+			N: classes * perClass, Shape: shape, Noise: 0.4})
+		tr, te := data.Split(mat.NewRNG(seed+101), ds, 0.25)
+		return Workload{
+			Build: func(rng *mat.RNG) *nn.Network {
+				return models.MiniUNet(shape, 4, rng)
+			},
+			Train: tr, Test: te, Task: train.Segmentation(), Target: 0.8,
+		}, nil
+	default:
+		return Workload{}, fmt.Errorf("unknown model %q (want one of %v)", model, Models())
+	}
+}
+
+// PrecondFactory maps an optimizer name onto a train.PrecondFactory. The
+// first-order methods (sgd, adam) return a nil factory with a nil error —
+// the trainer's convention for "no preconditioner".
+func PrecondFactory(optimizer string, damping, rankFrac, eta, idTol float64) (train.PrecondFactory, error) {
+	hylo := func(policy core.SwitchPolicy) train.PrecondFactory {
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			h := core.NewHyLo(net, damping, rankFrac, c, tl, rng)
+			// Flag semantics: 0 disables truncation (the struct uses 0 for
+			// "default", negative for "off").
+			h.IDTol = idTol
+			if idTol == 0 {
+				h.IDTol = -1
+			}
+			if policy != nil {
+				h.Policy = policy
+			}
+			return h
+		}
+	}
+	switch optimizer {
+	case "sgd", "adam":
+		return nil, nil
+	case "kfac", "kaisa":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return kfac.NewKFAC(net, damping, c, tl)
+		}, nil
+	case "ekfac":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return kfac.NewEKFAC(net, damping, c, tl)
+		}, nil
+	case "kbfgs":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return kbfgs.NewKBFGSL(net, 0.01, 10)
+		}, nil
+	case "sngd":
+		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
+			return sngd.New(net, damping, c, tl)
+		}, nil
+	case "hylo":
+		return hylo(core.GradientSwitch{Eta: eta}), nil
+	case "hylo-kid":
+		return hylo(core.FixedSwitch{Mode: core.ModeKID}), nil
+	case "hylo-kis":
+		return hylo(core.FixedSwitch{Mode: core.ModeKIS}), nil
+	case "hylo-random":
+		return hylo(core.RandomSwitch{}), nil
+	default:
+		return nil, fmt.Errorf("unknown optimizer %q (want one of %v)", optimizer, Optimizers())
+	}
+}

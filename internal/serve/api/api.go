@@ -1,0 +1,251 @@
+// Package api defines the hylo-serve wire contract: job specifications,
+// job views, and artifact manifests exchanged as JSON over the /v1
+// endpoints. Validation delegates to internal/cliutil, so a hyperparameter
+// rejected by the hylo-train command line is rejected with the same rule —
+// and the same message — by the job API.
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/numerics"
+)
+
+// Job kinds.
+const (
+	KindTrain = "train" // a training run (model × optimizer)
+	KindBench = "bench" // one experiment from the paper-table registry
+)
+
+// State is a job's lifecycle position. Transitions are linear:
+// queued → running → {done, failed, cancelled}, with queued → cancelled
+// allowed for jobs cancelled before dispatch.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the POST /v1/jobs request body. Zero values select the same
+// defaults as the hylo-train flags (Normalize fills them in), so a minimal
+// submission is `{}` — a 10-epoch HyLo run on the 3c1f workload.
+type JobSpec struct {
+	// Kind selects "train" (default) or "bench".
+	Kind string `json:"kind,omitempty"`
+	// Tenant is the quota/fair-queueing key; empty maps to "default".
+	Tenant string `json:"tenant,omitempty"`
+
+	// Training spec (Kind == "train").
+	Model       string  `json:"model,omitempty"`
+	Optimizer   string  `json:"optimizer,omitempty"`
+	Epochs      int     `json:"epochs,omitempty"`
+	Batch       int     `json:"batch,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	LR          float64 `json:"lr,omitempty"`
+	Momentum    float64 `json:"momentum,omitempty"`
+	WeightDecay float64 `json:"weight_decay,omitempty"`
+	UpdateFreq  int     `json:"update_freq,omitempty"`
+	Damping     float64 `json:"damping,omitempty"`
+	RankFrac    float64 `json:"rank_frac,omitempty"`
+	Eta         float64 `json:"eta,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Classes     int     `json:"classes,omitempty"`
+	Samples     int     `json:"samples,omitempty"`
+	CondLimit   float64 `json:"cond_limit,omitempty"`
+	IDTol       float64 `json:"id_tol,omitempty"`
+	// CheckpointEvery is the checkpoint cadence in epochs (default 1);
+	// cancellation always forces one regardless of cadence.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// ResumeFrom names an earlier job whose checkpoint directory this job
+	// continues from — the resubmit-after-cancel path.
+	ResumeFrom string `json:"resume_from,omitempty"`
+
+	// Benchmark spec (Kind == "bench").
+	Experiment string `json:"experiment,omitempty"`
+	Quick      bool   `json:"quick,omitempty"`
+}
+
+// Normalize fills defaulted fields in place. It is idempotent and called
+// by the server before Validate, so stored specs always read complete.
+func (s *JobSpec) Normalize() {
+	if s.Kind == "" {
+		s.Kind = KindTrain
+	}
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Kind != KindTrain {
+		return
+	}
+	if s.Model == "" {
+		s.Model = "3c1f"
+	}
+	if s.Optimizer == "" {
+		s.Optimizer = "hylo"
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 10
+	}
+	if s.Batch == 0 {
+		s.Batch = 32
+	}
+	if s.Workers == 0 {
+		s.Workers = 1
+	}
+	if s.LR == 0 {
+		s.LR = 0.03
+	}
+	if s.Momentum == 0 {
+		s.Momentum = 0.9
+	}
+	if s.UpdateFreq == 0 {
+		s.UpdateFreq = 5
+	}
+	if s.Damping == 0 {
+		s.Damping = 0.1
+	}
+	if s.RankFrac == 0 {
+		s.RankFrac = 0.1
+	}
+	if s.Eta == 0 {
+		s.Eta = 0.25
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Classes == 0 {
+		s.Classes = 8
+	}
+	if s.Samples == 0 {
+		s.Samples = 64
+	}
+	if s.CondLimit == 0 {
+		s.CondLimit = numerics.DefaultCondLimit
+	}
+	if s.IDTol == 0 {
+		s.IDTol = core.DefaultIDTol
+	}
+	if s.CheckpointEvery == 0 {
+		s.CheckpointEvery = 1
+	}
+}
+
+// Validate checks a normalized spec against the shared cliutil rules plus
+// the API-only constraints (known kind, known experiment id).
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindTrain:
+		if err := cliutil.ValidateHyper(cliutil.Hyper{
+			Epochs: s.Epochs, Batch: s.Batch, Workers: s.Workers, Freq: s.UpdateFreq,
+			RankFrac: s.RankFrac, Damping: s.Damping, CondLimit: s.CondLimit, IDTol: s.IDTol,
+		}); err != nil {
+			return err
+		}
+		if s.Classes <= 0 || s.Samples <= 0 {
+			return fmt.Errorf("classes and samples must be positive (got %d, %d)", s.Classes, s.Samples)
+		}
+		// Build nothing, but fail fast on unknown names with the exact CLI
+		// error text.
+		if _, err := cliutil.PrecondFactory(s.Optimizer, s.Damping, s.RankFrac, s.Eta, s.IDTol); err != nil {
+			return err
+		}
+		known := false
+		for _, m := range cliutil.Models() {
+			if m == s.Model {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown model %q (want one of %v)", s.Model, cliutil.Models())
+		}
+		return nil
+	case KindBench:
+		if s.Experiment == "" {
+			return fmt.Errorf("bench jobs need an experiment id (use hylo-bench -list)")
+		}
+		if _, ok := bench.Lookup(s.Experiment); !ok {
+			return fmt.Errorf("unknown experiment %q (use hylo-bench -list)", s.Experiment)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown job kind %q (want %q or %q)", s.Kind, KindTrain, KindBench)
+	}
+}
+
+// Progress is the live per-job training position, updated after every
+// completed epoch.
+type Progress struct {
+	Epoch     int     `json:"epoch"`
+	Epochs    int     `json:"epochs"`
+	TrainLoss float64 `json:"train_loss"`
+	Metric    float64 `json:"metric"`
+}
+
+// Artifacts names the files a job leaves behind, relative to the server's
+// data directory (absolute on the wire so curl users can find them).
+type Artifacts struct {
+	// Dir is the job's artifact directory.
+	Dir string `json:"dir"`
+	// Checkpoints is the checkpoint directory usable with -resume or
+	// resume_from (only for train jobs).
+	Checkpoints string `json:"checkpoints,omitempty"`
+	// Telemetry is the per-job JSONL progress log.
+	Telemetry string `json:"telemetry,omitempty"`
+	// Result is the final-metrics JSON written at completion.
+	Result string `json:"result,omitempty"`
+}
+
+// Job is the wire view of one submitted job (GET /v1/jobs/{id}).
+type Job struct {
+	ID         string    `json:"id"`
+	Spec       JobSpec   `json:"spec"`
+	State      State     `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	Progress   Progress  `json:"progress"`
+	Artifacts  Artifacts `json:"artifacts"`
+}
+
+// JobList is the GET /v1/jobs response.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// EpochRecord is one line of the per-job telemetry JSONL and one entry of
+// the result's epoch table.
+type EpochRecord struct {
+	Epoch     int     `json:"epoch"`
+	TrainLoss float64 `json:"train_loss"`
+	Metric    float64 `json:"metric"`
+	ElapsedS  float64 `json:"elapsed_s"`
+}
+
+// Result is the final-metrics artifact (GET /v1/jobs/{id}/result).
+type Result struct {
+	Method     string        `json:"method,omitempty"`
+	Best       float64       `json:"best"`
+	FinalLoss  float64       `json:"final_loss"`
+	StateBytes int           `json:"state_bytes,omitempty"`
+	EpochModes []string      `json:"epoch_modes,omitempty"`
+	Epochs     []EpochRecord `json:"epochs,omitempty"`
+	// Bench results: the rendered experiment table.
+	TableID      string     `json:"table_id,omitempty"`
+	TableHeaders []string   `json:"table_headers,omitempty"`
+	TableRows    [][]string `json:"table_rows,omitempty"`
+}

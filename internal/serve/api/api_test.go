@@ -1,0 +1,83 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeFillsTrainDefaults(t *testing.T) {
+	var s JobSpec
+	s.Normalize()
+	if s.Kind != KindTrain || s.Tenant != "default" {
+		t.Fatalf("kind/tenant = %q/%q", s.Kind, s.Tenant)
+	}
+	if s.Model != "3c1f" || s.Optimizer != "hylo" || s.Epochs != 10 || s.Batch != 32 {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	if s.CheckpointEvery != 1 || s.Seed != 42 {
+		t.Fatalf("ckpt/seed defaults wrong: %+v", s)
+	}
+	// A normalized minimal spec must validate: `{}` is a runnable job.
+	if err := s.Validate(); err != nil {
+		t.Fatalf("minimal spec invalid: %v", err)
+	}
+	// Idempotent: a second pass changes nothing.
+	before := s
+	s.Normalize()
+	if s != before {
+		t.Fatalf("normalize not idempotent: %+v vs %+v", before, s)
+	}
+}
+
+func TestNormalizeLeavesBenchAlone(t *testing.T) {
+	s := JobSpec{Kind: KindBench, Experiment: "fig4"}
+	s.Normalize()
+	if s.Model != "" || s.Epochs != 0 {
+		t.Fatalf("bench spec grew training defaults: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("bench spec invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*JobSpec)
+		want string
+	}{
+		{"unknown kind", func(s *JobSpec) { s.Kind = "predict" }, "unknown job kind"},
+		{"unknown model", func(s *JobSpec) { s.Model = "gpt5" }, "unknown model"},
+		{"unknown optimizer", func(s *JobSpec) { s.Optimizer = "lion" }, "unknown optimizer"},
+		{"bad epochs", func(s *JobSpec) { s.Epochs = -1 }, "epochs"},
+		{"bad rank frac", func(s *JobSpec) { s.RankFrac = 1.5 }, "rank"},
+		{"bad classes", func(s *JobSpec) { s.Classes = -2 }, "classes"},
+		{"bench without experiment", func(s *JobSpec) { s.Kind = KindBench; s.Experiment = "" }, "experiment"},
+		{"bench unknown experiment", func(s *JobSpec) { s.Kind = KindBench; s.Experiment = "fig99" }, "unknown experiment"},
+	}
+	for _, c := range cases {
+		var s JobSpec
+		s.Normalize()
+		c.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+			t.Errorf("%s: err = %q, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	terminal := map[State]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	}
+	for s, want := range terminal {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", s, !want, want)
+		}
+	}
+}

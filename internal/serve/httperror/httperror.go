@@ -1,0 +1,87 @@
+// Package httperror maps typed service errors onto HTTP status codes and a
+// uniform JSON error body. Handlers return plain Go errors; the single
+// Write choke point decides the wire representation, so a *runner* error,
+// a validation error, and an unexpected internal failure all reach clients
+// in the same shape:
+//
+//	{"error": "job jb-000007 not found", "code": "not_found"}
+package httperror
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Error is an HTTP-mappable service error.
+type Error struct {
+	// Status is the HTTP status code to respond with.
+	Status int `json:"-"`
+	// Code is a stable machine-readable identifier ("not_found",
+	// "quota_exceeded", ...); clients switch on it, not on the message.
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// New builds an Error with an explicit status and code.
+func New(status int, code, message string) *Error {
+	return &Error{Status: status, Code: code, Message: message}
+}
+
+// BadRequest is a 400 with code "bad_request" — malformed bodies, invalid
+// job specs.
+func BadRequest(message string) *Error {
+	return New(http.StatusBadRequest, "bad_request", message)
+}
+
+// NotFound is a 404 with code "not_found" — unknown job IDs and artifacts.
+func NotFound(message string) *Error {
+	return New(http.StatusNotFound, "not_found", message)
+}
+
+// Conflict is a 409 with code "conflict" — lifecycle violations such as
+// cancelling a job already in a terminal state.
+func Conflict(message string) *Error {
+	return New(http.StatusConflict, "conflict", message)
+}
+
+// TooManyRequests is a 429 with code "quota_exceeded" — a tenant's queue
+// quota is exhausted.
+func TooManyRequests(message string) *Error {
+	return New(http.StatusTooManyRequests, "quota_exceeded", message)
+}
+
+// Unavailable is a 503 with code "shutting_down" — the server is draining
+// and no longer admits jobs.
+func Unavailable(message string) *Error {
+	return New(http.StatusServiceUnavailable, "shutting_down", message)
+}
+
+// Internal is a 500 with code "internal".
+func Internal(message string) *Error {
+	return New(http.StatusInternalServerError, "internal", message)
+}
+
+// From extracts the *Error wrapped anywhere in err's chain; any other
+// error collapses to a 500 Internal whose message is err.Error().
+func From(err error) *Error {
+	var he *Error
+	if errors.As(err, &he) {
+		return he
+	}
+	return Internal(err.Error())
+}
+
+// Write renders err as the uniform JSON error body with its mapped status.
+func Write(w http.ResponseWriter, err error) {
+	he := From(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(he.Status)
+	// Encoding a flat struct of strings cannot fail; the error return is
+	// the client hanging up, which there is no answer to anyway.
+	_ = json.NewEncoder(w).Encode(he)
+}

@@ -1,0 +1,67 @@
+package httperror
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestConstructorsMapStatus(t *testing.T) {
+	cases := []struct {
+		err    *Error
+		status int
+		code   string
+	}{
+		{BadRequest("x"), http.StatusBadRequest, "bad_request"},
+		{NotFound("x"), http.StatusNotFound, "not_found"},
+		{Conflict("x"), http.StatusConflict, "conflict"},
+		{TooManyRequests("x"), http.StatusTooManyRequests, "quota_exceeded"},
+		{Unavailable("x"), http.StatusServiceUnavailable, "shutting_down"},
+		{Internal("x"), http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		if c.err.Status != c.status || c.err.Code != c.code {
+			t.Errorf("%s: got (%d, %q), want (%d, %q)",
+				c.err.Message, c.err.Status, c.err.Code, c.status, c.code)
+		}
+	}
+}
+
+func TestFromUnwrapsChain(t *testing.T) {
+	inner := NotFound("job jb-000001 not found")
+	wrapped := fmt.Errorf("handling request: %w", inner)
+	if got := From(wrapped); got != inner {
+		t.Fatalf("From(wrapped) = %+v, want the wrapped *Error", got)
+	}
+	plain := fmt.Errorf("disk on fire")
+	got := From(plain)
+	if got.Status != http.StatusInternalServerError || got.Code != "internal" {
+		t.Fatalf("From(plain) = %+v, want 500 internal", got)
+	}
+	if got.Message != "disk on fire" {
+		t.Fatalf("From(plain).Message = %q", got.Message)
+	}
+}
+
+func TestWriteRendersJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, TooManyRequests("tenant \"default\" queue quota exhausted"))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var body struct {
+		Code    string `json:"code"`
+		Message string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode body: %v", err)
+	}
+	if body.Code != "quota_exceeded" || body.Message == "" {
+		t.Fatalf("body = %+v", body)
+	}
+}

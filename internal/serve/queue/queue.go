@@ -1,0 +1,175 @@
+// Package queue implements hylo-serve's admission queue: per-tenant FIFOs
+// drained by fair round-robin, with two quota knobs — a cap on how many
+// jobs a tenant may have waiting (back-pressure, surfaced as HTTP 429) and
+// a cap on how many it may have dispatched at once (so one tenant cannot
+// monopolize the compute-token pool even when the queue is otherwise
+// empty).
+//
+// The queue is deliberately dumb about what it holds: a generic payload
+// plus the tenant key. Lifecycle (cancellation, FSM transitions) lives in
+// serve/runner; fairness and quotas live here, where they can be tested
+// exhaustively without spinning up jobs.
+package queue
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// ErrQueueFull is returned by Push when the tenant's waiting quota is
+// exhausted; the server maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("queue: tenant queue quota exhausted")
+
+// Config bounds per-tenant usage. Zero values select the defaults.
+type Config struct {
+	// MaxQueuedPerTenant caps jobs waiting per tenant (default 16).
+	MaxQueuedPerTenant int
+	// MaxActivePerTenant caps dispatched-but-unfinished jobs per tenant;
+	// 0 means unlimited.
+	MaxActivePerTenant int
+}
+
+type tenant[T any] struct {
+	name   string
+	fifo   []T
+	active int
+}
+
+// Queue is a fair round-robin multi-tenant queue. All methods are safe for
+// concurrent use.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	cfg     Config
+	tenants map[string]*tenant[T]
+	// ring holds tenant names in first-seen order; next indexes the tenant
+	// the round-robin scan starts from.
+	ring  []string
+	next  int
+	depth int
+	// notify is a level-triggered wakeup for the dispatcher: buffered at 1,
+	// signaled on every Push and Done.
+	notify chan struct{}
+}
+
+// New builds a queue with the given quotas.
+func New[T any](cfg Config) *Queue[T] {
+	if cfg.MaxQueuedPerTenant <= 0 {
+		cfg.MaxQueuedPerTenant = 16
+	}
+	return &Queue[T]{
+		cfg:     cfg,
+		tenants: make(map[string]*tenant[T]),
+		notify:  make(chan struct{}, 1),
+	}
+}
+
+// Notify returns the dispatcher wakeup channel: it receives (at least) one
+// signal after every Push and Done. Receivers must re-scan with Pop until
+// it returns false.
+func (q *Queue[T]) Notify() <-chan struct{} { return q.notify }
+
+func (q *Queue[T]) signal() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Push enqueues v for the tenant, returning ErrQueueFull when the tenant's
+// waiting quota is exhausted.
+func (q *Queue[T]) Push(tenantName string, v T) error {
+	q.mu.Lock()
+	t, ok := q.tenants[tenantName]
+	if !ok {
+		t = &tenant[T]{name: tenantName}
+		q.tenants[tenantName] = t
+		q.ring = append(q.ring, tenantName)
+	}
+	if len(t.fifo) >= q.cfg.MaxQueuedPerTenant {
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	t.fifo = append(t.fifo, v)
+	q.depth++
+	d := q.depth
+	q.mu.Unlock()
+	telemetry.SetGauge(telemetry.MetricServeQueueDepth, float64(d))
+	q.signal()
+	return nil
+}
+
+// Pop dequeues the next runnable item fairly: the round-robin pointer
+// advances one tenant per successful pop, and tenants at their active
+// quota are skipped (their items stay queued). The popped tenant's active
+// count is incremented; the caller must pair every successful Pop with a
+// Done. ok is false when no tenant has a runnable item.
+func (q *Queue[T]) Pop() (v T, tenantName string, ok bool) {
+	q.mu.Lock()
+	n := len(q.ring)
+	for i := 0; i < n; i++ {
+		idx := (q.next + i) % n
+		t := q.tenants[q.ring[idx]]
+		if len(t.fifo) == 0 {
+			continue
+		}
+		if q.cfg.MaxActivePerTenant > 0 && t.active >= q.cfg.MaxActivePerTenant {
+			continue
+		}
+		v = t.fifo[0]
+		// Shift rather than reslice so released elements are collectable.
+		copy(t.fifo, t.fifo[1:])
+		var zero T
+		t.fifo[len(t.fifo)-1] = zero
+		t.fifo = t.fifo[:len(t.fifo)-1]
+		t.active++
+		q.depth--
+		q.next = (idx + 1) % n
+		d := q.depth
+		q.mu.Unlock()
+		telemetry.SetGauge(telemetry.MetricServeQueueDepth, float64(d))
+		return v, t.name, true
+	}
+	q.mu.Unlock()
+	return v, "", false
+}
+
+// Done releases one active slot for the tenant (call when a popped job
+// reaches a terminal state) and wakes the dispatcher, since the release
+// may unblock a quota-limited tenant.
+func (q *Queue[T]) Done(tenantName string) {
+	q.mu.Lock()
+	if t, ok := q.tenants[tenantName]; ok && t.active > 0 {
+		t.active--
+	}
+	q.mu.Unlock()
+	q.signal()
+}
+
+// Len returns the number of queued (undispatched) items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// Active returns the tenant's dispatched-but-unfinished count.
+func (q *Queue[T]) Active(tenantName string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t, ok := q.tenants[tenantName]; ok {
+		return t.active
+	}
+	return 0
+}
+
+// Queued returns the tenant's waiting count.
+func (q *Queue[T]) Queued(tenantName string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t, ok := q.tenants[tenantName]; ok {
+		return len(t.fifo)
+	}
+	return 0
+}

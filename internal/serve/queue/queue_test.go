@@ -1,0 +1,130 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFIFOWithinTenant(t *testing.T) {
+	q := New[int](Config{})
+	for i := 1; i <= 3; i++ {
+		if err := q.Push("a", i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	for want := 1; want <= 3; want++ {
+		v, tn, ok := q.Pop()
+		if !ok || v != want || tn != "a" {
+			t.Fatalf("pop = (%d, %q, %v), want (%d, a, true)", v, tn, ok, want)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestRoundRobinAcrossTenants(t *testing.T) {
+	q := New[string](Config{})
+	// Tenant a floods first; b and c each queue one job.
+	for _, it := range []struct{ tn, v string }{
+		{"a", "a1"}, {"a", "a2"}, {"a", "a3"}, {"b", "b1"}, {"c", "c1"},
+	} {
+		if err := q.Push(it.tn, it.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for {
+		v, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	// Fair RR interleaves tenants instead of draining a's flood first.
+	want := []string{"a1", "b1", "c1", "a2", "a3"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueuedQuota(t *testing.T) {
+	q := New[int](Config{MaxQueuedPerTenant: 2})
+	if err := q.Push("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("a", 3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third push err = %v, want ErrQueueFull", err)
+	}
+	// Other tenants are unaffected by a's quota.
+	if err := q.Push("b", 1); err != nil {
+		t.Fatalf("tenant b push: %v", err)
+	}
+	// Draining one of a's slots re-opens admission.
+	if _, _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push("a", 3); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}
+
+func TestActiveQuotaSkipsTenant(t *testing.T) {
+	q := New[int](Config{MaxActivePerTenant: 1})
+	q.Push("a", 1)
+	q.Push("a", 2)
+	q.Push("b", 10)
+
+	v, tn, ok := q.Pop()
+	if !ok || tn != "a" || v != 1 {
+		t.Fatalf("pop = (%d, %q), want (1, a)", v, tn)
+	}
+	// a is at its active cap: its second job must be skipped in favor of b.
+	v, tn, ok = q.Pop()
+	if !ok || tn != "b" || v != 10 {
+		t.Fatalf("pop = (%d, %q), want (10, b)", v, tn)
+	}
+	// Everyone at cap → nothing runnable even though a has work queued.
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop succeeded with all tenants at active quota")
+	}
+	if q.Len() != 1 || q.Queued("a") != 1 {
+		t.Fatalf("len = %d, queued(a) = %d, want 1, 1", q.Len(), q.Queued("a"))
+	}
+	// Done frees the slot and the skipped job becomes runnable.
+	q.Done("a")
+	v, tn, ok = q.Pop()
+	if !ok || tn != "a" || v != 2 {
+		t.Fatalf("pop after done = (%d, %q, %v), want (2, a, true)", v, tn, ok)
+	}
+}
+
+func TestNotifySignals(t *testing.T) {
+	q := New[int](Config{})
+	select {
+	case <-q.Notify():
+		t.Fatal("notify fired before any push")
+	default:
+	}
+	q.Push("a", 1)
+	select {
+	case <-q.Notify():
+	default:
+		t.Fatal("notify did not fire after push")
+	}
+	// Done also signals (an active-quota release can unblock a pop).
+	q.Done("a")
+	select {
+	case <-q.Notify():
+	default:
+		t.Fatal("notify did not fire after done")
+	}
+}

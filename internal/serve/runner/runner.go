@@ -1,0 +1,573 @@
+// Package runner owns hylo-serve's job lifecycle: a registry of submitted
+// jobs, a finite-state machine per job (queued → running → done | failed |
+// cancelled), and a dispatcher that drains the per-tenant fair queue onto
+// a bounded pool of executor goroutines.
+//
+// The compute bound is the scheduler's TokenPool: every running job holds
+// one token for its lifetime, the layer-parallel preconditioner stages and
+// parallel GEMM below it borrow additional tokens from the same pool, and
+// therefore concurrent jobs plus their nested parallelism can never
+// oversubscribe the process-wide core budget — the serve-level extension
+// of the invariant TestTokenBudget proves for a single run. When the
+// scheduler's stage pipelines are enabled (sched.Workers() > 1), callers
+// must leave at least one token of headroom (MaxRunning < pool capacity)
+// so a pipeline stage can always eventually acquire a token while every
+// job slot is occupied; cmd/hylo-serve does this automatically.
+//
+// Cancellation is context-driven end to end: cancelling a job closes its
+// context, train.RunElasticCtx observes it at the next epoch boundary,
+// force-writes a checkpoint, and the job lands in StateCancelled with a
+// resumable checkpoint directory in its artifacts.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/serve/api"
+	"repro/internal/serve/httperror"
+	"repro/internal/serve/queue"
+	"repro/internal/telemetry"
+	"repro/internal/train"
+)
+
+// ExecFunc executes one job and returns its result artifact. The default
+// is Execute (training/bench); tests substitute fakes.
+type ExecFunc func(j *Job) (api.Result, error)
+
+// Config assembles a Runner.
+type Config struct {
+	// Dir is the artifact root; each job gets Dir/<job-id>/.
+	Dir string
+	// Pool is the shared compute-token pool (required). Pass
+	// sched.Tokens() to share the budget with the layer-parallel scheduler
+	// and parallel GEMM, or a private pool in tests.
+	Pool *sched.TokenPool
+	// MaxRunning bounds concurrently dispatched jobs; 0 selects the pool
+	// capacity. Values above the pool capacity are clamped to it.
+	MaxRunning int
+	// Queue holds the per-tenant quota knobs.
+	Queue queue.Config
+	// Exec overrides the job executor (tests); nil selects Execute.
+	Exec ExecFunc
+}
+
+// Job is one submitted job. All exported accessors are safe for concurrent
+// use; mutation happens only inside the runner.
+type Job struct {
+	id string
+
+	mu       sync.Mutex
+	spec     api.JobSpec
+	state    api.State
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress api.Progress
+	arts     api.Artifacts
+	result   *api.Result
+	telog    *os.File
+
+	// ctx is cancelled by Runner.Cancel and Runner.Shutdown; its Done
+	// channel gates the token acquisition and flows into
+	// train.RunElasticCtx as the cooperative cancellation signal.
+	ctx       context.Context
+	ctxCancel context.CancelFunc
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns a copy of the (normalized) submission spec.
+func (j *Job) Spec() api.JobSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spec
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() api.State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Context returns the job's cancellation context.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// CheckpointDir returns the checkpoint directory this job writes to (its
+// resume source's directory for resubmitted jobs).
+func (j *Job) CheckpointDir() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.arts.Checkpoints
+}
+
+// View renders the wire representation.
+func (j *Job) View() api.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.Job{
+		ID:         j.id,
+		Spec:       j.spec,
+		State:      j.state,
+		Error:      j.errMsg,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+		Progress:   j.progress,
+		Artifacts:  j.arts,
+	}
+}
+
+// Result returns the final result artifact, or false before completion.
+func (j *Job) Result() (api.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return api.Result{}, false
+	}
+	return *j.result, true
+}
+
+// validNext encodes the lifecycle FSM: the only legal transitions. Every
+// state change goes through transition, so an illegal move is a bug caught
+// at the choke point rather than a silently inconsistent registry.
+var validNext = map[api.State][]api.State{
+	api.StateQueued:  {api.StateRunning, api.StateCancelled},
+	api.StateRunning: {api.StateDone, api.StateFailed, api.StateCancelled},
+}
+
+func canTransition(from, to api.State) bool {
+	for _, s := range validNext[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// transition moves the FSM, returning an error (and changing nothing) on
+// an illegal edge.
+func (j *Job) transition(to api.State) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.transitionLocked(to)
+}
+
+func (j *Job) transitionLocked(to api.State) error {
+	if !canTransition(j.state, to) {
+		return fmt.Errorf("runner: illegal transition %s → %s for job %s", j.state, to, j.id)
+	}
+	j.state = to
+	switch {
+	case to == api.StateRunning:
+		j.started = time.Now()
+	case to.Terminal():
+		j.finished = time.Now()
+		close(j.done)
+	}
+	return nil
+}
+
+// telemetryLine is one JSONL record in the per-job telemetry artifact:
+// either a lifecycle event or an epoch progress sample.
+type telemetryLine struct {
+	TS    time.Time `json:"ts"`
+	Event string    `json:"event,omitempty"`
+	State string    `json:"state,omitempty"`
+	Error string    `json:"error,omitempty"`
+	*api.EpochRecord
+}
+
+// logEvent appends a lifecycle line to the job's telemetry JSONL. The file
+// is opened lazily and lines are written unbuffered, so the artifact is
+// live-tailable while the job runs and needs no flush on crash.
+func (j *Job) logEvent(line telemetryLine) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.logEventLocked(line)
+}
+
+func (j *Job) logEventLocked(line telemetryLine) {
+	if j.telog == nil {
+		f, err := os.OpenFile(j.arts.Telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return // telemetry loss must never fail the job
+		}
+		j.telog = f
+	}
+	line.TS = time.Now()
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	j.telog.Write(append(b, '\n'))
+}
+
+// recordEpoch is the train.Config.OnEpoch hook: live progress for the
+// status endpoint plus one JSONL telemetry line per epoch.
+func (j *Job) recordEpoch(st train.EpochStat) {
+	rec := api.EpochRecord{
+		Epoch:     st.Epoch,
+		TrainLoss: st.TrainLoss,
+		Metric:    st.Metric,
+		ElapsedS:  st.Elapsed.Seconds(),
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.Epoch = st.Epoch + 1 // completed epochs
+	j.progress.TrainLoss = st.TrainLoss
+	j.progress.Metric = st.Metric
+	j.logEventLocked(telemetryLine{EpochRecord: &rec})
+}
+
+// Runner is the job registry + dispatcher.
+type Runner struct {
+	cfg  Config
+	exec ExecFunc
+	q    *queue.Queue[*Job]
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+
+	slots    chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	running  atomic.Int64
+}
+
+// New builds a Runner, creates its artifact root, and starts the
+// dispatcher.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("runner: nil token pool")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("runner: empty artifact directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: artifact dir: %w", err)
+	}
+	maxRunning := cfg.MaxRunning
+	if maxRunning <= 0 || maxRunning > cfg.Pool.Cap() {
+		maxRunning = cfg.Pool.Cap()
+	}
+	r := &Runner{
+		cfg:   cfg,
+		exec:  cfg.Exec,
+		q:     queue.New[*Job](cfg.Queue),
+		jobs:  make(map[string]*Job),
+		slots: make(chan struct{}, maxRunning),
+		stop:  make(chan struct{}),
+	}
+	if r.exec == nil {
+		r.exec = Execute
+	}
+	r.wg.Add(1)
+	go r.dispatch()
+	return r, nil
+}
+
+// MaxRunning returns the dispatch bound (the slot count).
+func (r *Runner) MaxRunning() int { return cap(r.slots) }
+
+// Running returns the number of jobs currently executing (token held).
+func (r *Runner) Running() int { return int(r.running.Load()) }
+
+// QueueLen returns the number of admitted, undispatched jobs.
+func (r *Runner) QueueLen() int { return r.q.Len() }
+
+// Submit validates nothing — the server normalizes and validates specs
+// before calling — but resolves resume_from, allocates the job directory
+// and ID, registers the job, and enqueues it. It returns
+// httperror.TooManyRequests when the tenant's queue quota is exhausted and
+// httperror.Unavailable once Shutdown has begun.
+func (r *Runner) Submit(spec api.JobSpec) (*Job, error) {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return nil, httperror.Unavailable("server is shutting down; not accepting jobs")
+	}
+	// Resolve the resume source under the registry lock so the referenced
+	// job cannot disappear between check and use.
+	resumeCkpt := ""
+	if spec.ResumeFrom != "" {
+		src, ok := r.jobs[spec.ResumeFrom]
+		if !ok {
+			r.mu.Unlock()
+			return nil, httperror.BadRequest(fmt.Sprintf("resume_from: unknown job %q", spec.ResumeFrom))
+		}
+		srcCkpt := src.CheckpointDir()
+		if srcCkpt == "" {
+			r.mu.Unlock()
+			return nil, httperror.BadRequest(fmt.Sprintf("resume_from: job %q has no checkpoint directory", spec.ResumeFrom))
+		}
+		resumeCkpt = srcCkpt
+	}
+	r.seq++
+	id := fmt.Sprintf("jb-%06d", r.seq)
+	dir := filepath.Join(r.cfg.Dir, id)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:      id,
+		spec:    spec,
+		state:   api.StateQueued,
+		created: time.Now(),
+		ctx:     ctx, ctxCancel: cancel,
+		done: make(chan struct{}),
+	}
+	j.arts = api.Artifacts{
+		Dir:       dir,
+		Telemetry: filepath.Join(dir, "telemetry.jsonl"),
+		Result:    filepath.Join(dir, "result.json"),
+	}
+	if spec.Kind == api.KindTrain {
+		j.arts.Checkpoints = filepath.Join(dir, "checkpoints")
+		if resumeCkpt != "" {
+			j.arts.Checkpoints = resumeCkpt
+		}
+	}
+	j.progress.Epochs = spec.Epochs
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	r.mu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		r.forget(id)
+		return nil, httperror.Internal(fmt.Sprintf("create job dir: %v", err))
+	}
+	if err := r.q.Push(spec.Tenant, j); err != nil {
+		r.forget(id)
+		cancel()
+		return nil, httperror.TooManyRequests(fmt.Sprintf(
+			"tenant %q queue quota exhausted; retry after a job finishes", spec.Tenant))
+	}
+	j.logEvent(telemetryLine{Event: "submitted", State: string(api.StateQueued)})
+	return j, nil
+}
+
+// forget removes a job that never made it into the queue.
+func (r *Runner) forget(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, id)
+	if n := len(r.order); n > 0 && r.order[n-1] == id {
+		r.order = r.order[:n-1]
+	}
+}
+
+// Get looks a job up by ID.
+func (r *Runner) Get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every registered job in submission order.
+func (r *Runner) Jobs() []*Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Job, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation: queued jobs land in StateCancelled
+// immediately; running jobs get their context cancelled and reach
+// StateCancelled once training has checkpointed and unwound. Cancelling a
+// terminal job is a 409.
+func (r *Runner) Cancel(id string) error {
+	j, ok := r.Get(id)
+	if !ok {
+		return httperror.NotFound(fmt.Sprintf("job %q not found", id))
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		st := j.state
+		j.mu.Unlock()
+		return httperror.Conflict(fmt.Sprintf("job %s is already %s", id, st))
+	case j.state == api.StateQueued:
+		// The dispatcher discards cancelled jobs it pops; no token was
+		// held, so the transition is immediate.
+		j.transitionLocked(api.StateCancelled)
+		j.logEventLocked(telemetryLine{Event: "cancelled", State: string(api.StateCancelled)})
+		j.mu.Unlock()
+	default: // running
+		j.mu.Unlock()
+	}
+	j.ctxCancel()
+	return nil
+}
+
+// dispatch is the single dequeue loop: wait for a free slot, pop the next
+// runnable job (fair round-robin, quota-aware), and hand it to an executor
+// goroutine. Holding the slot until the job finishes keeps at most
+// MaxRunning jobs out of the queue, so queued work stays in tenant-fair
+// order rather than racing for tokens.
+func (r *Runner) dispatch() {
+	defer r.wg.Done()
+	for {
+		select {
+		case r.slots <- struct{}{}:
+		case <-r.stop:
+			return
+		}
+		for {
+			j, tenant, ok := r.q.Pop()
+			if ok {
+				r.wg.Add(1)
+				go r.runJob(j, tenant)
+				break
+			}
+			select {
+			case <-r.q.Notify():
+			case <-r.stop:
+				<-r.slots
+				return
+			}
+		}
+	}
+}
+
+func (r *Runner) runJob(j *Job, tenant string) {
+	defer r.wg.Done()
+	defer func() { <-r.slots }()
+	defer r.q.Done(tenant)
+
+	// One token per running job, shared with nested stage/GEMM
+	// parallelism: this acquire is what makes N concurrent jobs respect
+	// the process-wide core budget. Cancellation aborts the wait.
+	if !r.cfg.Pool.Acquire(j.ctx.Done()) {
+		j.finish(api.StateCancelled, nil, nil)
+		return
+	}
+	defer r.cfg.Pool.Release(1)
+
+	if err := j.transition(api.StateRunning); err != nil {
+		// Cancelled between dequeue and token grant; nothing ran.
+		return
+	}
+	n := r.running.Add(1)
+	telemetry.SetGauge(telemetry.MetricServeJobsRunning, float64(n))
+	j.logEvent(telemetryLine{Event: "started", State: string(api.StateRunning)})
+	start := time.Now()
+
+	result, err := r.exec(j)
+
+	dur := time.Since(start)
+	n = r.running.Add(-1)
+	telemetry.SetGauge(telemetry.MetricServeJobsRunning, float64(n))
+
+	state := api.StateDone
+	switch {
+	case err == nil:
+	case isCancelled(err):
+		state = api.StateCancelled
+		err = nil
+	default:
+		state = api.StateFailed
+	}
+	if telemetry.Enabled() {
+		lbl := telemetry.Label{Key: "state", Value: string(state)}
+		telemetry.Default().Metrics.Histogram(
+			telemetry.MetricServeJobDuration, telemetry.DurationBucketsNS, lbl).
+			Observe(float64(dur.Nanoseconds()))
+		telemetry.IncCounter(telemetry.MetricServeJobsTotal, 1, lbl)
+	}
+	j.finish(state, &result, err)
+}
+
+// isCancelled classifies executor errors that mean "stopped on request".
+func isCancelled(err error) bool {
+	return errors.Is(err, train.ErrCancelled) || errors.Is(err, context.Canceled)
+}
+
+// finish drives the job to its terminal state, persists the result
+// artifact, logs the final telemetry line, and closes the log. Safe to
+// call when the job is already terminal (the queued-cancel race).
+func (j *Job) finish(state api.State, result *api.Result, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.transitionLocked(state)
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	if result != nil && (state == api.StateDone || state == api.StateCancelled) {
+		j.result = result
+	}
+	line := telemetryLine{Event: "finished", State: string(state), Error: j.errMsg}
+	j.logEventLocked(line)
+	if j.telog != nil {
+		j.telog.Close()
+		j.telog = nil
+	}
+	resPath := j.arts.Result
+	var resCopy *api.Result
+	if j.result != nil {
+		c := *j.result
+		resCopy = &c
+	}
+	j.mu.Unlock()
+
+	if resCopy != nil {
+		if b, err := json.MarshalIndent(resCopy, "", "  "); err == nil {
+			os.WriteFile(resPath, append(b, '\n'), 0o644)
+		}
+	}
+}
+
+// Shutdown stops admission, cancels every non-terminal job (running jobs
+// checkpoint at their next epoch boundary), and waits for the dispatcher
+// and executors to unwind — or for ctx to expire, in which case the
+// remaining goroutines are abandoned to process exit and ctx.Err is
+// returned.
+func (r *Runner) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+	for _, j := range r.Jobs() {
+		if !j.State().Terminal() {
+			// Cancel via the runner so queued jobs transition immediately;
+			// Conflict races (job finishing right now) are benign.
+			_ = r.Cancel(j.ID())
+		}
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

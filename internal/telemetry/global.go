@@ -174,4 +174,27 @@ const (
 	// checked out of the process-wide scheduler pool (stage workers plus
 	// extra GEMM workers).
 	MetricSchedTokensInUse = "sched_tokens_in_use"
+
+	// MetricServeJobsRunning is the number of jobs currently executing on
+	// the hylo-serve job pool (token held, training in progress).
+	MetricServeJobsRunning = "serve_jobs_running"
+	// MetricServeQueueDepth is the number of submitted jobs waiting in the
+	// per-tenant fair queue (admitted but not yet dispatched).
+	MetricServeQueueDepth = "serve_queue_depth"
+	// MetricServeJobDuration is a histogram of job wall-clock durations in
+	// nanoseconds (dispatch to terminal state), labeled
+	// state=done|failed|cancelled.
+	MetricServeJobDuration = "serve_job_duration_ns"
+	// MetricServeJobsTotal counts jobs reaching a terminal state, labeled
+	// state=done|failed|cancelled.
+	MetricServeJobsTotal = "serve_jobs_total"
 )
+
+// DurationBucketsNS is the bucket layout for job-scale durations in
+// nanoseconds, spanning 1 ms to 100 s logarithmically — the hylo-serve
+// serve_job_duration_ns layout.
+var DurationBucketsNS = []float64{
+	1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7,
+	1e8, 2.5e8, 5e8, 1e9, 2.5e9, 5e9,
+	1e10, 2.5e10, 5e10, 1e11,
+}

@@ -1,0 +1,140 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// Cancelling mid-run must stop the loop at the next epoch boundary, force a
+// checkpoint off-cadence, and return ErrCancelled — and a resumed run from
+// that checkpoint must reproduce the uninterrupted history bit for bit.
+func TestCancelForcesResumableCheckpoint(t *testing.T) {
+	tr, te := vectorTask(21)
+	cfg := baseCfg()
+	cfg.Epochs = 6
+	hylo := precondFactories()["HyLo"]
+
+	ref := Run(cfg, mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ccfg := cfg
+	ccfg.OnEpoch = func(st EpochStat) {
+		if st.Epoch == 2 {
+			cancel()
+		}
+	}
+	// Every=10 never fires on cadence inside 6 epochs, so the only way a
+	// checkpoint can exist afterwards is the forced write on cancellation.
+	res, err := RunElasticCtx(ctx, 1, ccfg, ElasticConfig{Dir: dir, Every: 10},
+		mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v; want ErrCancelled", err)
+	}
+	if len(res.Stats) != 3 {
+		t.Fatalf("cancelled run recorded %d epochs; want 3", len(res.Stats))
+	}
+
+	mgr, err := ckpt.NewManager(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := mgr.LoadLatest()
+	if err != nil {
+		t.Fatalf("no resumable checkpoint after cancel: %v", err)
+	}
+	if snap.Epoch != 2 {
+		t.Fatalf("checkpoint epoch = %d; want 2 (the cancellation epoch)", snap.Epoch)
+	}
+
+	resumed, err := RunElastic(1, cfg, ElasticConfig{Dir: dir, Every: 10, Resume: true},
+		mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	statsClose(t, ref.Stats, resumed.Stats, 0)
+}
+
+// The cancel decision is collective: with P workers the close can race each
+// rank's local check, but the all-reduce must make every replica exit at
+// the same epoch — no hang, no mismatched collective sequences — and the
+// resumed run must still match the uninterrupted reference.
+func TestCancelDistributedStaysCollective(t *testing.T) {
+	tr, te := vectorTask(22)
+	cfg := baseCfg()
+	cfg.Epochs = 6
+	cfg.BatchSize = 15 // 2 workers × 15 = the P=1 global batch
+	hylo := precondFactories()["HyLo"]
+
+	ref := RunDistributed(2, cfg, mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ccfg := cfg
+	ccfg.OnEpoch = func(st EpochStat) {
+		if st.Epoch == 1 {
+			cancel()
+		}
+	}
+	res, err := RunElasticCtx(ctx, 2, ccfg, ElasticConfig{Dir: dir, Every: 1},
+		mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v; want ErrCancelled", err)
+	}
+	if got := len(res.Stats); got != 2 {
+		t.Fatalf("cancelled run recorded %d epochs; want 2", got)
+	}
+
+	resumed, err := RunElastic(2, cfg, ElasticConfig{Dir: dir, Every: 1, Resume: true},
+		mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+	if err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	statsClose(t, ref.Stats, resumed.Stats, 0)
+}
+
+// An uncancellable context must leave RunElasticCtx identical to
+// RunElastic — same stats, nil error — because ctx.Done() is nil and the
+// cancellation collective is never issued.
+func TestRunElasticCtxBackgroundMatchesRunElastic(t *testing.T) {
+	tr, te := vectorTask(23)
+	cfg := baseCfg()
+	cfg.Epochs = 4
+	hylo := precondFactories()["HyLo"]
+
+	a, err := RunElastic(1, cfg, ElasticConfig{Dir: t.TempDir(), Every: 1},
+		mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunElasticCtx(context.Background(), 1, cfg, ElasticConfig{Dir: t.TempDir(), Every: 1},
+		mlpBuilder(12, 3), tr, te, Classification(), hylo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsClose(t, a.Stats, b.Stats, 0)
+}
+
+// OnEpoch must fire once per completed epoch, in order, with the same
+// statistics that land in Result.Stats.
+func TestOnEpochHook(t *testing.T) {
+	tr, te := vectorTask(24)
+	cfg := baseCfg()
+	cfg.Epochs = 3
+	var seen []EpochStat
+	cfg.OnEpoch = func(st EpochStat) { seen = append(seen, st) }
+	res := Run(cfg, mlpBuilder(12, 3), tr, te, Classification(), nil, 0)
+	if len(seen) != len(res.Stats) {
+		t.Fatalf("hook fired %d times for %d epochs", len(seen), len(res.Stats))
+	}
+	for i := range seen {
+		if seen[i].Epoch != i || seen[i].TrainLoss != res.Stats[i].TrainLoss {
+			t.Fatalf("hook stat %d = %+v; want %+v", i, seen[i], res.Stats[i])
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package train
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -42,12 +44,33 @@ type ElasticConfig struct {
 	Faults *dist.FaultPlan
 }
 
+// ErrCancelled is returned by RunElasticCtx when its context was cancelled
+// before training completed: the run stopped cooperatively at an epoch
+// boundary after force-writing a checkpoint, so a later launch with
+// ElasticConfig.Resume continues it bit-identically. The Result accompanying
+// the error holds the statistics accumulated so far.
+var ErrCancelled = errors.New("train: run cancelled")
+
 // RunElastic trains like RunDistributed but survives worker failures:
 // training checkpoints every Every epochs, and when a worker panics (or
 // the barrier watchdog converts a hang), the driver reloads the last good
 // snapshot, resets (or shrinks) the cluster, and resumes. It returns the
 // final Result and a non-nil error only when recovery is exhausted.
 func RunElastic(p int, cfg Config, ec ElasticConfig,
+	buildNet func(rng *mat.RNG) *nn.Network,
+	trainSet, testSet *data.Dataset, task Task,
+	makePre PrecondFactory, target float64) (Result, error) {
+	return RunElasticCtx(context.Background(), p, cfg, ec,
+		buildNet, trainSet, testSet, task, makePre, target)
+}
+
+// RunElasticCtx is RunElastic with cooperative cancellation: when ctx is
+// cancelled, every worker observes it at the next epoch boundary (the
+// decision is made collectively, so replicas stay in step), a checkpoint is
+// force-written, and the call returns ErrCancelled with the partial Result.
+// A context that can never be cancelled adds no collectives and leaves the
+// training schedule byte-for-byte unchanged.
+func RunElasticCtx(ctx context.Context, p int, cfg Config, ec ElasticConfig,
 	buildNet func(rng *mat.RNG) *nn.Network,
 	trainSet, testSet *data.Dataset, task Task,
 	makePre PrecondFactory, target float64) (Result, error) {
@@ -87,6 +110,7 @@ func RunElastic(p int, cfg Config, ec ElasticConfig,
 	if ec.BarrierTimeout > 0 {
 		cluster.SetBarrierTimeout(ec.BarrierTimeout)
 	}
+	var cancelled atomic.Bool
 	for attempt := 0; ; attempt++ {
 		tl := dist.NewTimeline()
 		var res Result
@@ -96,7 +120,8 @@ func RunElastic(p int, cfg Config, ec ElasticConfig,
 			if plan.Enabled() {
 				comm = dist.NewFaultInjector(w, plan)
 			}
-			run := &workerRun{mgr: mgr, every: every, resume: snap}
+			run := &workerRun{mgr: mgr, every: every, resume: snap,
+				cancel: ctx.Done(), cancelled: &cancelled}
 			if w.Rank == 0 {
 				runWorker(comm, cfg, buildNet, trainSet, testSet, task, makePre, target, tl, &res, run)
 			} else {
@@ -104,6 +129,9 @@ func RunElastic(p int, cfg Config, ec ElasticConfig,
 			}
 		})
 		if len(errs) == 0 {
+			if cancelled.Load() {
+				return res, ErrCancelled
+			}
 			return res, nil
 		}
 		if attempt >= maxRestarts {

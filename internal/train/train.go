@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"math"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -69,6 +70,11 @@ type Config struct {
 	// of n/P elements. Results differ from the barrier path only in
 	// floating-point summation grouping.
 	RingAllReduce bool
+	// OnEpoch, when non-nil, is invoked on rank 0 after every epoch with
+	// that epoch's statistics — the live-progress hook the job server uses
+	// for status endpoints and per-job JSONL telemetry. It runs on the
+	// training goroutine; keep it cheap.
+	OnEpoch func(EpochStat)
 }
 
 // dampable is implemented by preconditioners whose damping the trainer may
@@ -179,6 +185,14 @@ type workerRun struct {
 	mgr    *ckpt.Manager
 	every  int // epochs between checkpoints
 	resume *ckpt.Snapshot
+	// cancel, when non-nil, requests cooperative cancellation: observed at
+	// epoch boundaries, agreed on collectively (every rank contributes its
+	// local observation to an all-reduce, so replicas break together), and
+	// answered with a forced checkpoint so the run is resumable.
+	cancel <-chan struct{}
+	// cancelled is set (shared across ranks) when the loop exited early on
+	// a cancellation request rather than running to completion.
+	cancelled *atomic.Bool
 }
 
 // trainerState is the rank-independent trainer-loop state (the checkpoint
@@ -511,6 +525,9 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 				res.TimeToTarget = stat.Elapsed
 			}
 			res.FinalLoss = stat.TrainLoss
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(stat)
+			}
 		}
 		// LM damping adjustment from the (identical-across-workers) epoch
 		// loss.
@@ -519,11 +536,29 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 				dp.SetDamping(adapter.Observe(dp.CurrentDamping(), lossSum/float64(stepsPerEpoch)))
 			}
 		}
+		// Cooperative cancellation (the job-server path): each rank checks
+		// the shared cancel channel locally, then the observations are
+		// all-reduced so every replica takes the same branch — a close
+		// racing between two ranks' checks can never desynchronize the
+		// collective sequence. A cancellation lands as a forced checkpoint
+		// below plus a joint early exit; on the final epoch it is moot, so
+		// the (epoch-consistent) guard skips the extra collective there.
+		cancelNow := false
+		if run != nil && run.cancel != nil && epoch < cfg.Epochs-1 {
+			var flag float64
+			select {
+			case <-run.cancel:
+				flag = 1
+			default:
+			}
+			cancelNow = comm.AllReduceScalar(flag) > 0
+		}
 		// Periodic checkpoint: a collective — every rank contributes its
 		// section bundle, rank 0 assembles and atomically publishes the
 		// snapshot. Failures are counted and tolerated; a missed
-		// checkpoint costs recovery granularity, not the run.
-		if run != nil && run.mgr != nil && run.every > 0 && (epoch+1)%run.every == 0 {
+		// checkpoint costs recovery granularity, not the run. A
+		// cancellation forces one off-cadence so the run stays resumable.
+		if run != nil && run.mgr != nil && run.every > 0 && (cancelNow || (epoch+1)%run.every == 0) {
 			local, err := encodeRankSections(savers)
 			if err != nil {
 				telemetry.IncCounter(telemetry.MetricCkptErrors, 1)
@@ -569,6 +604,15 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 			w.Barrier()
 		}
 		endEpoch()
+		// Joint early exit on cancellation: the checkpoint above has been
+		// published, every rank agreed on cancelNow, so all replicas leave
+		// the loop at the same epoch.
+		if cancelNow {
+			if run.cancelled != nil {
+				run.cancelled.Store(true)
+			}
+			break
+		}
 		// Early stopping: rank 0 decides, the collective spreads the stop
 		// flag so every worker leaves the loop at the same epoch.
 		if cfg.Patience > 0 {

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for hylo-serve: boot the real binary, submit a
+# 2-epoch training job over HTTP, poll it to completion, assert the
+# Prometheus endpoint serves the serve_* metrics, and shut down gracefully.
+# Exercises the same path as `make serve-smoke` in CI.
+set -euo pipefail
+
+PORT="${PORT:-18321}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+BIN="$WORK/hylo-serve"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building hylo-serve"
+go build -o "$BIN" ./cmd/hylo-serve
+
+"$BIN" -addr "127.0.0.1:$PORT" -data-dir "$WORK/jobs" &
+PID=$!
+
+# Wait for the listener.
+ok=""
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "serve-smoke: server never became healthy"; exit 1; }
+
+echo "serve-smoke: submitting 2-epoch job"
+resp=$(curl -fsS -X POST "$BASE/v1/jobs" \
+    -d '{"model":"mlp","optimizer":"sgd","epochs":2,"batch":4,"classes":2,"samples":8}')
+id=$(printf '%s' "$resp" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)
+[ -n "$id" ] || { echo "serve-smoke: no job id in response: $resp"; exit 1; }
+
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS "$BASE/v1/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "serve-smoke: job ended $state"; curl -fsS "$BASE/v1/jobs/$id"; exit 1 ;;
+    esac
+    sleep 0.2
+done
+[ "$state" = done ] || { echo "serve-smoke: job timed out in state '$state'"; exit 1; }
+echo "serve-smoke: job $id completed"
+
+# The result artifact must be served and contain per-epoch records.
+curl -fsS "$BASE/v1/jobs/$id/result" | grep -q '"train_loss"' \
+    || { echo "serve-smoke: result missing epoch records"; exit 1; }
+
+# /metrics must be non-empty Prometheus text with the serve instruments.
+metrics=$(curl -fsS "$BASE/metrics")
+[ -n "$metrics" ] || { echo "serve-smoke: empty /metrics"; exit 1; }
+for m in serve_jobs_total serve_job_duration_ns; do
+    printf '%s' "$metrics" | grep -q "$m" \
+        || { echo "serve-smoke: /metrics missing $m"; exit 1; }
+done
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "serve-smoke: server exited non-zero on SIGTERM"
+    exit 1
+fi
+PID=""
+echo "serve-smoke: OK"
