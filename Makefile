@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race racesched serve-smoke vet cover chaos fuzzsmoke bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race racesched serve-smoke vet cover chaos fuzzsmoke sketchsmoke bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -52,6 +52,18 @@ fuzzsmoke:
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzInvSPD$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzInterpolativeDecomp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzCholeskySolve$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzRandomizedID$$' -fuzztime $(FUZZTIME)
+
+# Sketched-KID smoke: the randomized-ID fast path end to end — mat/core
+# sketch kernels and guards, bit-parity (including the forced exact-KID
+# fallback) across scheduler widths, and one real sketched training run per
+# mode through the hylo-train CLI.
+sketchsmoke:
+	$(GO) test ./internal/mat/ -run 'TestRandomizedID|TestSRHT|TestFWHT' -count=1
+	$(GO) test ./internal/core/ -run 'Sketch' -count=1
+	$(GO) test -race ./internal/sched/ -run 'TestSchedParity$$/hylo-kid-sketch|TestSchedParitySketchFallback' -count=1
+	$(GO) run ./cmd/hylo-train -model mlp -epochs 1 -batch 16 -samples 32 -kid-sketch gauss -optimizer hylo
+	$(GO) run ./cmd/hylo-train -model mlp -epochs 1 -batch 16 -samples 32 -kid-sketch srht -optimizer hylo
 
 cover:
 	$(GO) test -cover ./internal/...

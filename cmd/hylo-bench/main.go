@@ -35,6 +35,8 @@ func main() {
 	teleSummary := flag.Bool("telemetry-summary", false, "print the top phase-time table at exit")
 	numReport := flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
 	schedWorkers := flag.Int("sched-workers", runtime.GOMAXPROCS(0), "layer-parallel preconditioner workers (1 = legacy sequential path; results are bit-identical either way)")
+	kidSketch := flag.String("kid-sketch", "off", "randomized KID sketch for the HyLo experiments: off|gauss|srht")
+	kidOversample := flag.Int("kid-oversample", 0, "sketch columns beyond the KID rank (0 = default)")
 	flag.Parse()
 
 	if err := cliutil.ValidateSchedWorkers(*schedWorkers); err != nil {
@@ -42,6 +44,14 @@ func main() {
 		os.Exit(2)
 	}
 	sched.SetWorkers(*schedWorkers)
+	if _, err := cliutil.ParseKidSketch(*kidSketch); err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateKidOversample(*kidOversample); err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	useTelemetry := *tracePath != "" || *metricsPath != "" || *eventsPath != "" || *teleSummary
 	if useTelemetry {
@@ -55,7 +65,8 @@ func main() {
 		return
 	}
 
-	cfg := bench.RunConfig{Quick: *quick, Seed: *seed}
+	cfg := bench.RunConfig{Quick: *quick, Seed: *seed,
+		KidSketch: *kidSketch, KidOversample: *kidOversample}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Registry()

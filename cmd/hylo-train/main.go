@@ -75,12 +75,16 @@ func main() {
 		schedWorkers = flag.Int("sched-workers", runtime.GOMAXPROCS(0), "layer-parallel preconditioner workers (1 = legacy sequential path; results are bit-identical either way)")
 		condLimit    = flag.Float64("cond-limit", numerics.DefaultCondLimit, "condition-estimate threshold beyond which solves escalate damping / fall back")
 		idTol        = flag.Float64("id-tol", core.DefaultIDTol, "KID numerical-rank truncation tolerance, in [0, 1)")
+
+		kidSketch     = flag.String("kid-sketch", "off", "randomized KID fast path for critical epochs: off | gauss | srht (unhealthy sketches fall back to the exact ID)")
+		kidOversample = flag.Int("kid-oversample", core.DefaultOversample, "sketch width beyond the KID rank (randomized ID projects onto rank+oversample dimensions)")
 	)
 	flag.Parse()
 
 	if err := cliutil.ValidateHyper(cliutil.Hyper{
 		Epochs: *epochs, Batch: *batch, Workers: *workers, Freq: *freq,
 		RankFrac: *rankFrac, Damping: *damping, CondLimit: *condLimit, IDTol: *idTol,
+		KidSketch: *kidSketch, KidOversample: *kidOversample,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
 		os.Exit(2)
@@ -124,7 +128,11 @@ func main() {
 			return data.NewAugmenter(rng, shape, true, 2)
 		}
 	}
-	pre, err := cliutil.PrecondFactory(*optimizer, *damping, *rankFrac, *eta, *idTol)
+	sketch, _ := cliutil.ParseKidSketch(*kidSketch) // validated above
+	pre, err := cliutil.PrecondFactory(*optimizer, cliutil.PrecondOpts{
+		Damping: *damping, RankFrac: *rankFrac, Eta: *eta, IDTol: *idTol,
+		KidSketch: sketch, KidOversample: *kidOversample,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
 		os.Exit(2)

@@ -174,3 +174,57 @@ func BenchmarkHyLoStepDeep(b *testing.B) { benchHyLoDeepStep(b, 1) }
 // it should beat BenchmarkHyLoStepDeep by ≥ 1.8×; on a single core the
 // scheduler's inline fallback keeps it at parity.
 func BenchmarkHyLoStepDeepParallel(b *testing.B) { benchHyLoDeepStep(b, runtime.GOMAXPROCS(0)) }
+
+// benchHyLoSketchStep measures one HyLo-KID step on a single wide kernel
+// layer with an m=512 batch — the regime where the interpolative
+// decomposition of the 512×512 Gram kernel dominates the step — under the
+// selected sketch mode (SketchOff = exact pivoted-QR ID).
+func benchHyLoSketchStep(b *testing.B, sk core.Sketch) {
+	benchWorkers(b, 1)
+	rng := mat.NewRNG(23)
+	const width, m, classes = 64, 512, 10
+	net := nn.NewNetwork(nn.Vec(width), rng, nn.NewLinear(classes))
+	x := mat.RandN(rng, m, width, 1)
+	labels := make([]int, m)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	tgt := nn.Target{Labels: labels}
+	loss := nn.SoftmaxCrossEntropy{}
+	pre := core.NewHyLo(net, 0.03, 0.1, dist.Local(), nil, mat.NewRNG(5))
+	pre.Policy = core.FixedSwitch{Mode: core.ModeKID}
+	pre.Sketch = sk
+	sgd := opt.NewSGD(net.Params(), 0.01, 0.9, 0)
+	pre.OnEpochStart(0, false)
+	net.SetCapture(true)
+
+	step := func() {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, g := loss.Forward(out, tgt)
+		net.Backward(g)
+		pre.Update()
+		pre.Precondition()
+		sgd.Step()
+	}
+	step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkHyLoStepSketch compares the KID factorization backends on the
+// large-batch step. The acceptance bar for this optimization: srht beats
+// exact by ≥ 1.5× at ≤ 40 allocs/op (recorded in BENCH_baseline.json's
+// kid_sketch section).
+func BenchmarkHyLoStepSketch(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		sk   core.Sketch
+	}{{"exact", core.SketchOff}, {"gauss", core.SketchGauss}, {"srht", core.SketchSRHT}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) { benchHyLoSketchStep(b, v.sk) })
+	}
+}

@@ -14,14 +14,29 @@ import (
 	"repro/internal/train"
 )
 
-// hyloFactory builds a HyLo preconditioner with the given knobs.
-func hyloFactory(rankFrac, eta float64, randomized bool) train.PrecondFactory {
+// hyloFactory builds a HyLo preconditioner with the given knobs; the
+// cfg-level KidSketch/KidOversample selection (hylo-bench's -kid-sketch
+// flags) applies to every HyLo instance built here.
+func hyloFactory(cfg RunConfig, rankFrac, eta float64) train.PrecondFactory {
 	return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
 		h := core.NewHyLo(net, 0.1, rankFrac, c, tl, rng)
 		h.Policy = core.GradientSwitch{Eta: eta}
-		h.RandomizedKID = randomized
+		cfg.applySketch(h)
 		return h
 	}
+}
+
+// applySketch configures the cfg-selected randomized-KID mode on h. The
+// CLI validates the mode string before any experiment runs, so unknown
+// values simply mean off here.
+func (cfg RunConfig) applySketch(h *core.HyLo) {
+	switch cfg.KidSketch {
+	case "gauss":
+		h.Sketch = core.SketchGauss
+	case "srht":
+		h.Sketch = core.SketchSRHT
+	}
+	h.Oversample = cfg.KidOversample
 }
 
 // AblationEta sweeps the switching threshold η of Eq. (10): smaller η
@@ -31,7 +46,7 @@ func AblationEta(cfg RunConfig) *Table {
 		Headers: []string{"eta", "best acc", "total time", "KID epochs", "modes"}}
 	w := resnet32Workload(cfg)
 	for _, eta := range []float64{0.05, 0.25, 1.0, 1e9} {
-		res := runAblation(w, hyloFactory(0.1, eta, false))
+		res := runAblation(w, hyloFactory(cfg, 0.1, eta))
 		kid := 0
 		modes := ""
 		for _, m := range res.EpochModes {
@@ -58,7 +73,7 @@ func AblationRank(cfg RunConfig) *Table {
 		Headers: []string{"rank frac", "best acc", "final loss", "total time"}}
 	w := resnet32Workload(cfg)
 	for _, rf := range []float64{0.05, 0.1, 0.25, 0.5} {
-		res := runAblation(w, hyloFactory(rf, 0.25, false))
+		res := runAblation(w, hyloFactory(cfg, rf, 0.25))
 		t.AddRow(fmtF(rf), fmtF(res.Best), fmtF(res.FinalLoss),
 			fmtDur(res.Stats[len(res.Stats)-1].Elapsed))
 	}
@@ -73,7 +88,7 @@ func AblationFreq(cfg RunConfig) *Table {
 	for _, freq := range []int{1, 5, 20} {
 		w2 := w
 		w2.cfg.UpdateFreq = freq
-		res := runAblation(w2, hyloFactory(0.1, 0.25, false))
+		res := runAblation(w2, hyloFactory(cfg, 0.1, 0.25))
 		t.AddRow(fmt.Sprint(freq), fmtF(res.Best),
 			fmtDur(res.Stats[len(res.Stats)-1].Elapsed))
 	}
@@ -82,25 +97,30 @@ func AblationFreq(cfg RunConfig) *Table {
 }
 
 // AblationRandomizedID compares the deterministic pivoted-QR KID against
-// the Gaussian-sketch randomized ID of reference [33] on both training
-// quality and the measured factorization error.
+// the two sketched randomized IDs of reference [33] — dense Gaussian and
+// SRHT — on both training quality and the measured factorization error.
 func AblationRandomizedID(cfg RunConfig) *Table {
 	t := &Table{ID: "abl-randid", Title: "Ablation: deterministic vs randomized KID",
 		Headers: []string{"variant", "best acc", "total time", "mean grad err"}}
 	w := resnet32Workload(cfg)
 	for _, v := range []struct {
-		name string
-		rand bool
-	}{{"pivoted-QR ID", false}, {"randomized ID", true}} {
+		name   string
+		sketch core.Sketch
+	}{
+		{"pivoted-QR ID", core.SketchOff},
+		{"gaussian sketch", core.SketchGauss},
+		{"SRHT sketch", core.SketchSRHT},
+	} {
+		sketch := v.sketch
 		// Force KID-only so the ablation isolates the factorization.
 		factory := func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
 			h := core.NewHyLo(net, 0.1, 0.1, c, tl, rng)
 			h.Policy = core.FixedSwitch{Mode: core.ModeKID}
-			h.RandomizedKID = v.rand
+			h.Sketch = sketch
 			return h
 		}
 		res := runAblation(w, factory)
-		gerr := measureKIDError(cfg, v.rand)
+		gerr := measureKIDError(cfg, sketch)
 		t.AddRow(v.name, fmtF(res.Best),
 			fmtDur(res.Stats[len(res.Stats)-1].Elapsed), fmtF(gerr))
 	}
@@ -109,7 +129,7 @@ func AblationRandomizedID(cfg RunConfig) *Table {
 
 // measureKIDError probes the normalized gradient error of one KID variant
 // on a fresh capture.
-func measureKIDError(cfg RunConfig, randomized bool) float64 {
+func measureKIDError(cfg RunConfig, sketch core.Sketch) float64 {
 	classes := 4
 	shape := nn.Shape{C: 3, H: 12, W: 12}
 	ds := data.SynthImages(mat.NewRNG(cfg.Seed+50), data.ClassSpec{
@@ -125,10 +145,10 @@ func measureKIDError(cfg RunConfig, randomized bool) float64 {
 	grad := l.Weight().Grad.Data()
 	r := 12
 	rng := mat.NewRNG(cfg.Seed + 52)
-	if !randomized {
+	if sketch == core.SketchOff {
 		return core.GradError(a, g, grad, 0.1, r, core.ModeKID, rng)
 	}
-	// Randomized variant: rebuild the reduced update by hand.
+	// Sketched variants: rebuild the reduced update by hand.
 	exact, exErr := core.PreconditionExact(a, g, grad, 0.1)
 	if exErr != nil {
 		return -1
@@ -136,7 +156,7 @@ func measureKIDError(cfg RunConfig, randomized bool) float64 {
 	scale := 1 / sqrtSqrt(float64(a.Rows()))
 	an := a.Clone().Scale(scale)
 	gn := g.Clone().Scale(scale)
-	as, gs, y, idErr := core.KIDFactorsRand(rng, an, gn, r, 0.1, 8)
+	as, gs, y, idErr := core.KIDFactorsSketch(rng, an, gn, r, 0.1, 8, sketch)
 	if idErr != nil {
 		return -1
 	}

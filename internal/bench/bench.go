@@ -22,6 +22,13 @@ type RunConfig struct {
 	Quick bool
 	// Seed drives all deterministic randomness.
 	Seed uint64
+	// KidSketch selects the randomized KID fast path ("off", "gauss",
+	// "srht") for every HyLo instance the experiments build — the
+	// -kid-sketch flag of hylo-bench. Empty means off.
+	KidSketch string
+	// KidOversample is the sketch width beyond the KID rank (0 selects
+	// the core default).
+	KidOversample int
 }
 
 // Table is a rendered experiment result.

@@ -330,8 +330,8 @@ func TestAblationRandomizedIDRuns(t *testing.T) {
 		t.Skip("training experiment")
 	}
 	tb := AblationRandomizedID(quickCfg())
-	if len(tb.Rows) != 2 {
-		t.Fatalf("abl-randid rows = %d; want 2", len(tb.Rows))
+	if len(tb.Rows) != 3 {
+		t.Fatalf("abl-randid rows = %d; want 3 (pivoted-QR, gauss, srht)", len(tb.Rows))
 	}
 	for _, row := range tb.Rows {
 		if acc, _ := strconv.ParseFloat(row[1], 64); acc <= 0 {

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 )
 
@@ -31,6 +32,11 @@ type Hyper struct {
 	Damping   float64
 	CondLimit float64
 	IDTol     float64
+	// KidSketch is the -kid-sketch mode string ("" means off).
+	KidSketch string
+	// KidOversample is the -kid-oversample sketch width; 0 means the
+	// default (core.DefaultOversample).
+	KidOversample int
 }
 
 // ValidateHyper rejects hyperparameter values that would otherwise fail in
@@ -63,7 +69,56 @@ func ValidateHyper(h Hyper) error {
 	if h.IDTol < 0 || h.IDTol >= 1 || math.IsNaN(h.IDTol) {
 		return fmt.Errorf("-id-tol must be in [0, 1) (got %g)", h.IDTol)
 	}
+	if _, err := ParseKidSketch(h.KidSketch); err != nil {
+		return err
+	}
+	if err := ValidateKidOversample(h.KidOversample); err != nil {
+		return err
+	}
 	return nil
+}
+
+// MaxKidOversample caps the -kid-oversample sketch width: widths beyond
+// this defeat the point of sketching (the sketch approaches the full
+// kernel) and only waste memory.
+const MaxKidOversample = 512
+
+// BadOversampleError is the typed rejection of an out-of-range
+// -kid-oversample (kid_oversample in the job API); the server maps it onto
+// a 400 via serve/httperror like every other validation failure.
+type BadOversampleError struct{ Got int }
+
+// Error implements error with the CLI flag spelling.
+func (e *BadOversampleError) Error() string {
+	return fmt.Sprintf("-kid-oversample must be in [1, %d], or 0 for the default (got %d)", MaxKidOversample, e.Got)
+}
+
+// ValidateKidOversample rejects sketch widths outside [1, MaxKidOversample].
+// 0 is accepted as "use the default" (core.DefaultOversample); negative
+// values — which mat.RandomizedID historically accepted silently — are a
+// typed BadOversampleError.
+func ValidateKidOversample(n int) error {
+	if n < 0 || n > MaxKidOversample {
+		return &BadOversampleError{Got: n}
+	}
+	return nil
+}
+
+// KidSketchModes lists the -kid-sketch values in documentation order.
+func KidSketchModes() []string { return []string{"off", "gauss", "srht"} }
+
+// ParseKidSketch maps a -kid-sketch flag value onto core.Sketch. The empty
+// string means off, so zero-valued specs stay valid.
+func ParseKidSketch(mode string) (core.Sketch, error) {
+	switch mode {
+	case "", "off":
+		return core.SketchOff, nil
+	case "gauss":
+		return core.SketchGauss, nil
+	case "srht":
+		return core.SketchSRHT, nil
+	}
+	return core.SketchOff, fmt.Errorf("-kid-sketch must be one of off|gauss|srht (got %q)", mode)
 }
 
 // ValidateSchedWorkers checks the layer-parallel scheduler worker count.

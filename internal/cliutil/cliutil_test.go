@@ -1,10 +1,12 @@
 package cliutil
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/mat"
 )
@@ -21,32 +23,84 @@ func TestValidateHyper(t *testing.T) {
 	if err := ValidateHyper(edge); err != nil {
 		t.Fatalf("edge hypers rejected: %v", err)
 	}
+	bad := func(mut func(*Hyper)) Hyper {
+		h := good
+		mut(&h)
+		return h
+	}
 	cases := []struct {
 		name string
 		h    Hyper
 	}{
-		{"zero epochs", Hyper{0, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
-		{"negative epochs", Hyper{-3, 32, 4, 5, 0.1, 0.03, 1e14, 0}},
-		{"zero batch", Hyper{10, 0, 4, 5, 0.1, 0.03, 1e14, 0}},
-		{"zero workers", Hyper{10, 32, 0, 5, 0.1, 0.03, 1e14, 0}},
-		{"negative freq", Hyper{10, 32, 4, -1, 0.1, 0.03, 1e14, 0}},
-		{"zero rank-frac", Hyper{10, 32, 4, 5, 0, 0.03, 1e14, 0}},
-		{"rank-frac above one", Hyper{10, 32, 4, 5, 1.5, 0.03, 1e14, 0}},
-		{"negative rank-frac", Hyper{10, 32, 4, 5, -0.1, 0.03, 1e14, 0}},
-		{"zero damping", Hyper{10, 32, 4, 5, 0.1, 0, 1e14, 0}},
-		{"negative damping", Hyper{10, 32, 4, 5, 0.1, -0.01, 1e14, 0}},
-		{"NaN damping", Hyper{10, 32, 4, 5, 0.1, math.NaN(), 1e14, 0}},
-		{"Inf damping", Hyper{10, 32, 4, 5, 0.1, math.Inf(1), 1e14, 0}},
-		{"cond-limit at one", Hyper{10, 32, 4, 5, 0.1, 0.03, 1, 0}},
-		{"negative cond-limit", Hyper{10, 32, 4, 5, 0.1, 0.03, -5, 0}},
-		{"NaN cond-limit", Hyper{10, 32, 4, 5, 0.1, 0.03, math.NaN(), 0}},
-		{"negative id-tol", Hyper{10, 32, 4, 5, 0.1, 0.03, 1e14, -1e-6}},
-		{"id-tol at one", Hyper{10, 32, 4, 5, 0.1, 0.03, 1e14, 1}},
-		{"NaN id-tol", Hyper{10, 32, 4, 5, 0.1, 0.03, 1e14, math.NaN()}},
+		{"zero epochs", bad(func(h *Hyper) { h.Epochs = 0 })},
+		{"negative epochs", bad(func(h *Hyper) { h.Epochs = -3 })},
+		{"zero batch", bad(func(h *Hyper) { h.Batch = 0 })},
+		{"zero workers", bad(func(h *Hyper) { h.Workers = 0 })},
+		{"negative freq", bad(func(h *Hyper) { h.Freq = -1 })},
+		{"zero rank-frac", bad(func(h *Hyper) { h.RankFrac = 0 })},
+		{"rank-frac above one", bad(func(h *Hyper) { h.RankFrac = 1.5 })},
+		{"negative rank-frac", bad(func(h *Hyper) { h.RankFrac = -0.1 })},
+		{"zero damping", bad(func(h *Hyper) { h.Damping = 0 })},
+		{"negative damping", bad(func(h *Hyper) { h.Damping = -0.01 })},
+		{"NaN damping", bad(func(h *Hyper) { h.Damping = math.NaN() })},
+		{"Inf damping", bad(func(h *Hyper) { h.Damping = math.Inf(1) })},
+		{"cond-limit at one", bad(func(h *Hyper) { h.CondLimit = 1 })},
+		{"negative cond-limit", bad(func(h *Hyper) { h.CondLimit = -5 })},
+		{"NaN cond-limit", bad(func(h *Hyper) { h.CondLimit = math.NaN() })},
+		{"negative id-tol", bad(func(h *Hyper) { h.IDTol = -1e-6 })},
+		{"id-tol at one", bad(func(h *Hyper) { h.IDTol = 1 })},
+		{"NaN id-tol", bad(func(h *Hyper) { h.IDTol = math.NaN() })},
+		{"unknown kid-sketch", bad(func(h *Hyper) { h.KidSketch = "hadamard" })},
+		{"negative kid-oversample", bad(func(h *Hyper) { h.KidOversample = -4 })},
+		{"huge kid-oversample", bad(func(h *Hyper) { h.KidOversample = MaxKidOversample + 1 })},
 	}
 	for _, c := range cases {
 		if err := ValidateHyper(c.h); err == nil {
 			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestParseKidSketch(t *testing.T) {
+	for mode, want := range map[string]core.Sketch{
+		"": core.SketchOff, "off": core.SketchOff,
+		"gauss": core.SketchGauss, "srht": core.SketchSRHT,
+	} {
+		got, err := ParseKidSketch(mode)
+		if err != nil || got != want {
+			t.Errorf("ParseKidSketch(%q) = (%v, %v); want (%v, nil)", mode, got, err, want)
+		}
+	}
+	if _, err := ParseKidSketch("gaussian"); err == nil {
+		t.Fatal("unknown sketch mode accepted")
+	}
+	// The flag vocabulary and the core enum round-trip.
+	for _, mode := range KidSketchModes() {
+		s, err := ParseKidSketch(mode)
+		if err != nil {
+			t.Fatalf("documented mode %q rejected: %v", mode, err)
+		}
+		if s.String() != mode {
+			t.Errorf("mode %q round-trips to %q", mode, s.String())
+		}
+	}
+}
+
+func TestValidateKidOversample(t *testing.T) {
+	for _, n := range []int{0, 1, 8, MaxKidOversample} {
+		if err := ValidateKidOversample(n); err != nil {
+			t.Errorf("oversample %d rejected: %v", n, err)
+		}
+	}
+	for _, n := range []int{-1, -100, MaxKidOversample + 1} {
+		err := ValidateKidOversample(n)
+		if err == nil {
+			t.Errorf("oversample %d accepted", n)
+			continue
+		}
+		var bo *BadOversampleError
+		if !errors.As(err, &bo) || bo.Got != n {
+			t.Errorf("oversample %d: error %v is not a BadOversampleError carrying the value", n, err)
 		}
 	}
 }
@@ -111,7 +165,7 @@ func TestBuildWorkloadAllModels(t *testing.T) {
 func TestPrecondFactoryAllOptimizers(t *testing.T) {
 	firstOrder := map[string]bool{"sgd": true, "adam": true}
 	for _, o := range Optimizers() {
-		f, err := PrecondFactory(o, 0.1, 0.1, 0.25, 1e-12)
+		f, err := PrecondFactory(o, PrecondOpts{Damping: 0.1, RankFrac: 0.1, Eta: 0.25, IDTol: 1e-12})
 		if err != nil {
 			t.Fatalf("%s: %v", o, err)
 		}
@@ -134,7 +188,7 @@ func TestPrecondFactoryAllOptimizers(t *testing.T) {
 			t.Fatalf("%s: factory produced invalid preconditioner", o)
 		}
 	}
-	if _, err := PrecondFactory("nope", 0.1, 0.1, 0.25, 0); err == nil {
+	if _, err := PrecondFactory("nope", PrecondOpts{Damping: 0.1, RankFrac: 0.1, Eta: 0.25}); err == nil {
 		t.Fatal("unknown optimizer accepted")
 	}
 }

@@ -113,19 +113,41 @@ func BuildWorkload(model string, classes, perClass int, seed uint64) (Workload, 
 	}
 }
 
+// PrecondOpts bundles the hyperparameters PrecondFactory threads into the
+// second-order optimizer constructors — one struct shared by the CLIs and
+// the job API so adding a knob is a one-field change rather than a
+// signature ripple across three front ends.
+type PrecondOpts struct {
+	Damping  float64
+	RankFrac float64
+	// Eta is the gradient-switch threshold (the "hylo" policy only).
+	Eta float64
+	// IDTol is the KID numerical-rank tolerance; 0 disables truncation
+	// (HyLo's struct uses 0 for "default", negative for "off").
+	IDTol float64
+	// KidSketch selects the randomized KID fast path (SketchOff, the
+	// exact pivoted-QR ID, by default).
+	KidSketch core.Sketch
+	// KidOversample is the sketch width beyond the target rank; 0 selects
+	// core.DefaultOversample.
+	KidOversample int
+}
+
 // PrecondFactory maps an optimizer name onto a train.PrecondFactory. The
 // first-order methods (sgd, adam) return a nil factory with a nil error —
 // the trainer's convention for "no preconditioner".
-func PrecondFactory(optimizer string, damping, rankFrac, eta, idTol float64) (train.PrecondFactory, error) {
+func PrecondFactory(optimizer string, o PrecondOpts) (train.PrecondFactory, error) {
 	hylo := func(policy core.SwitchPolicy) train.PrecondFactory {
 		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			h := core.NewHyLo(net, damping, rankFrac, c, tl, rng)
+			h := core.NewHyLo(net, o.Damping, o.RankFrac, c, tl, rng)
 			// Flag semantics: 0 disables truncation (the struct uses 0 for
 			// "default", negative for "off").
-			h.IDTol = idTol
-			if idTol == 0 {
+			h.IDTol = o.IDTol
+			if o.IDTol == 0 {
 				h.IDTol = -1
 			}
+			h.Sketch = o.KidSketch
+			h.Oversample = o.KidOversample
 			if policy != nil {
 				h.Policy = policy
 			}
@@ -137,11 +159,11 @@ func PrecondFactory(optimizer string, damping, rankFrac, eta, idTol float64) (tr
 		return nil, nil
 	case "kfac", "kaisa":
 		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return kfac.NewKFAC(net, damping, c, tl)
+			return kfac.NewKFAC(net, o.Damping, c, tl)
 		}, nil
 	case "ekfac":
 		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return kfac.NewEKFAC(net, damping, c, tl)
+			return kfac.NewEKFAC(net, o.Damping, c, tl)
 		}, nil
 	case "kbfgs":
 		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
@@ -149,10 +171,10 @@ func PrecondFactory(optimizer string, damping, rankFrac, eta, idTol float64) (tr
 		}, nil
 	case "sngd":
 		return func(net *nn.Network, c dist.Comm, tl *dist.Timeline, rng *mat.RNG) opt.Preconditioner {
-			return sngd.New(net, damping, c, tl)
+			return sngd.New(net, o.Damping, c, tl)
 		}, nil
 	case "hylo":
-		return hylo(core.GradientSwitch{Eta: eta}), nil
+		return hylo(core.GradientSwitch{Eta: o.Eta}), nil
 	case "hylo-kid":
 		return hylo(core.FixedSwitch{Mode: core.ModeKID}), nil
 	case "hylo-kis":

@@ -182,54 +182,12 @@ func AdaptiveKIDRank(a, g *mat.Dense, tol float64, maxRank int) int {
 // replaced by the Gaussian-sketch randomized ID of the paper's reference
 // [33] (Biagioni & Beylkin): the pivoted QR runs on an m×(r+oversample)
 // sketch instead of the full m×m Gram matrix, trading a small accuracy
-// loss for an asymptotically cheaper factorization.
+// loss for an asymptotically cheaper factorization. It routes through
+// KIDFactorsSketch, so the condition/residual guard applies: an untrusted
+// sketch returns ErrSketchIllConditioned / ErrSketchResidual rather than
+// silently bad factors.
 func KIDFactorsRand(rng *mat.RNG, a, g *mat.Dense, r int, alpha float64, oversample int) (as, gs, y *mat.Dense, err error) {
-	m := a.Rows()
-	if g.Rows() != m {
-		panic("core: KIDFactorsRand row mismatch")
-	}
-	if r > m {
-		r = m
-	}
-	ws := mat.NewWorkspace()
-	defer ws.Release()
-	q := ws.Dense(m, m)
-	mat.KernelMatrixInto(q, a, g)
-	p, s := mat.RandomizedID(rng, q, r, oversample)
-	qs := q.SelectRows(s)
-	res := ws.Dense(m, m)
-	mat.MulInto(res, p, qs)
-	mat.SubInto(res, q, res)
-	damped := res.AddDiag(alpha)
-	rinv := ws.Dense(m, m)
-	retries := 0
-	for boost := 0.0; ; {
-		cond, ierr := mat.InvCondInto(rinv, damped)
-		if ierr == nil && cond <= numerics.CondLimit() {
-			break
-		}
-		if retries >= maxDampAttempts {
-			if retries > 0 {
-				numerics.AddRetries("core.kidrand.residual", retries)
-			}
-			return nil, nil, nil, fmt.Errorf("core: randomized KID residual system unsolvable after %d damped retries (cond %.3g): %w",
-				retries, cond, errOrIllConditioned(ierr))
-		}
-		if boost == 0 {
-			boost = math.Max(alpha, 1e-8)
-		} else {
-			boost *= 10
-		}
-		damped.AddDiag(boost)
-		retries++
-	}
-	if retries > 0 {
-		numerics.AddRetries("core.kidrand.residual", retries)
-	}
-	rp := ws.Dense(m, p.Cols())
-	mat.MulInto(rp, rinv, p)
-	y = mat.MulTA(p, rp)
-	return a.SelectRows(s), g.SelectRows(s), y, nil
+	return KIDFactorsSketch(rng, a, g, r, alpha, oversample, SketchGauss)
 }
 
 // KISFactors implements Algorithm 3: norm-based importance sampling of r

@@ -28,8 +28,17 @@ type HyLo struct {
 	Policy SwitchPolicy
 	// RandomizedKID switches the KID path to the Gaussian-sketch
 	// randomized ID (reference [33]); Oversample controls the sketch
-	// width (default 8 when zero).
+	// width (default DefaultOversample when zero). Kept for
+	// compatibility — Sketch is the richer switch and wins when set.
 	RandomizedKID bool
+	// Sketch selects the randomized-ID fast path for KID epochs:
+	// SketchOff (exact pivoted-QR ID), SketchGauss, or SketchSRHT. An
+	// unhealthy sketch — condition estimate above numerics.CondLimit() or
+	// reconstruction-residual overshoot — falls back per layer to the
+	// exact KID factorization (numerics.RungExact). The fallback is pure
+	// local compute: factor shapes and the collective sequence are
+	// unchanged, so workers cannot desynchronize.
+	Sketch Sketch
 	// Oversample is the randomized-ID oversampling parameter.
 	Oversample int
 	// AdaptiveRank replaces the fixed per-worker rank ρ = r/P with the
@@ -95,6 +104,7 @@ type hyloState struct {
 	asLoc, gsLoc, yLoc *mat.Dense
 	yblk, mbuf         *mat.Dense
 	y, z, corr         []float64
+	sketch             kidSketchWS // sketched-KID P/S workspace
 }
 
 // hyloPlan is one layer's slot in the scheduled pipeline: inputs prepared
@@ -148,6 +158,18 @@ func NewHyLo(net *nn.Network, damping, rankFrac float64, comm dist.Comm, timelin
 
 // Name implements opt.Preconditioner.
 func (h *HyLo) Name() string { return "HyLo" }
+
+// effectiveSketch resolves the configured sketch mode: the Sketch field
+// wins; the legacy RandomizedKID flag maps to the Gaussian sketch.
+func (h *HyLo) effectiveSketch() Sketch {
+	if h.Sketch != SketchOff {
+		return h.Sketch
+	}
+	if h.RandomizedKID {
+		return SketchGauss
+	}
+	return SketchOff
+}
 
 // idTol resolves the configured interpolative-decomposition tolerance.
 func (h *HyLo) idTol() float64 {
@@ -317,7 +339,7 @@ func (h *HyLo) Update() {
 	}
 	// The randomized-ID sketch draws from the shared RNG inside the
 	// factorize stage; Ordered serializes those draws in layer order.
-	h.stages[0].Ordered = h.mode == ModeKID && h.RandomizedKID
+	h.stages[0].Ordered = h.mode == ModeKID && h.effectiveSketch() != SketchOff
 	sched.Run(&h.eng, len(h.plans), h.stages)
 }
 
@@ -342,16 +364,35 @@ func (h *HyLo) stageFactorize(i int) {
 			}
 		}
 		var facErr error
-		if h.RandomizedKID {
+		if sk := h.effectiveSketch(); sk != SketchOff {
 			over := h.Oversample
 			if over <= 0 {
-				over = 8
+				over = DefaultOversample
 			}
-			pl.as, pl.gs, pl.y, facErr = KIDFactorsRand(h.rng, st.an, st.gn, rho, h.Damping, over)
+			t1 := time.Now()
+			st.asLoc, st.gsLoc, st.yLoc, facErr = kidFactorsSketchInto(&st.sketch, st.asLoc, st.gsLoc, st.yLoc, h.rng, st.an, st.gn, rho, h.Damping, over, sk)
+			if telemetry.Enabled() {
+				telemetry.IncCounter(telemetry.MetricKIDSketchNS, time.Since(t1).Nanoseconds(),
+					telemetry.Label{Key: "sketch", Value: sk.String()})
+			}
+			if facErr != nil {
+				// The guard distrusts this sketch (ill-conditioned basis or
+				// residual overshoot): redo the layer with the exact
+				// pivoted-QR KID — the RungExact rung of the ladder. Purely
+				// local compute with identical factor shapes, so the
+				// collective sequence is unchanged; the sketch consumed its
+				// RNG draws either way, keeping the stream deterministic.
+				numerics.RecordFallback("hylo.kid.sketch", numerics.RungExact, facErr.Error())
+				if telemetry.Enabled() {
+					telemetry.IncCounter(telemetry.MetricKIDSketchFallbacks, 1,
+						telemetry.Label{Key: "sketch", Value: sk.String()})
+				}
+				st.asLoc, st.gsLoc, st.yLoc, facErr = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, st.an, st.gn, rho, h.Damping, h.idTol())
+			}
 		} else {
 			st.asLoc, st.gsLoc, st.yLoc, facErr = kidFactorsInto(st.asLoc, st.gsLoc, st.yLoc, st.an, st.gn, rho, h.Damping, h.idTol())
-			pl.as, pl.gs, pl.y = st.asLoc, st.gsLoc, st.yLoc
 		}
+		pl.as, pl.gs, pl.y = st.asLoc, st.gsLoc, st.yLoc
 		if facErr != nil {
 			// Local KID factorization failed (singular residual beyond the
 			// damped retries). Degrade this worker's contribution to the

@@ -196,3 +196,49 @@ func FuzzInvSPD(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRandomizedID drives the sketched interpolative decomposition through
+// arbitrary shapes, ranks, oversampling (including the formerly-accepted
+// negative values), and both sketch kinds. The panic-free contract: valid
+// unique indices, P of the right shape, a finite P for finite input, and a
+// condition estimate that is >= 1, NaN, or +Inf — never negative.
+func FuzzRandomizedID(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(8), uint8(3), int8(4), false)
+	f.Add(uint64(9), uint8(20), uint8(5), uint8(5), int8(-6), true)
+	f.Add(uint64(3), uint8(3), uint8(17), uint8(1), int8(0), true)
+	f.Fuzz(func(t *testing.T, seed uint64, mDim, nDim, rank uint8, over int8, srht bool) {
+		m := int(mDim%24) + 1
+		n := int(nDim%24) + 1
+		r := int(rank % 25) // may exceed min(m,n); must clamp
+		kind := SketchGauss
+		if srht {
+			kind = SketchSRHT
+		}
+		rng := NewRNG(seed)
+		q := RandN(rng, m, n, 1)
+		if seed%5 == 0 && m > 1 {
+			copy(q.Row(1), q.Row(0)) // duplicated row: rank-deficient
+		}
+		p, s, cond := RandomizedIDInto(nil, nil, rng, q, r, int(over), kind)
+		want := min(r, min(m, n))
+		if want < 0 {
+			want = 0
+		}
+		if len(s) != want || p.Rows() != m || p.Cols() != want {
+			t.Fatalf("contract: |S|=%d P=%dx%d want rank %d", len(s), p.Rows(), p.Cols(), want)
+		}
+		seen := map[int]bool{}
+		for _, i := range s {
+			if i < 0 || i >= m || seen[i] {
+				t.Fatalf("bad index set %v (m=%d)", s, m)
+			}
+			seen[i] = true
+		}
+		if !p.IsFinite() {
+			t.Fatal("non-finite P for finite input")
+		}
+		if cond < 1 && !math.IsNaN(cond) {
+			t.Fatalf("condition estimate %g below 1", cond)
+		}
+	})
+}

@@ -1,51 +1,177 @@
 package mat
 
-// RandomizedID computes a rank-r row interpolative decomposition of q
-// using a Gaussian sketch (Biagioni & Beylkin, "Randomized interpolative
-// decomposition of separated representations" — the paper's reference
-// [33]): instead of pivoting on the full n columns of qᵀ, the m×n matrix
-// is first compressed to m×(r+oversample) with a random projection, and
-// the pivoted QR runs on the sketch. For m×m Gram matrices this reduces
-// the ID cost from O(m²r) to O(m·r²) plus one sketch GEMM, at a small
-// accuracy cost controlled by the oversampling parameter.
+import (
+	"math"
+	"math/bits"
+)
+
+// SketchKind selects the random projection used by the randomized
+// interpolative decomposition.
+type SketchKind int
+
+const (
+	// SketchGauss compresses with a dense Gaussian projection: one
+	// m×n · n×k GEMM, O(mnk). The projection is oblivious and the
+	// best-understood choice (Biagioni & Beylkin, reference [33]).
+	SketchGauss SketchKind = iota
+	// SketchSRHT compresses with a subsampled randomized Hadamard
+	// transform: a ±1 sign-flip diagonal, a fast Walsh–Hadamard transform
+	// per row, and a uniform subsample of k transformed columns —
+	// O(mn log n) total, independent of the sketch width k.
+	SketchSRHT
+)
+
+// nextPow2 returns the smallest power of two >= n, for n >= 1.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// fwht applies the (unnormalized) fast Walsh–Hadamard transform in place.
+// len(x) must be a power of two; callers scale by 1/√len to make the
+// transform orthonormal.
+func fwht(x []float64) {
+	n := len(x)
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				a, b := x[j], x[j+h]
+				x[j], x[j+h] = a+b, a-b
+			}
+		}
+	}
+}
+
+// srhtSketchInto fills y (m×k) with the SRHT sketch of q's columns:
+// y = q·D·H·S/√npad, where D is a random ±1 diagonal, H the npad-point
+// Walsh–Hadamard transform (npad = next power of two ≥ n, with zero
+// padding), and S selects k of the npad transformed columns uniformly
+// without replacement. Each row costs O(npad·log npad), so the sketch is
+// O(m·n·log n) versus the Gaussian projection's O(m·n·k) GEMM.
+func srhtSketchInto(y *Dense, rng *RNG, q *Dense, k int) {
+	m, n := q.Dims()
+	npad := nextPow2(n)
+	signs := getFloatsRaw(n)
+	for j := range signs {
+		if rng.Uint64()&1 == 0 {
+			signs[j] = 1
+		} else {
+			signs[j] = -1
+		}
+	}
+	// Partial Fisher–Yates: the first k entries of idx become the sampled
+	// transformed-column indices.
+	idx := getInts(npad)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(npad-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	buf := getFloatsRaw(npad)
+	scale := 1 / math.Sqrt(float64(npad))
+	for i := 0; i < m; i++ {
+		row := q.Row(i)
+		for j := 0; j < n; j++ {
+			buf[j] = signs[j] * row[j]
+		}
+		for j := n; j < npad; j++ {
+			buf[j] = 0
+		}
+		fwht(buf)
+		dst := y.Row(i)
+		for l := 0; l < k; l++ {
+			dst[l] = buf[idx[l]] * scale
+		}
+	}
+	PutFloats(buf)
+	putInts(idx)
+	PutFloats(signs)
+}
+
+// RandomizedIDInto computes a rank-r row interpolative decomposition of q
+// through a random sketch, without allocating in steady state: instead of
+// pivoting on the full n columns of qᵀ, q is first compressed to
+// m×(r+oversample) with the selected sketch, and the pivoted QR runs on
+// the sketch. For m×m Gram matrices this reduces the ID cost from O(m²r)
+// to O(m·k²) plus the sketch itself (one GEMM for SketchGauss, an
+// O(mn log n) transform for SketchSRHT).
 //
-// It returns P (m×r) and row indices S with q ≈ P·q[S,:], the same
-// contract as InterpolativeDecomp.
-func RandomizedID(rng *RNG, q *Dense, r, oversample int) (p *Dense, s []int) {
+// p and s are persistent workspaces following the EnsureDense contract:
+// pass the previous call's returns (nil on first use) and replace them
+// with the returned values. On return p is m×r' and s has length r' with
+// q ≈ p·q[s,:], where r' = min(r, m, n) clamped at 0; oversample is
+// clamped below at 1.
+//
+// cond is a cheap condition estimate of the interpolation basis: the
+// ratio |R₀₀|/|R_{r'-1,r'-1}| of the sketch's pivoted-QR diagonal
+// (non-increasing under column pivoting, so cond ≥ 1). +Inf flags a
+// numerically rank-deficient sketch; callers compare against
+// numerics.CondLimit() before trusting the factorization.
+func RandomizedIDInto(p *Dense, s []int, rng *RNG, q *Dense, r, oversample int, kind SketchKind) (pOut *Dense, sOut []int, cond float64) {
 	m, n := q.Dims()
 	r = min(r, min(m, n))
 	if r <= 0 {
-		return NewDense(m, 0), nil
+		p = EnsureDense(p, m, 0)
+		return p, s[:0], 1
+	}
+	if oversample < 1 {
+		oversample = 1
 	}
 	k := r + oversample
 	if k > n {
 		k = n
 	}
-	// Sketch the column space of qᵀ: Y = q · Ω with Ω ∈ R^{n×k}. Row
-	// selection on q is column selection on qᵀ; sketching q's columns keeps
-	// the row geometry needed to pick representative rows.
-	omega := RandN(rng, n, k, 1)
-	y := Mul(q, omega) // m×k: compressed rows of q
-	// Pivoted QR on yᵀ ranks the rows of q by their sketched leverage.
-	f := FactorQRPivot(y.T())
-	perm := f.Perm()
-	s = append([]int(nil), perm[:r]...)
+	// Sketch the column space of qᵀ: row selection on q is column selection
+	// on qᵀ, and sketching q's columns keeps the row geometry needed to
+	// pick representative rows.
+	y := getDenseRaw(m, k)
+	if kind == SketchSRHT {
+		srhtSketchInto(y, rng, q, k)
+	} else {
+		omega := getDenseRaw(n, k)
+		od := omega.Data()
+		for i := range od {
+			od[i] = rng.Norm()
+		}
+		MulInto(y, q, omega)
+		PutDense(omega)
+	}
+	// Pivoted QR on yᵀ ranks the rows of q by their sketched leverage. The
+	// factorization takes ownership of yt; putQRPivot recycles it.
+	yt := getDenseRaw(k, m)
+	y.TInto(yt)
+	PutDense(y)
+	f := factorQRPivotInPlace(yt)
+	perm := f.perm
+	d0 := math.Abs(f.qr.At(0, 0))
+	dr := math.Abs(f.qr.At(r-1, r-1))
+	switch {
+	case math.IsNaN(d0) || math.IsNaN(dr):
+		cond = math.NaN()
+	case d0 == 0 || dr == 0 || math.IsInf(d0, 0):
+		cond = math.Inf(1)
+	default:
+		cond = d0 / dr
+	}
 	// Interpolation coefficients against the selected rows are computed on
-	// the sketch: solve y[S,:]ᵀ · T ≈ yᵀ via the QR factors, giving
-	// q ≈ Tᵀ q[S,:] in the sketched geometry.
-	rm := f.R()
-	t := NewDense(r, m-r)
+	// the sketch: back-substitute R11·T = R12 reading the packed R factor
+	// directly, giving q ≈ Tᵀ·q[S,:] in the sketched geometry.
+	t := getDenseRaw(r, m-r)
+	col := getFloatsRaw(r)
 	for j := 0; j < m-r; j++ {
-		col := make([]float64, r)
 		for i := 0; i < r; i++ {
-			col[i] = rm.At(i, r+j)
+			col[i] = f.qr.At(i, r+j)
 		}
 		for i := r - 1; i >= 0; i-- {
 			sum := col[i]
 			for kk := i + 1; kk < r; kk++ {
-				sum -= rm.At(i, kk) * t.At(kk, j)
+				sum -= f.qr.At(i, kk) * t.At(kk, j)
 			}
-			d := rm.At(i, i)
+			d := f.qr.At(i, i)
 			if d == 0 {
 				t.Set(i, j, 0)
 				continue
@@ -53,7 +179,9 @@ func RandomizedID(rng *RNG, q *Dense, r, oversample int) (p *Dense, s []int) {
 			t.Set(i, j, sum/d)
 		}
 	}
-	p = NewDense(m, r)
+	PutFloats(col)
+	p = EnsureDense(p, m, r)
+	p.Zero()
 	for kk := 0; kk < r; kk++ {
 		p.Set(perm[kk], kk, 1)
 	}
@@ -63,5 +191,25 @@ func RandomizedID(rng *RNG, q *Dense, r, oversample int) (p *Dense, s []int) {
 			dst[kk] = t.At(kk, j)
 		}
 	}
+	PutDense(t)
+	if cap(s) >= r {
+		s = s[:r]
+	} else {
+		s = make([]int, r)
+	}
+	copy(s, perm[:r])
+	putQRPivot(f)
+	return p, s, cond
+}
+
+// RandomizedID computes a rank-r row interpolative decomposition of q
+// using a Gaussian sketch (Biagioni & Beylkin, "Randomized interpolative
+// decomposition of separated representations" — the paper's reference
+// [33]). It returns P (m×r) and row indices S with q ≈ P·q[S,:], the same
+// contract as InterpolativeDecomp. Non-positive oversample is clamped to
+// 1; r is clamped to [0, min(m,n)]. This is the allocating convenience
+// wrapper around RandomizedIDInto.
+func RandomizedID(rng *RNG, q *Dense, r, oversample int) (p *Dense, s []int) {
+	p, s, _ = RandomizedIDInto(nil, nil, rng, q, r, oversample, SketchGauss)
 	return p, s
 }

@@ -36,6 +36,10 @@ const (
 	RungPrimary Rung = iota
 	// RungRetry: succeeded after Levenberg-Marquardt damping escalation.
 	RungRetry
+	// RungExact: a sketched (randomized-ID) KID factorization was rejected
+	// by its condition/residual guard and redone with the exact pivoted-QR
+	// interpolative decomposition.
+	RungExact
 	// RungKIS: the KID inner system was abandoned for the KIS-style damped
 	// kernel inverse on the same reduced rows.
 	RungKIS
@@ -55,6 +59,8 @@ func (r Rung) String() string {
 		return "primary"
 	case RungRetry:
 		return "damped-retry"
+	case RungExact:
+		return "exact-kid"
 	case RungKIS:
 		return "kis"
 	case RungNystrom:

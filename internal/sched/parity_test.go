@@ -18,6 +18,7 @@ import (
 	"repro/internal/kfac"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/numerics"
 	"repro/internal/sched"
 	"repro/internal/sngd"
 )
@@ -81,14 +82,45 @@ func gradBits(net *nn.Network) [][]uint64 {
 	return out
 }
 
+// buildDegenerateNet is buildNet with every sample of the local batch
+// identical (same row, same label): the captured Gram kernel is exactly
+// rank 1, the worst case for a sketched interpolative decomposition.
+func buildDegenerateNet(rank, mPer, in, hid, out int) *nn.Network {
+	rng := mat.NewRNG(400)
+	net := nn.NewNetwork(nn.Vec(in), rng,
+		nn.NewLinear(hid), nn.NewReLU(),
+		nn.NewLinear(hid), nn.NewReLU(),
+		nn.NewLinear(out))
+	net.SetCapture(true)
+	drng := mat.NewRNG(500 + 31*uint64(rank))
+	row := mat.RandN(drng, 1, in, 1)
+	x := mat.NewDense(mPer, in)
+	for i := 0; i < mPer; i++ {
+		copy(x.Row(i), row.Row(0))
+	}
+	labels := make([]int, mPer) // all the same class
+	logits := net.Forward(x, true)
+	_, g := nn.SoftmaxCrossEntropy{}.Forward(logits, nn.Target{Labels: labels})
+	net.ZeroGrad()
+	net.Backward(g)
+	return net
+}
+
 // runGrads executes one optimizer pass on p ranks and returns the
 // preconditioned gradients as [rank][layer][elem] bits. wrap, when non-nil,
 // layers chaos/validation Comms over each cluster worker.
 func runGrads(p int, build optBuilder, wrap func(*dist.Worker) dist.Comm) [][][]uint64 {
+	return runGradsOn(p, buildNet, build, wrap)
+}
+
+// runGradsOn is runGrads with an explicit per-rank network builder, so
+// parity legs can run over pathological batches as well as healthy ones.
+func runGradsOn(p int, mknet func(rank, mPer, in, hid, out int) *nn.Network,
+	build optBuilder, wrap func(*dist.Worker) dist.Comm) [][][]uint64 {
 	const mPer, in, hid, out = 8, 5, 6, 3
 	res := make([][][]uint64, p)
 	if p == 1 {
-		net := buildNet(0, mPer, in, hid, out)
+		net := mknet(0, mPer, in, hid, out)
 		o := build(net, dist.Local())
 		o.Update()
 		o.Precondition()
@@ -101,7 +133,7 @@ func runGrads(p int, build optBuilder, wrap func(*dist.Worker) dist.Comm) [][][]
 		if wrap != nil {
 			comm = wrap(w)
 		}
-		net := buildNet(w.Rank, mPer, in, hid, out)
+		net := mknet(w.Rank, mPer, in, hid, out)
 		o := build(net, comm)
 		o.Update()
 		o.Precondition()
@@ -136,6 +168,19 @@ func hyloBuilder(mode core.Mode) optBuilder {
 	}
 }
 
+// sketchBuilder is hyloBuilder pinned to KID mode with the sketched
+// randomized-ID fast path enabled.
+func sketchBuilder(sk core.Sketch) optBuilder {
+	return func(net *nn.Network, comm dist.Comm) precon {
+		h := core.NewHyLo(net, 0.3, 0.5, comm, nil, mat.NewRNG(79))
+		h.Policy = core.FixedSwitch{Mode: core.ModeKID}
+		h.Sketch = sk
+		h.Oversample = 4
+		h.OnEpochStart(0, false)
+		return h
+	}
+}
+
 func parityCases() []struct {
 	name  string
 	build optBuilder
@@ -152,6 +197,8 @@ func parityCases() []struct {
 			h.OnEpochStart(0, false)
 			return h
 		}},
+		{"hylo-kid-sketch-gauss", sketchBuilder(core.SketchGauss)},
+		{"hylo-kid-sketch-srht", sketchBuilder(core.SketchSRHT)},
 		{"hylo-kis", hyloBuilder(core.ModeKIS)},
 		{"kfac", func(net *nn.Network, comm dist.Comm) precon {
 			return kfac.NewKFAC(net, 0.3, comm, nil)
@@ -240,6 +287,42 @@ func TestSchedParityChaos(t *testing.T) {
 			setWorkers(t, 4)
 			par := run()
 			compareBits(t, seq, par)
+		})
+	}
+}
+
+// TestSchedParitySketchFallback forces the sketched KID onto a degenerate
+// (exactly rank-1) batch on every rank: the condition guard must trip, the
+// ladder must land on the exact-KID rung, and the fallback must be
+// collective-consistent — the sequential and layer-parallel legs, and all
+// ranks within each leg, stay bit-identical even while every layer is being
+// redone on the exact path.
+func TestSchedParitySketchFallback(t *testing.T) {
+	for _, sk := range []core.Sketch{core.SketchGauss, core.SketchSRHT} {
+		sk := sk
+		t.Run(sk.String(), func(t *testing.T) {
+			numerics.Reset()
+			defer numerics.Reset()
+			build := sketchBuilder(sk)
+			setWorkers(t, 1)
+			seq := runGradsOn(4, buildDegenerateNet, build, nil)
+			fired := numerics.Default().Snapshot().Fallbacks["hylo.kid.sketch"][numerics.RungExact]
+			if fired == 0 {
+				t.Fatal("degenerate batch did not trip the sketch guard")
+			}
+			setWorkers(t, 4)
+			par := runGradsOn(4, buildDegenerateNet, build, nil)
+			compareBits(t, seq, par)
+			for _, rank := range seq {
+				for _, layer := range rank {
+					for _, bits := range layer {
+						v := math.Float64frombits(bits)
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatal("fallback produced non-finite gradient")
+						}
+					}
+				}
+			}
 		})
 	}
 }

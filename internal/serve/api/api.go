@@ -66,6 +66,11 @@ type JobSpec struct {
 	Samples     int     `json:"samples,omitempty"`
 	CondLimit   float64 `json:"cond_limit,omitempty"`
 	IDTol       float64 `json:"id_tol,omitempty"`
+	// KidSketch selects the randomized KID fast path: "off" (default),
+	// "gauss", or "srht"; KidOversample is the sketch width beyond the
+	// KID rank (0 selects the default).
+	KidSketch     string `json:"kid_sketch,omitempty"`
+	KidOversample int    `json:"kid_oversample,omitempty"`
 	// CheckpointEvery is the checkpoint cadence in epochs (default 1);
 	// cancellation always forces one regardless of cadence.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
@@ -138,8 +143,25 @@ func (s *JobSpec) Normalize() {
 	if s.IDTol == 0 {
 		s.IDTol = core.DefaultIDTol
 	}
+	if s.KidSketch == "" {
+		s.KidSketch = "off"
+	}
+	if s.KidOversample == 0 {
+		s.KidOversample = core.DefaultOversample
+	}
 	if s.CheckpointEvery == 0 {
 		s.CheckpointEvery = 1
+	}
+}
+
+// PrecondOpts maps the spec's preconditioner fields onto the shared
+// cliutil options bundle. It assumes a validated spec: an unparseable
+// kid_sketch silently maps to off, which Validate has already rejected.
+func (s *JobSpec) PrecondOpts() cliutil.PrecondOpts {
+	sketch, _ := cliutil.ParseKidSketch(s.KidSketch)
+	return cliutil.PrecondOpts{
+		Damping: s.Damping, RankFrac: s.RankFrac, Eta: s.Eta, IDTol: s.IDTol,
+		KidSketch: sketch, KidOversample: s.KidOversample,
 	}
 }
 
@@ -151,6 +173,7 @@ func (s *JobSpec) Validate() error {
 		if err := cliutil.ValidateHyper(cliutil.Hyper{
 			Epochs: s.Epochs, Batch: s.Batch, Workers: s.Workers, Freq: s.UpdateFreq,
 			RankFrac: s.RankFrac, Damping: s.Damping, CondLimit: s.CondLimit, IDTol: s.IDTol,
+			KidSketch: s.KidSketch, KidOversample: s.KidOversample,
 		}); err != nil {
 			return err
 		}
@@ -159,7 +182,7 @@ func (s *JobSpec) Validate() error {
 		}
 		// Build nothing, but fail fast on unknown names with the exact CLI
 		// error text.
-		if _, err := cliutil.PrecondFactory(s.Optimizer, s.Damping, s.RankFrac, s.Eta, s.IDTol); err != nil {
+		if _, err := cliutil.PrecondFactory(s.Optimizer, s.PrecondOpts()); err != nil {
 			return err
 		}
 		known := false

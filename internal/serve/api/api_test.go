@@ -3,6 +3,8 @@ package api
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestNormalizeFillsTrainDefaults(t *testing.T) {
@@ -52,6 +54,8 @@ func TestValidateRejects(t *testing.T) {
 		{"bad epochs", func(s *JobSpec) { s.Epochs = -1 }, "epochs"},
 		{"bad rank frac", func(s *JobSpec) { s.RankFrac = 1.5 }, "rank"},
 		{"bad classes", func(s *JobSpec) { s.Classes = -2 }, "classes"},
+		{"unknown kid sketch", func(s *JobSpec) { s.KidSketch = "hadamard" }, "kid-sketch"},
+		{"negative kid oversample", func(s *JobSpec) { s.KidOversample = -3 }, "kid-oversample"},
 		{"bench without experiment", func(s *JobSpec) { s.Kind = KindBench; s.Experiment = "" }, "experiment"},
 		{"bench unknown experiment", func(s *JobSpec) { s.Kind = KindBench; s.Experiment = "fig99" }, "unknown experiment"},
 	}
@@ -79,5 +83,25 @@ func TestStateTerminal(t *testing.T) {
 		if s.Terminal() != want {
 			t.Errorf("%s.Terminal() = %v, want %v", s, !want, want)
 		}
+	}
+}
+
+func TestNormalizeFillsSketchDefaults(t *testing.T) {
+	var s JobSpec
+	s.Normalize()
+	if s.KidSketch != "off" || s.KidOversample != core.DefaultOversample {
+		t.Fatalf("sketch defaults wrong: %q/%d", s.KidSketch, s.KidOversample)
+	}
+}
+
+func TestPrecondOptsMapsSketch(t *testing.T) {
+	s := JobSpec{KidSketch: "srht", KidOversample: 12,
+		Damping: 0.2, RankFrac: 0.3, Eta: 0.4, IDTol: 1e-10}
+	o := s.PrecondOpts()
+	if o.KidSketch != core.SketchSRHT || o.KidOversample != 12 {
+		t.Fatalf("PrecondOpts sketch = %v/%d; want srht/12", o.KidSketch, o.KidOversample)
+	}
+	if o.Damping != 0.2 || o.RankFrac != 0.3 || o.Eta != 0.4 || o.IDTol != 1e-10 {
+		t.Fatalf("PrecondOpts scalars wrong: %+v", o)
 	}
 }

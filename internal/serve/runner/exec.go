@@ -34,7 +34,7 @@ func execTrain(j *Job, spec api.JobSpec) (api.Result, error) {
 	if err != nil {
 		return api.Result{}, err
 	}
-	pre, err := cliutil.PrecondFactory(spec.Optimizer, spec.Damping, spec.RankFrac, spec.Eta, spec.IDTol)
+	pre, err := cliutil.PrecondFactory(spec.Optimizer, spec.PrecondOpts())
 	if err != nil {
 		return api.Result{}, err
 	}
@@ -88,7 +88,8 @@ func execBench(j *Job, spec api.JobSpec) (api.Result, error) {
 	if seed == 0 {
 		seed = 42
 	}
-	t := e.Run(bench.RunConfig{Quick: spec.Quick, Seed: seed})
+	t := e.Run(bench.RunConfig{Quick: spec.Quick, Seed: seed,
+		KidSketch: spec.KidSketch, KidOversample: spec.KidOversample})
 	return api.Result{
 		TableID:      t.ID,
 		TableHeaders: t.Headers,

@@ -203,6 +203,17 @@ func TestErrorPaths(t *testing.T) {
 		t.Fatalf("bad optimizer: %d %s", code, body)
 	}
 
+	// Out-of-range sketch oversampling → 400 carrying the typed
+	// cliutil message, same as the hylo-train flag.
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", map[string]any{"kid_oversample": -3})
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "kid-oversample") {
+		t.Fatalf("bad kid_oversample: %d %s", code, body)
+	}
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", map[string]any{"kid_sketch": "hadamard"})
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "kid-sketch") {
+		t.Fatalf("bad kid_sketch: %d %s", code, body)
+	}
+
 	// Unknown fields are rejected (typo'd hyperparameters must not be
 	// silently dropped).
 	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", map[string]any{"epohcs": 3})

@@ -162,6 +162,13 @@ const (
 	// MetricNumericsCond is the latest 1-norm condition estimate per solve
 	// site, labeled site=<package.site>.
 	MetricNumericsCond = "numerics_cond_estimate"
+	// MetricKIDSketchNS accumulates nanoseconds spent in sketched KID
+	// factorizations, labeled sketch=gauss|srht.
+	MetricKIDSketchNS = "kid_sketch_ns"
+	// MetricKIDSketchFallbacks counts sketched KID factorizations rejected
+	// by the condition/residual guard and redone with the exact
+	// interpolative decomposition, labeled sketch=gauss|srht.
+	MetricKIDSketchFallbacks = "kid_sketch_fallbacks"
 
 	// MetricSchedOverlap accumulates stage-busy nanoseconds in excess of
 	// wall time per scheduled preconditioner update — the compute/comm time
