@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race racesched serve-smoke vet cover chaos fuzzsmoke sketchsmoke bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race racesched serve-smoke vet cover chaos netchaos fuzzsmoke sketchsmoke bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -42,6 +42,16 @@ chaos:
 	$(GO) test -race ./internal/core/ -run 'TestPreconditionRobust|TestSingularKernel|TestDegenerate' -count=1
 	$(GO) test -race ./internal/sched/ -run 'TestSchedParityChaos' -count=1
 
+# TCP-transport chaos suite under the race detector: the frame codec and
+# socket fault injector, multi-process collectives over real loopback
+# sockets (parity with the in-process cluster, shrink-then-rejoin,
+# rendezvous rejection), and the two-OS-process acceptance tests — bit
+# parity for every optimizer with 10% socket drop/dup/reorder faults, and a
+# mid-epoch process kill recovering onto P-1 ranks.
+netchaos:
+	$(GO) test -race ./internal/dist/net/ -count=1
+	$(GO) test -race ./internal/train/ -run 'TestNetProc' -count=1 -timeout 600s
+
 # Short fuzz pass over the panic-free solver kernels: each target runs for a
 # few seconds, enough for CI to catch a reintroduced solve-path panic or an
 # unbounded retry loop without a dedicated fuzzing fleet.
@@ -53,6 +63,7 @@ fuzzsmoke:
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzInterpolativeDecomp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzCholeskySolve$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzRandomizedID$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dist/net/ -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME)
 
 # Sketched-KID smoke: the randomized-ID fast path end to end — mat/core
 # sketch kernels and guards, bit-parity (including the forced exact-KID

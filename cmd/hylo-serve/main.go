@@ -50,6 +50,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := cliutil.ValidateListenAddr(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "hylo-serve:", err)
+		os.Exit(2)
+	}
 	if err := cliutil.ValidateSchedWorkers(*schedWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "hylo-serve:", err)
 		os.Exit(2)

@@ -70,6 +70,12 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume from the latest good checkpoint in -checkpoint-dir")
 		faultInject = flag.String("fault-inject", "", "chaos spec, comma-separated: panic:RANK@STEP | bitflip:PROB | delay:PROB@DUR | degenerate:KIND@PROB with KIND dup|zero|huge (e.g. panic:1@40,degenerate:dup@0.5)")
 
+		listen         = flag.String("listen", "", "coordinate a multi-process TCP cluster on this address (HOST:PORT or :PORT); -workers is the total rank count across all processes")
+		join           = flag.String("join", "", "join a multi-process cluster at this coordinator address (comma-separated candidates are tried in order)")
+		netRanks       = flag.Int("net-ranks", 1, "global ranks hosted by this process in -listen/-join mode")
+		netFault       = flag.String("net-fault", "", "socket fault spec, comma-separated: drop:PROB | dup:PROB | reorder:PROB | delay:PROB@DUR | partition:AFTER@DUR (e.g. drop:0.1,reorder:0.05)")
+		barrierTimeout = flag.Duration("barrier-timeout", 0, "convert a collective stuck longer than this into a recoverable worker failure (0 = watchdog off)")
+
 		numReport = flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
 
 		schedWorkers = flag.Int("sched-workers", runtime.GOMAXPROCS(0), "layer-parallel preconditioner workers (1 = legacy sequential path; results are bit-identical either way)")
@@ -154,9 +160,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hylo-train: -resume requires -checkpoint-dir")
 		os.Exit(2)
 	}
+	if err := cliutil.ValidateBarrierTimeout(*barrierTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+		os.Exit(2)
+	}
+	netOpt := netOpts{
+		listen: *listen, join: *join, localRanks: *netRanks,
+		world: *workers, netFault: *netFault, seed: *seed,
+		barrierTimeout: *barrierTimeout,
+		ckptDir:        *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+		faults: plan,
+		digestFields: []string{
+			*model, *optimizer, fmt.Sprint(*epochs), fmt.Sprint(*batch),
+			fmt.Sprint(*workers), fmt.Sprint(*lr), *decayAt,
+			fmt.Sprint(*momentum), fmt.Sprint(*wd), fmt.Sprint(*damping),
+			fmt.Sprint(*freq), fmt.Sprint(*rankFrac), fmt.Sprint(*eta),
+			fmt.Sprint(*seed), fmt.Sprint(*classes), fmt.Sprint(*samples),
+		},
+	}
+	if *listen != "" || *join != "" {
+		if err := netOpt.validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var res train.Result
 	switch {
+	case *listen != "" || *join != "":
+		res, err = runNetCluster(netOpt, cfg, build, trainSet, testSet, task, pre, target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
+			os.Exit(1)
+		}
 	case *ckptDir != "":
 		// Checkpointed path: the elastic driver handles any worker count
 		// (P=1 included) and recovers from injected or organic failures.
@@ -165,10 +201,11 @@ func main() {
 			plan = &dist.FaultPlan{Seed: *seed, PanicStep: -1}
 		}
 		res, err = train.RunElastic(*workers, cfg, train.ElasticConfig{
-			Dir:    *ckptDir,
-			Every:  *ckptEvery,
-			Resume: *resume,
-			Faults: plan,
+			Dir:            *ckptDir,
+			Every:          *ckptEvery,
+			Resume:         *resume,
+			BarrierTimeout: *barrierTimeout,
+			Faults:         plan,
 		}, build, trainSet, testSet, task, pre, target)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hylo-train: %v\n", err)
@@ -180,27 +217,33 @@ func main() {
 		res = train.Run(cfg, build, trainSet, testSet, task, pre, target)
 	}
 
-	fmt.Printf("model=%s optimizer=%s workers=%d\n", *model, res.Method, *workers)
-	fmt.Printf("%-6s %-12s %-12s %-10s\n", "epoch", "train loss", "test metric", "elapsed")
-	for _, st := range res.Stats {
-		fmt.Printf("%-6d %-12.4f %-12.4f %-10.2fs\n",
-			st.Epoch, st.TrainLoss, st.Metric, st.Elapsed.Seconds())
-	}
-	fmt.Printf("best metric: %.4f   state: %.2f MB\n", res.Best, float64(res.StateBytes)/(1<<20))
-	if res.TimeToTarget > 0 {
-		fmt.Printf("time-to-target(%.2f): %.2fs\n", target, res.TimeToTarget.Seconds())
-	}
-	if *gradNorm && len(res.EpochModes) > 0 {
-		fmt.Printf("hylo per-epoch modes: %s\n", strings.Join(res.EpochModes, " "))
-	}
-	if *profiling {
-		fmt.Println("\nphase breakdown (rank 0):")
-		fmt.Print(res.Timeline.String())
-	}
-	if *csvPath != "" {
-		if err := writeCSV(*csvPath, res); err != nil {
-			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-			os.Exit(1)
+	if (*listen != "" || *join != "") && res.Method == "" {
+		// A cluster process that does not host global rank 0 has no result
+		// of its own; the coordinator process prints the shared metrics.
+		fmt.Println("member run complete: metrics are reported by the process hosting rank 0")
+	} else {
+		fmt.Printf("model=%s optimizer=%s workers=%d\n", *model, res.Method, *workers)
+		fmt.Printf("%-6s %-12s %-12s %-10s\n", "epoch", "train loss", "test metric", "elapsed")
+		for _, st := range res.Stats {
+			fmt.Printf("%-6d %-12.4f %-12.4f %-10.2fs\n",
+				st.Epoch, st.TrainLoss, st.Metric, st.Elapsed.Seconds())
+		}
+		fmt.Printf("best metric: %.4f   state: %.2f MB\n", res.Best, float64(res.StateBytes)/(1<<20))
+		if res.TimeToTarget > 0 {
+			fmt.Printf("time-to-target(%.2f): %.2fs\n", target, res.TimeToTarget.Seconds())
+		}
+		if *gradNorm && len(res.EpochModes) > 0 {
+			fmt.Printf("hylo per-epoch modes: %s\n", strings.Join(res.EpochModes, " "))
+		}
+		if *profiling {
+			fmt.Println("\nphase breakdown (rank 0):")
+			fmt.Print(res.Timeline.String())
+		}
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, res); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	if useTelemetry {

@@ -12,6 +12,7 @@ package cliutil
 import (
 	"fmt"
 	"math"
+	"net"
 	"sort"
 	"strconv"
 	"strings"
@@ -148,6 +149,82 @@ func ParseDecayEpochs(spec string) ([]int, error) {
 	}
 	sort.Ints(decays)
 	return decays, nil
+}
+
+// ValidateListenAddr checks a TCP listen address ("host:port" with an
+// optional host, ":0" for an ephemeral port). It is shared by hylo-train
+// -listen and hylo-serve -addr, so both front ends reject the same strings.
+func ValidateListenAddr(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("listen address must not be empty")
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("listen address %q: want HOST:PORT or :PORT (%v)", addr, err)
+	}
+	if port == "" {
+		return fmt.Errorf("listen address %q: missing port", addr)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("listen address %q: port must be 0-65535", addr)
+	}
+	if host != "" {
+		if ip := net.ParseIP(host); ip == nil {
+			// Not an IP literal; accept hostnames but reject the obviously
+			// malformed (whitespace, empty labels).
+			if strings.ContainsAny(host, " \t") {
+				return fmt.Errorf("listen address %q: bad host", addr)
+			}
+		}
+	}
+	return nil
+}
+
+// ParsePeerList parses a comma-separated list of HOST:PORT peer addresses
+// (the hylo-train -join target and the job API's net_peers field),
+// rejecting empties and duplicates. An empty spec returns (nil, nil).
+func ParsePeerList(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var peers []string
+	for _, part := range strings.Split(spec, ",") {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("peer list %q: empty address entry", spec)
+		}
+		if err := ValidateListenAddr(addr); err != nil {
+			return nil, fmt.Errorf("peer %q: %v", addr, err)
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("peer list %q: duplicate address %q", spec, addr)
+		}
+		seen[addr] = true
+		peers = append(peers, addr)
+	}
+	return peers, nil
+}
+
+// MaxBarrierTimeout caps -barrier-timeout: anything longer than this is a
+// configuration mistake (the watchdog would never fire in practice).
+const MaxBarrierTimeout = time.Hour
+
+// ValidateBarrierTimeout checks the -barrier-timeout watchdog duration.
+// Zero disables the watchdog and is valid; negative or absurd values are
+// rejected.
+func ValidateBarrierTimeout(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("-barrier-timeout must be >= 0 (got %v)", d)
+	}
+	if d > 0 && d < 10*time.Millisecond {
+		return fmt.Errorf("-barrier-timeout %v is below the 10ms floor (the watchdog would fire on healthy collectives)", d)
+	}
+	if d > MaxBarrierTimeout {
+		return fmt.Errorf("-barrier-timeout must be <= %v (got %v)", MaxBarrierTimeout, d)
+	}
+	return nil
 }
 
 // ParseFaultSpec parses the -fault-inject chaos grammar: comma-separated

@@ -259,3 +259,80 @@ func TestParseFaultSpec(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateListenAddr: the shared hylo-train -listen / hylo-serve -addr
+// rule set.
+func TestValidateListenAddr(t *testing.T) {
+	good := []string{
+		":0", ":7077", "127.0.0.1:9000", "0.0.0.0:80",
+		"localhost:7077", "node-3.cluster:65535", "[::1]:7077",
+	}
+	for _, addr := range good {
+		if err := ValidateListenAddr(addr); err != nil {
+			t.Errorf("addr %q: unexpected error %v", addr, err)
+		}
+	}
+	bad := []string{
+		"",           // empty
+		"7077",       // no colon
+		"host:",      // missing port
+		"host:port",  // non-numeric port
+		"host:70777", // port out of range
+		"host:-1",    // negative port
+		"a b:7077",   // whitespace host
+		"::1:7077",   // unbracketed IPv6
+		"host:1:2",   // too many colons
+	}
+	for _, addr := range bad {
+		if err := ValidateListenAddr(addr); err == nil {
+			t.Errorf("addr %q: expected error, got nil", addr)
+		}
+	}
+}
+
+// TestParsePeerList: the -join / net_peers grammar.
+func TestParsePeerList(t *testing.T) {
+	peers, err := ParsePeerList("")
+	if err != nil || peers != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", peers, err)
+	}
+	peers, err = ParsePeerList("10.0.0.1:7077, 10.0.0.2:7077 ,localhost:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.0.0.1:7077", "10.0.0.2:7077", "localhost:9000"}
+	if len(peers) != len(want) {
+		t.Fatalf("got %v, want %v", peers, want)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peer %d: got %q, want %q", i, peers[i], want[i])
+		}
+	}
+	bad := []string{
+		",",                           // empty entry
+		"10.0.0.1:7077,",              // trailing empty
+		"10.0.0.1:7077,10.0.0.1:7077", // duplicate
+		"10.0.0.1",                    // no port
+		"10.0.0.1:7077,host:",         // bad second entry
+	}
+	for _, spec := range bad {
+		if _, err := ParsePeerList(spec); err == nil {
+			t.Errorf("spec %q: expected error, got nil", spec)
+		}
+	}
+}
+
+// TestValidateBarrierTimeout: zero disables, sane range enforced.
+func TestValidateBarrierTimeout(t *testing.T) {
+	for _, d := range []time.Duration{0, 10 * time.Millisecond, 30 * time.Second, time.Hour} {
+		if err := ValidateBarrierTimeout(d); err != nil {
+			t.Errorf("timeout %v: unexpected error %v", d, err)
+		}
+	}
+	for _, d := range []time.Duration{-time.Second, time.Millisecond, time.Hour + time.Second} {
+		if err := ValidateBarrierTimeout(d); err == nil {
+			t.Errorf("timeout %v: expected error, got nil", d)
+		}
+	}
+}

@@ -217,3 +217,46 @@ func AsWorker(c Comm) (*Worker, bool) {
 		c = u.Unwrap()
 	}
 }
+
+// Barrierer is implemented by transports with an explicit N-party barrier
+// (the simulated cluster's *Worker and the TCP transport's ranks).
+type Barrierer interface {
+	Barrier()
+}
+
+// ByteGatherer is implemented by transports that can all-gather opaque byte
+// payloads — the control-plane primitive checkpointing uses, kept separate
+// from the matrix collectives so chaos injectors never corrupt snapshots.
+type ByteGatherer interface {
+	AllGatherBytes(b []byte) [][]byte
+}
+
+// AsBarrier unwraps instrumentation layers down to a transport exposing a
+// barrier, reporting false for single-process Comms.
+func AsBarrier(c Comm) (Barrierer, bool) {
+	for {
+		if b, ok := c.(Barrierer); ok {
+			return b, true
+		}
+		u, ok := c.(interface{ Unwrap() Comm })
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+}
+
+// AsByteGatherer unwraps instrumentation layers down to a transport that
+// can gather byte payloads, reporting false for single-process Comms.
+func AsByteGatherer(c Comm) (ByteGatherer, bool) {
+	for {
+		if g, ok := c.(ByteGatherer); ok {
+			return g, true
+		}
+		u, ok := c.(interface{ Unwrap() Comm })
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+}

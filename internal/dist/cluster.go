@@ -155,6 +155,25 @@ func (w *Worker) AllGatherVec(v []float64) [][]float64 {
 	return out
 }
 
+// AllGatherBytes gathers opaque byte payloads from all workers (rank
+// order), copying peers' data before the exit barrier. It implements
+// ByteGatherer — the checkpoint gather primitive.
+func (w *Worker) AllGatherBytes(b []byte) [][]byte {
+	w.c.slots[w.Rank] = b
+	w.Barrier()
+	out := make([][]byte, w.c.P)
+	for i, p := range w.c.slots {
+		pb, _ := p.([]byte)
+		if i == w.Rank {
+			out[i] = pb
+		} else {
+			out[i] = append([]byte(nil), pb...)
+		}
+	}
+	w.Barrier()
+	return out
+}
+
 // AllReduceMat sums matrices across workers; every worker receives the sum
 // in a freshly allocated matrix. The reduction completes before the exit
 // barrier (so callers may immediately mutate their inputs), and the

@@ -1,0 +1,779 @@
+package distnet
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// coordPhase is the membership FSM state.
+type coordPhase int
+
+const (
+	phaseGather  coordPhase = iota // generation 1: waiting for the world to fill
+	phaseRunning                   // generation live: serving collectives
+	phaseRejoin                    // a member died: waiting for survivors at gen+1
+	phaseClosed
+)
+
+// member is the coordinator's view of one process.
+type member struct {
+	id        uint32
+	self      bool
+	nLocal    int
+	baseRank  int
+	conn      net.Conn
+	fw        frameWriter
+	connected bool
+	lastSeen  time.Time
+	// graceUntil extends life past a disconnect: the member may reattach
+	// (reconnect with its memberID) before this deadline.
+	graceUntil time.Time
+	joinedGen  uint32
+	dead       bool
+	// left marks a clean departure that was not (yet) a failure: the member
+	// disconnected after contributing to every open collective. It turns
+	// into a death lazily if a later collective needs its ranks.
+	left bool
+}
+
+// collSrvState accumulates contributions for one collective sequence
+// number until every global rank has deposited.
+type collSrvState struct {
+	op      byte
+	aux     uint32
+	parts   [][]byte // indexed by global rank
+	have    int
+	started time.Time
+}
+
+// coordinator is the rank-0 rendezvous and collective engine. Every
+// process — the coordinator's own included — talks to it through a client
+// link over TCP, so there is exactly one code path for collectives.
+type coordinator struct {
+	cfg *Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	phase   coordPhase
+	gen     uint32
+	world   int // current generation's world size
+	members map[uint32]*member
+	nextID  uint32
+	digest  uint64
+	haveDig bool
+
+	colls map[uint64]*collSrvState
+	// cache holds encoded results of completed collectives for idempotent
+	// retransmit; bounded by cacheLimit (clients never lag a completed
+	// collective by more than their in-flight window).
+	cache    map[uint64][]byte
+	cacheMin uint64
+
+	// blob is the generation state blob (snapshot sync): the self member's
+	// payload, distributed to every member that asks.
+	blob     []byte
+	haveBlob bool
+	blobWant map[uint32]bool
+
+	rejoinBy time.Time
+	done     chan struct{}
+}
+
+const cacheLimit = 1024
+
+func newCoordinator(cfg *Config, ln net.Listener) *coordinator {
+	c := &coordinator{
+		cfg:     cfg,
+		ln:      ln,
+		phase:   phaseGather,
+		gen:     1,
+		members: map[uint32]*member{},
+		colls:   map[uint64]*collSrvState{},
+		cache:   map[uint64][]byte{},
+		done:    make(chan struct{}),
+	}
+	// The coordinator's own configuration is the authoritative digest;
+	// otherwise the first joiner's would win the race to define "correct".
+	if cfg.ConfigDigest != 0 {
+		c.digest, c.haveDig = cfg.ConfigDigest, true
+	}
+	go c.acceptLoop()
+	go c.scanLoop()
+	return c
+}
+
+func (c *coordinator) close() {
+	c.mu.Lock()
+	if c.phase == phaseClosed {
+		c.mu.Unlock()
+		return
+	}
+	c.phase = phaseClosed
+	close(c.done)
+	conns := make([]net.Conn, 0, len(c.members))
+	for _, m := range c.members {
+		if m.connected {
+			conns = append(conns, m.conn)
+		}
+	}
+	c.mu.Unlock()
+	c.ln.Close()
+	for _, cn := range conns {
+		cn.Close()
+	}
+}
+
+func (c *coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.serveConn(conn)
+	}
+}
+
+// serveConn owns one inbound connection: handshake frames bind it to a
+// member; afterwards every frame is dispatched into the shared state. A
+// read error (EOF on process death, reset on network failure) starts the
+// member's reconnect grace window.
+func (c *coordinator) serveConn(conn net.Conn) {
+	var m *member
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			c.connLost(m, conn)
+			return
+		}
+		switch f.Type {
+		case ftJoin:
+			jm, err := decodeJoin(f.Payload)
+			if err != nil {
+				c.connLost(m, conn)
+				conn.Close()
+				return
+			}
+			m = c.handleJoin(m, conn, f.Seq, jm)
+		case ftHeartbeat:
+			if m != nil {
+				c.touch(m)
+				c.sendTo(m, Frame{Type: ftHeartbeatAck, Seq: f.Seq})
+			}
+		case ftCollReq:
+			if m == nil {
+				continue
+			}
+			c.touch(m)
+			req, err := decodeCollReq(f.Payload)
+			if err != nil {
+				continue // corrupted payload; client will retransmit
+			}
+			c.handleCollReq(m, f.Seq, req)
+		case ftBlob:
+			if m == nil {
+				continue
+			}
+			c.touch(m)
+			c.handleBlob(m, f.Payload)
+		case ftLeave:
+			if m != nil {
+				c.handleLeave(m)
+			}
+			return
+		default:
+			// Unknown control frame: ignore (forward compatibility).
+		}
+	}
+}
+
+func (c *coordinator) touch(m *member) {
+	c.mu.Lock()
+	m.lastSeen = time.Now()
+	c.mu.Unlock()
+}
+
+// sendTo writes a frame to a member, tolerating failure: a broken conn is
+// detected by its reader; the retransmit protocol re-delivers payloads.
+func (c *coordinator) sendTo(m *member, f Frame) {
+	c.mu.Lock()
+	fw, ok := m.fw, m.connected
+	c.mu.Unlock()
+	if !ok || fw == nil {
+		return
+	}
+	if err := fw.writeFrame(f); err == nil {
+		countNetBytes("tx", len(f.Payload))
+	}
+}
+
+// handleJoin is the rendezvous entry: fresh joins create members,
+// duplicate joins (retransmits) re-ack idempotently, and joins at gen+1
+// during a rejoin round re-admit survivors. Returns the bound member.
+func (c *coordinator) handleJoin(bound *member, conn net.Conn, msgID uint64, jm joinMsg) *member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reject := func(code uint16, reason string) *member {
+		f := Frame{Type: ftReject, Seq: msgID, Payload: rejectMsg{Code: code, Reason: reason}.encode()}
+		WriteFrame(conn, f)
+		return bound
+	}
+
+	if c.phase == phaseClosed {
+		return reject(rejectGen, "coordinator shut down")
+	}
+	if c.haveDig && jm.ConfigDigest != c.digest {
+		return reject(rejectConfig, fmt.Sprintf("config digest mismatch: coordinator %x, joiner %x", c.digest, jm.ConfigDigest))
+	}
+	if jm.WorldSize != 0 && int(jm.WorldSize) != c.cfg.WorldSize {
+		return reject(rejectWorldSize, fmt.Sprintf("world size disagreement: coordinator %d, joiner %d", c.cfg.WorldSize, jm.WorldSize))
+	}
+
+	// Join on an already-bound conn: either a rejoin at gen+1 after a peer
+	// death (same connection, next generation) or a plain retransmit whose
+	// ack/start frame was lost. Both are idempotent.
+	if bound != nil && (jm.MemberID == bound.id || jm.MemberID == 0) {
+		if jm.Gen == c.gen+1 && c.phase == phaseRejoin {
+			bound.joinedGen = jm.Gen
+			bound.nLocal = int(jm.NLocal)
+			c.ackLocked(bound)
+			c.maybeStartRejoinLocked()
+		} else {
+			c.ackLocked(bound)
+		}
+		return bound
+	}
+
+	if jm.MemberID != 0 {
+		// Reattach or rejoin of an existing member.
+		m, ok := c.members[jm.MemberID]
+		if !ok || m.dead {
+			return reject(rejectGen, "unknown or dead member id")
+		}
+		m.conn = conn
+		m.fw = wrapWriter(conn, c.cfg.Faults, uint64(m.id)*2+1)
+		m.connected = true
+		m.lastSeen = time.Now()
+		m.graceUntil = time.Time{}
+		if jm.Gen == c.gen+1 && c.phase == phaseRejoin {
+			m.joinedGen = jm.Gen
+			m.nLocal = int(jm.NLocal)
+			c.ackLocked(m)
+			c.maybeStartRejoinLocked()
+		} else {
+			c.ackLocked(m)
+		}
+		return m
+	}
+
+	// Fresh member: only valid while gathering generation 1.
+	if c.phase != phaseGather {
+		return reject(rejectFull, "membership already complete")
+	}
+	if !c.haveDig {
+		c.digest, c.haveDig = jm.ConfigDigest, true
+	}
+	total := int(jm.NLocal)
+	for _, m := range c.members {
+		total += m.nLocal
+	}
+	if total > c.cfg.WorldSize {
+		return reject(rejectFull,
+			fmt.Sprintf("world overflow: %d ranks joined + %d offered > world size %d",
+				total-int(jm.NLocal), jm.NLocal, c.cfg.WorldSize))
+	}
+	c.nextID++
+	m := &member{
+		id:        c.nextID,
+		self:      jm.Self != 0,
+		nLocal:    int(jm.NLocal),
+		conn:      conn,
+		fw:        wrapWriter(conn, c.cfg.Faults, uint64(c.nextID)*2+1),
+		connected: true,
+		lastSeen:  time.Now(),
+		joinedGen: 1,
+	}
+	c.members[m.id] = m
+	c.ackLocked(m)
+	if total == c.cfg.WorldSize {
+		c.startGenLocked()
+	}
+	return m
+}
+
+// ackLocked (mu held) acknowledges membership, re-sending the start frame
+// when the member's generation is already live so dropped starts recover.
+func (c *coordinator) ackLocked(m *member) {
+	fw := m.fw
+	ack := Frame{Type: ftJoinAck, Payload: joinAckMsg{MemberID: m.id, Gen: c.gen}.encode()}
+	var start *Frame
+	if c.phase == phaseRunning && m.joinedGen == c.gen {
+		start = &Frame{Type: ftStart, Payload: startMsg{
+			Gen: c.gen, WorldSize: uint32(c.world), BaseRank: uint32(m.baseRank)}.encode()}
+	}
+	go func() {
+		fw.writeFrame(ack)
+		if start != nil {
+			fw.writeFrame(*start)
+		}
+	}()
+}
+
+// startGenLocked (mu held) begins a generation: ranks are assigned — the
+// coordinator's own member first, then survivors ordered by their previous
+// base rank (join order on generation 1) — and every member gets ftStart.
+func (c *coordinator) startGenLocked() {
+	live := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		if !m.dead {
+			live = append(live, m)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].self != live[j].self {
+			return live[i].self
+		}
+		if live[i].baseRank != live[j].baseRank {
+			return live[i].baseRank < live[j].baseRank
+		}
+		return live[i].id < live[j].id
+	})
+	base := 0
+	for _, m := range live {
+		m.baseRank = base
+		base += m.nLocal
+	}
+	c.world = base
+	c.phase = phaseRunning
+	c.colls = map[uint64]*collSrvState{}
+	c.cache = map[uint64][]byte{}
+	c.cacheMin = 0
+	c.blob, c.haveBlob = nil, false
+	c.blobWant = map[uint32]bool{}
+	for _, m := range live {
+		f := Frame{Type: ftStart, Payload: startMsg{
+			Gen: c.gen, WorldSize: uint32(c.world), BaseRank: uint32(m.baseRank)}.encode()}
+		fw := m.fw
+		go fw.writeFrame(f)
+	}
+	telemetry.Instant("distnet_gen_start", 0,
+		telemetry.Label{Key: "gen", Value: fmt.Sprint(c.gen)},
+		telemetry.Label{Key: "world", Value: fmt.Sprint(c.world)})
+}
+
+// maybeStartRejoinLocked starts gen+1 once every live member has rejoined.
+func (c *coordinator) maybeStartRejoinLocked() {
+	for _, m := range c.members {
+		if !m.dead && m.joinedGen != c.gen+1 {
+			return
+		}
+	}
+	c.gen++
+	c.startGenLocked()
+}
+
+// connLost begins the reconnect grace window for a member whose connection
+// broke. The member is only declared dead when the window expires without a
+// reattach (scanLoop), except while gathering, where an unstarted member
+// simply leaves.
+func (c *coordinator) connLost(m *member, conn net.Conn) {
+	conn.Close()
+	if m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.conn != conn {
+		return // already reattached on a fresh conn
+	}
+	m.connected = false
+	if c.phase == phaseGather {
+		delete(c.members, m.id)
+		return
+	}
+	grace := c.cfg.PeerDeadline
+	m.graceUntil = time.Now().Add(grace)
+}
+
+// handleLeave removes a departing member. While a generation is running a
+// departure is a death — survivors must learn the world shrank, or the next
+// collective would wait on the leaver's ranks forever. During shutdown the
+// survivors are leaving too, and the redundant peer-dead frames land on
+// closing links that ignore them.
+func (c *coordinator) handleLeave(m *member) {
+	c.mu.Lock()
+	running := c.phase == phaseRunning || c.phase == phaseRejoin
+	if !running {
+		m.dead = true
+		m.connected = false
+		m.conn.Close()
+		delete(c.members, m.id)
+		c.mu.Unlock()
+		return
+	}
+	if c.phase == phaseRunning && !c.memberNeededLocked(m) {
+		// Clean end-of-run departure: every open collective already holds
+		// this member's contributions, so nothing the survivors are waiting
+		// on depends on it (cached results keep serving retransmits). Retire
+		// it silently — if a later collective does need its ranks,
+		// handleCollReq converts the retirement into a death then.
+		m.left = true
+		m.connected = false
+		m.conn.Close()
+		m.graceUntil = time.Time{}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.declareDead(m, "member left")
+}
+
+// memberNeededLocked reports whether any open collective is still missing
+// one of m's rank contributions (mu held).
+func (c *coordinator) memberNeededLocked(m *member) bool {
+	for _, st := range c.colls {
+		for r := m.baseRank; r < m.baseRank+m.nLocal && r < len(st.parts); r++ {
+			if st.parts[r] == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanLoop is the failure detector: it expires reconnect grace windows,
+// heartbeat deadlines, rejoin windows, and (when configured) the
+// stuck-collective watchdog.
+func (c *coordinator) scanLoop() {
+	every := c.cfg.HeartbeatEvery
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	t := time.NewTicker(every / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		var toKill []*member
+		var reasons []string
+		switch c.phase {
+		case phaseRunning, phaseRejoin:
+			for _, m := range c.members {
+				if m.dead || m.left {
+					continue
+				}
+				if !m.connected && now.After(m.graceUntil) {
+					toKill = append(toKill, m)
+					reasons = append(reasons, "connection lost, reconnect grace expired")
+					continue
+				}
+				if m.connected && c.cfg.PeerDeadline > 0 && now.Sub(m.lastSeen) > c.cfg.PeerDeadline {
+					toKill = append(toKill, m)
+					reasons = append(reasons, "heartbeat deadline exceeded")
+				}
+			}
+		}
+		if c.phase == phaseRejoin && now.After(c.rejoinBy) {
+			for _, m := range c.members {
+				if !m.dead && m.joinedGen != c.gen+1 {
+					toKill = append(toKill, m)
+					reasons = append(reasons, "missed rejoin window")
+				}
+			}
+		}
+		// Stuck-collective watchdog: converts a silently hung remote rank
+		// into the same loud failure the in-process barrier watchdog
+		// produces.
+		if c.phase == phaseRunning && c.cfg.CollTimeout > 0 {
+			for _, st := range c.colls {
+				if now.Sub(st.started) <= c.cfg.CollTimeout {
+					continue
+				}
+				telemetry.IncCounter(telemetry.MetricBarrierWatchdog, 1)
+				for _, m := range c.members {
+					if m.dead {
+						continue
+					}
+					stuck := false
+					for r := m.baseRank; r < m.baseRank+m.nLocal; r++ {
+						if r < len(st.parts) && st.parts[r] == nil {
+							stuck = true
+						}
+					}
+					if stuck {
+						toKill = append(toKill, m)
+						reasons = append(reasons, fmt.Sprintf("collective %s stuck past watchdog", opName(st.op)))
+						break
+					}
+				}
+				break
+			}
+		}
+		c.mu.Unlock()
+		for i, m := range toKill {
+			c.declareDead(m, reasons[i])
+		}
+	}
+}
+
+// declareDead is the failure commit point: the member is removed from the
+// world, every survivor is told, pending collectives are failed, and the
+// FSM moves to the rejoin round for gen+1.
+func (c *coordinator) declareDead(m *member, reason string) {
+	c.mu.Lock()
+	if m.dead || c.phase == phaseClosed {
+		c.mu.Unlock()
+		return
+	}
+	m.dead = true
+	if m.connected {
+		m.conn.Close()
+		m.connected = false
+	}
+	// Cleanly-retired members are gone too: converting them now keeps the
+	// rejoin round from waiting on processes that already exited.
+	for _, o := range c.members {
+		if o.left && !o.dead {
+			o.dead = true
+		}
+	}
+	firstDeath := c.phase == phaseRunning
+	if firstDeath {
+		c.phase = phaseRejoin
+		c.rejoinBy = time.Now().Add(c.rejoinWindow())
+		c.colls = map[uint64]*collSrvState{}
+	}
+	msg := peerDeadMsg{Gen: c.gen, DeadMember: m.id, Reason: reason}
+	var targets []frameWriter
+	for _, o := range c.members {
+		if !o.dead && o.connected {
+			targets = append(targets, o.fw)
+		}
+	}
+	c.mu.Unlock()
+
+	telemetry.IncCounter(telemetry.MetricWorkerFailures, 1)
+	telemetry.Instant("distnet_peer_dead", int(m.id),
+		telemetry.Label{Key: "reason", Value: reason})
+	f := Frame{Type: ftPeerDead, Payload: msg.encode()}
+	for _, fw := range targets {
+		fw.writeFrame(f)
+	}
+	// A death during the rejoin round may have been the last straggler.
+	c.mu.Lock()
+	if c.phase == phaseRejoin {
+		c.maybeStartRejoinLocked()
+	}
+	c.mu.Unlock()
+}
+
+func (c *coordinator) rejoinWindow() time.Duration {
+	if c.cfg.RejoinWindow > 0 {
+		return c.cfg.RejoinWindow
+	}
+	if c.cfg.PeerDeadline > 0 {
+		return 2 * c.cfg.PeerDeadline
+	}
+	return 5 * time.Second
+}
+
+// handleCollReq merges one process's rank contributions for a collective.
+// Contributions are idempotent — a retransmit after a lost result frame
+// re-sends the cached result instead of recomputing.
+func (c *coordinator) handleCollReq(m *member, seq uint64, req collReq) {
+	c.mu.Lock()
+	if c.phase != phaseRunning {
+		c.mu.Unlock()
+		return // results will flow after rejoin; client keeps retransmitting
+	}
+	if res, ok := c.cache[seq]; ok {
+		c.mu.Unlock()
+		c.sendTo(m, Frame{Type: ftCollRes, Seq: seq, Payload: res})
+		return
+	}
+	st := c.colls[seq]
+	if st == nil {
+		st = &collSrvState{op: req.Op, aux: req.Aux,
+			parts: make([][]byte, c.world), started: time.Now()}
+		c.colls[seq] = st
+	}
+	if st.op != req.Op {
+		// A mismatched collective sequence is a protocol bug, the moral
+		// equivalent of the simulated cluster's deadlock; fail loudly.
+		c.mu.Unlock()
+		c.declareDead(m, fmt.Sprintf("collective sequence mismatch at seq %d: %s vs %s",
+			seq, opName(st.op), opName(req.Op)))
+		return
+	}
+	for i, p := range req.Parts {
+		r := int(req.BaseRank) + i
+		if r >= len(st.parts) {
+			continue
+		}
+		if st.parts[r] == nil {
+			st.parts[r] = p
+			st.have++
+		}
+	}
+	if st.have < c.world {
+		// If the missing contributions belong to a member that already left
+		// cleanly, this collective can never complete — promote the
+		// retirement to a death so the survivors shrink and resume instead
+		// of waiting forever.
+		var gone *member
+		for _, o := range c.members {
+			if o.left && !o.dead && c.memberNeededLocked(o) {
+				gone = o
+				break
+			}
+		}
+		c.mu.Unlock()
+		if gone != nil {
+			c.declareDead(gone, "member left before collective completed")
+		}
+		return
+	}
+	// Complete: compute once, cache, fan out.
+	res := computeCollective(st)
+	delete(c.colls, seq)
+	c.cache[seq] = res
+	if len(c.cache) > cacheLimit {
+		for k := range c.cache {
+			if _, live := c.colls[k]; !live && k < seq && len(c.cache) > cacheLimit {
+				delete(c.cache, k)
+			}
+		}
+	}
+	var targets []*member
+	for _, o := range c.members {
+		if !o.dead && !o.left {
+			targets = append(targets, o)
+		}
+	}
+	c.mu.Unlock()
+	out := Frame{Type: ftCollRes, Seq: seq, Payload: res}
+	for _, o := range targets {
+		c.sendTo(o, out)
+	}
+}
+
+// computeCollective runs the deterministic reduction. Arithmetic matches
+// the in-process cluster exactly: sums accumulate in global rank order, so
+// results are bitwise identical to a goroutine-cluster run issuing the
+// same collective sequence.
+func computeCollective(st *collSrvState) []byte {
+	switch st.op {
+	case opAllReduce:
+		sum, err := decodeMat(st.parts[0])
+		if err != nil {
+			return collRes{Op: st.op}.encode()
+		}
+		for _, p := range st.parts[1:] {
+			m, err := decodeMat(p)
+			if err != nil {
+				return collRes{Op: st.op}.encode()
+			}
+			sum.AddMat(m)
+		}
+		return collRes{Op: st.op, Result: encodeMat(sum)}.encode()
+	case opScalar:
+		var s float64
+		for _, p := range st.parts {
+			v, err := decodeScalar(p)
+			if err != nil {
+				return collRes{Op: st.op}.encode()
+			}
+			s += v
+		}
+		return collRes{Op: st.op, Result: encodeScalar(s)}.encode()
+	case opBroadcast:
+		root := int(st.aux)
+		if root < 0 || root >= len(st.parts) {
+			root = 0
+		}
+		return collRes{Op: st.op, Result: st.parts[root]}.encode()
+	case opAllGather, opGatherBytes:
+		n := 0
+		for _, p := range st.parts {
+			n += 4 + len(p)
+		}
+		out := make([]byte, 0, n)
+		for _, p := range st.parts {
+			out = appendBytes(out, p)
+		}
+		return collRes{Op: st.op, Result: out}.encode()
+	case opBarrier:
+		return collRes{Op: st.op}.encode()
+	}
+	return collRes{Op: st.op}.encode()
+}
+
+// handleBlob serves the generation state blob: the self member's payload is
+// authoritative and fanned out to every member that offered or asked.
+func (c *coordinator) handleBlob(m *member, payload []byte) {
+	r := &byteReader{b: payload}
+	gen := r.u32()
+	blob := r.b[r.off:]
+	c.mu.Lock()
+	if c.phase != phaseRunning || gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
+	if m.self && !c.haveBlob {
+		c.blob = append([]byte(nil), blob...)
+		c.haveBlob = true
+	}
+	c.blobWant[m.id] = true
+	var targets []*member
+	if c.haveBlob {
+		for id := range c.blobWant {
+			if o := c.members[id]; o != nil && !o.dead {
+				targets = append(targets, o)
+			}
+		}
+		c.blobWant = map[uint32]bool{}
+	}
+	res := make([]byte, 0, 4+len(c.blob))
+	res = appendUint32(res, c.gen)
+	res = append(res, c.blob...)
+	c.mu.Unlock()
+	for _, o := range targets {
+		c.sendTo(o, Frame{Type: ftBlob, Payload: res})
+	}
+}
+
+func appendUint32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func encodeScalar(v float64) []byte {
+	return appendUint64(make([]byte, 0, 8), math.Float64bits(v))
+}
+
+func appendUint64(dst []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+func decodeScalar(p []byte) (float64, error) {
+	if len(p) < 8 {
+		return 0, ErrTruncatedMsg
+	}
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(p[i]) << (8 * i)
+	}
+	return math.Float64frombits(u), nil
+}

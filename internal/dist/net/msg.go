@@ -1,0 +1,362 @@
+package distnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Frame types. Control frames use Frame.Seq as a message id; collective
+// frames use it as the collective sequence number.
+const (
+	ftJoin         byte = iota + 1 // member → coordinator: rendezvous request
+	ftJoinAck                      // coordinator → member: membership accepted
+	ftReject                       // coordinator → member: rendezvous refused
+	ftStart                        // coordinator → member: generation begins (ranks assigned)
+	ftHeartbeat                    // member → coordinator: liveness probe
+	ftHeartbeatAck                 // coordinator → member: probe echo
+	ftCollReq                      // member → coordinator: local ranks' contributions
+	ftCollRes                      // coordinator → member: computed collective result
+	ftPeerDead                     // coordinator → member: a member was declared dead
+	ftLeave                        // member → coordinator: graceful departure
+	ftBlob                         // coordinator → member: generation state blob (snapshot sync)
+)
+
+// Collective ops carried by ftCollReq/ftCollRes.
+const (
+	opAllReduce byte = iota + 1
+	opAllGather
+	opBroadcast
+	opScalar
+	opBarrier
+	opGatherBytes
+)
+
+func opName(op byte) string {
+	switch op {
+	case opAllReduce:
+		return "allreduce"
+	case opAllGather:
+		return "allgather"
+	case opBroadcast:
+		return "broadcast"
+	case opScalar:
+		return "scalar"
+	case opBarrier:
+		return "barrier"
+	case opGatherBytes:
+		return "gatherbytes"
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// Join reject codes.
+const (
+	rejectVersion   = uint16(1) // protocol version mismatch
+	rejectWorldSize = uint16(2) // world-size claim disagrees with coordinator
+	rejectConfig    = uint16(3) // config digest disagrees with coordinator
+	rejectFull      = uint16(4) // membership already complete
+	rejectGen       = uint16(5) // stale generation (member missed a rejoin round)
+)
+
+// ErrTruncatedMsg is returned by payload decoders on short input.
+var ErrTruncatedMsg = errors.New("distnet: truncated message payload")
+
+// byteReader is a bounds-checked cursor over a message payload; every
+// decode on malformed input returns ErrTruncatedMsg instead of panicking.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) || r.off+n < r.off {
+		r.err = ErrTruncatedMsg
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// bytes reads a u32 length prefix followed by that many bytes.
+func (r *byteReader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxFramePayload {
+		r.err = ErrTruncatedMsg
+		return nil
+	}
+	return r.take(int(n))
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// joinMsg is the rendezvous request: a member announces how many local
+// ranks it hosts and what world it believes it is joining. MemberID 0 means
+// a fresh member; nonzero reattaches an existing member (reconnect or
+// rejoin at Gen+1 after a peer death).
+type joinMsg struct {
+	Gen          uint32
+	MemberID     uint32
+	NLocal       uint32
+	WorldSize    uint32 // 0 = no claim (trust the coordinator)
+	ConfigDigest uint64
+	// Self marks the coordinator's own loopback link; it always sorts
+	// first in rank assignment so global rank 0 lives with the coordinator.
+	Self byte
+}
+
+func (m joinMsg) encode() []byte {
+	b := make([]byte, 0, 25)
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	b = binary.LittleEndian.AppendUint32(b, m.MemberID)
+	b = binary.LittleEndian.AppendUint32(b, m.NLocal)
+	b = binary.LittleEndian.AppendUint32(b, m.WorldSize)
+	b = binary.LittleEndian.AppendUint64(b, m.ConfigDigest)
+	return append(b, m.Self)
+}
+
+func decodeJoin(p []byte) (joinMsg, error) {
+	r := &byteReader{b: p}
+	m := joinMsg{Gen: r.u32(), MemberID: r.u32(), NLocal: r.u32(),
+		WorldSize: r.u32(), ConfigDigest: r.u64(), Self: r.u8()}
+	return m, r.err
+}
+
+// joinAckMsg acknowledges membership; rank assignment arrives with ftStart
+// once every expected member has joined.
+type joinAckMsg struct {
+	MemberID uint32
+	Gen      uint32
+}
+
+func (m joinAckMsg) encode() []byte {
+	b := make([]byte, 0, 8)
+	b = binary.LittleEndian.AppendUint32(b, m.MemberID)
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	return b
+}
+
+func decodeJoinAck(p []byte) (joinAckMsg, error) {
+	r := &byteReader{b: p}
+	m := joinAckMsg{MemberID: r.u32(), Gen: r.u32()}
+	return m, r.err
+}
+
+// rejectMsg refuses a join with a machine-readable code.
+type rejectMsg struct {
+	Code   uint16
+	Reason string
+}
+
+func (m rejectMsg) encode() []byte {
+	b := make([]byte, 0, 2+4+len(m.Reason))
+	b = binary.LittleEndian.AppendUint16(b, m.Code)
+	return appendBytes(b, []byte(m.Reason))
+}
+
+func decodeReject(p []byte) (rejectMsg, error) {
+	r := &byteReader{b: p}
+	m := rejectMsg{Code: r.u16(), Reason: string(r.bytes())}
+	return m, r.err
+}
+
+// startMsg begins a generation: the member's assigned base rank and the
+// agreed world size.
+type startMsg struct {
+	Gen       uint32
+	WorldSize uint32
+	BaseRank  uint32
+}
+
+func (m startMsg) encode() []byte {
+	b := make([]byte, 0, 12)
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	b = binary.LittleEndian.AppendUint32(b, m.WorldSize)
+	b = binary.LittleEndian.AppendUint32(b, m.BaseRank)
+	return b
+}
+
+func decodeStart(p []byte) (startMsg, error) {
+	r := &byteReader{b: p}
+	m := startMsg{Gen: r.u32(), WorldSize: r.u32(), BaseRank: r.u32()}
+	return m, r.err
+}
+
+// peerDeadMsg announces a declared member death; surviving members poison
+// their local ranks and re-rendezvous at Gen+1.
+type peerDeadMsg struct {
+	Gen        uint32
+	DeadMember uint32
+	Reason     string
+}
+
+func (m peerDeadMsg) encode() []byte {
+	b := make([]byte, 0, 8+4+len(m.Reason))
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	b = binary.LittleEndian.AppendUint32(b, m.DeadMember)
+	return appendBytes(b, []byte(m.Reason))
+}
+
+func decodePeerDead(p []byte) (peerDeadMsg, error) {
+	r := &byteReader{b: p}
+	m := peerDeadMsg{Gen: r.u32(), DeadMember: r.u32(), Reason: string(r.bytes())}
+	return m, r.err
+}
+
+// collReq carries every local rank's contribution to one collective, in
+// rank order. Aux is op-dependent (the root rank for broadcasts).
+type collReq struct {
+	Op       byte
+	Aux      uint32
+	BaseRank uint32
+	Parts    [][]byte // one per local rank, base..base+n
+}
+
+func (m collReq) encode() []byte {
+	n := 1 + 4 + 4 + 4
+	for _, p := range m.Parts {
+		n += 4 + len(p)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, m.Op)
+	b = binary.LittleEndian.AppendUint32(b, m.Aux)
+	b = binary.LittleEndian.AppendUint32(b, m.BaseRank)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Parts)))
+	for _, p := range m.Parts {
+		b = appendBytes(b, p)
+	}
+	return b
+}
+
+func decodeCollReq(p []byte) (collReq, error) {
+	r := &byteReader{b: p}
+	m := collReq{Op: r.u8(), Aux: r.u32(), BaseRank: r.u32()}
+	n := r.u32()
+	if r.err != nil {
+		return m, r.err
+	}
+	if n > maxWorldSize {
+		return m, ErrTruncatedMsg
+	}
+	m.Parts = make([][]byte, n)
+	for i := range m.Parts {
+		m.Parts[i] = r.bytes()
+	}
+	return m, r.err
+}
+
+// collRes carries the computed result back; its payload layout is
+// op-specific (see the coordinator's compute step).
+type collRes struct {
+	Op     byte
+	Result []byte
+}
+
+func (m collRes) encode() []byte {
+	b := make([]byte, 0, 1+len(m.Result))
+	b = append(b, m.Op)
+	return append(b, m.Result...)
+}
+
+func decodeCollRes(p []byte) (collRes, error) {
+	r := &byteReader{b: p}
+	m := collRes{Op: r.u8()}
+	if r.err != nil {
+		return m, r.err
+	}
+	m.Result = r.b[r.off:]
+	return m, nil
+}
+
+// maxWorldSize bounds decoded rank counts so corrupted frames cannot drive
+// huge allocations.
+const maxWorldSize = 1 << 16
+
+// Matrix payload encoding: rows, cols, then row-major float64 bits.
+
+func appendMat(dst []byte, m *mat.Dense) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Rows()))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Cols()))
+	for _, v := range m.Data() {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func encodeMat(m *mat.Dense) []byte {
+	return appendMat(make([]byte, 0, 8+8*m.Rows()*m.Cols()), m)
+}
+
+func (r *byteReader) mat() *mat.Dense {
+	rows := r.u32()
+	cols := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if rows > maxWorldSize*64 || cols > maxWorldSize*64 {
+		r.err = ErrTruncatedMsg
+		return nil
+	}
+	raw := r.take(8 * int(rows) * int(cols))
+	if r.err != nil {
+		return nil
+	}
+	out := mat.NewDense(int(rows), int(cols))
+	d := out.Data()
+	for i := range d {
+		d[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func decodeMat(p []byte) (*mat.Dense, error) {
+	r := &byteReader{b: p}
+	m := r.mat()
+	return m, r.err
+}

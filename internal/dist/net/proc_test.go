@@ -1,0 +1,382 @@
+package distnet
+
+import (
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+)
+
+// testConfig returns timings tuned for fast tests: aggressive retransmit,
+// short (but not hair-trigger) failure detection.
+func testConfig(world int) Config {
+	return Config{
+		WorldSize:         world,
+		ConfigDigest:      0xD1D1,
+		Seed:              42,
+		HeartbeatEvery:    40 * time.Millisecond,
+		PeerDeadline:      2 * time.Second,
+		RetransmitEvery:   50 * time.Millisecond,
+		RendezvousTimeout: 15 * time.Second,
+	}
+}
+
+// startCluster launches one Proc per locals entry over real loopback TCP
+// (index 0 is the coordinator) and blocks until generation 1 is live.
+func startCluster(t *testing.T, base Config, locals ...int) []*Proc {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*Proc, len(locals))
+	errc := make([]error, len(locals))
+	var wg sync.WaitGroup
+	for i, n := range locals {
+		cfg := base
+		cfg.LocalRanks = n
+		if i == 0 {
+			cfg.Listener = ln
+		} else {
+			cfg.Join = ln.Addr().String()
+		}
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			procs[i], errc[i] = Start(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, err := range errc {
+		if err != nil {
+			t.Fatalf("proc %d failed to start: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p != nil {
+				p.Close()
+			}
+		}
+	})
+	return procs
+}
+
+// workload drives every collective the transport offers and records each
+// result's raw float bits — the parity currency.
+func workload(c dist.Comm, steps int) []uint64 {
+	var out []uint64
+	rec := func(v float64) { out = append(out, math.Float64bits(v)) }
+	for step := 0; step < steps; step++ {
+		m := mat.NewDense(4, 3)
+		d := m.Data()
+		rng := mat.NewRNG(uint64(97 + c.ID()*31 + step*7))
+		for i := range d {
+			d[i] = rng.Float64()*2 - 1
+		}
+		sum := c.AllReduceMat(m)
+		for _, v := range sum.Data() {
+			rec(v)
+		}
+		for _, g := range c.AllGatherMat(m) {
+			rec(g.Data()[step%len(g.Data())])
+		}
+		b := c.BroadcastMat(step%c.Size(), m)
+		rec(b.Data()[1])
+		rec(c.AllReduceScalar(float64(c.ID()) + 1/float64(step+3)))
+		if bar, ok := dist.AsBarrier(c); ok {
+			bar.Barrier()
+		}
+		if g, ok := dist.AsByteGatherer(c); ok {
+			bs := g.AllGatherBytes([]byte{byte(c.ID()), byte(step)})
+			for _, b := range bs {
+				rec(float64(int(b[0])<<8 | int(b[1])))
+			}
+		}
+	}
+	return out
+}
+
+// runNet runs the workload across the given procs and returns per-global-
+// rank traces plus any worker errors.
+func runNet(procs []*Proc, world, steps int) ([][]uint64, []error) {
+	traces := make([][]uint64, world)
+	var errs []error
+	var emu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			es := p.Run(func(c dist.Comm) {
+				traces[c.ID()] = workload(c, steps)
+			})
+			emu.Lock()
+			errs = append(errs, es...)
+			emu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return traces, errs
+}
+
+// runRef runs the identical workload on the in-process simulated cluster.
+func runRef(world, steps int) [][]uint64 {
+	traces := make([][]uint64, world)
+	dist.NewCluster(world).Run(func(w *dist.Worker) {
+		traces[w.Rank] = workload(w, steps)
+	})
+	return traces
+}
+
+func compareTraces(t *testing.T, name string, got, want [][]uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ranks vs %d", name, len(got), len(want))
+	}
+	for r := range got {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("%s: rank %d recorded %d values, want %d", name, r, len(got[r]), len(want[r]))
+		}
+		for i := range got[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("%s: rank %d diverges at value %d: %x vs %x",
+					name, r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestProcMatchesCluster: P=4 split across two processes' worth of Procs on
+// real TCP sockets produces bit-identical collective results to the
+// in-process simulated cluster.
+func TestProcMatchesCluster(t *testing.T) {
+	procs := startCluster(t, testConfig(4), 3, 1)
+	if procs[0].WorldSize() != 4 || procs[0].BaseRank() != 0 {
+		t.Fatalf("coordinator world=%d base=%d", procs[0].WorldSize(), procs[0].BaseRank())
+	}
+	if procs[1].BaseRank() != 3 {
+		t.Fatalf("joiner base rank = %d, want 3", procs[1].BaseRank())
+	}
+	got, errs := runNet(procs, 4, 6)
+	if len(errs) != 0 {
+		t.Fatalf("worker errors: %v", errs)
+	}
+	compareTraces(t, "tcp-vs-cluster", got, runRef(4, 6))
+}
+
+// TestProcParityUnderSocketFaults: with 10% drop/dup/reorder injected on
+// every link the retransmit protocol still yields the exact same bits.
+func TestProcParityUnderSocketFaults(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Faults = &SocketFaultPlan{Seed: 9, DropProb: 0.10, DupProb: 0.10, ReorderProb: 0.10}
+	procs := startCluster(t, cfg, 2, 2)
+	got, errs := runNet(procs, 4, 6)
+	if len(errs) != 0 {
+		t.Fatalf("worker errors under faults: %v", errs)
+	}
+	compareTraces(t, "tcp-faults-vs-cluster", got, runRef(4, 6))
+}
+
+// TestProcShrinkRejoin: a worker panic in one process poisons every rank
+// with the chaos layer's failure type; survivors rejoin at gen+1 with the
+// world shrunk, and post-shrink collectives match the in-process cluster at
+// the smaller size. This is the transport-level half of the elastic
+// recovery contract.
+func TestProcShrinkRejoin(t *testing.T) {
+	procs := startCluster(t, testConfig(4), 2, 1, 1)
+
+	// Join order decides which single-rank process hosts rank 3; find it
+	// rather than assuming.
+	dying := 1
+	if procs[2].BaseRank() == 3 {
+		dying = 2
+	}
+	survivors := []*Proc{procs[0], procs[3-dying]}
+
+	var wg sync.WaitGroup
+	allErrs := make([][]error, 3)
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			allErrs[i] = p.Run(func(c dist.Comm) {
+				for step := 0; ; step++ {
+					c.AllReduceScalar(1)
+					if step == 2 && c.ID() == 3 {
+						panic("injected: rank 3 dies")
+					}
+				}
+			})
+		}(i, p)
+	}
+	wg.Wait()
+
+	// The dying process reports its own panic; every other rank reports the
+	// poison panic, exactly like dist.RunWithRecovery.
+	for i, errs := range allErrs {
+		if len(errs) == 0 {
+			t.Fatalf("proc %d: no errors; want poisoned/injected", i)
+		}
+		for _, err := range errs {
+			we, ok := err.(dist.WorkerError)
+			if !ok {
+				t.Fatalf("proc %d: error type %T", i, err)
+			}
+			if we.Rank == 3 {
+				if s, _ := we.Err.(string); !strings.Contains(s, "injected") {
+					t.Fatalf("rank 3 error = %v", we.Err)
+				}
+			} else if we.Err != any(dist.ErrClusterPoisoned) {
+				t.Fatalf("rank %d panic = %v; want ErrClusterPoisoned", we.Rank, we.Err)
+			}
+		}
+	}
+
+	// Survivors rejoin; the dead process does not.
+	rejoinErr := make([]error, 2)
+	for i, p := range survivors {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			rejoinErr[i] = p.Rejoin()
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range rejoinErr {
+		if err != nil {
+			t.Fatalf("proc %d rejoin: %v", i, err)
+		}
+	}
+	if w := procs[0].WorldSize(); w != 3 {
+		t.Fatalf("post-shrink world = %d, want 3", w)
+	}
+	if g := procs[0].Gen(); g != 2 {
+		t.Fatalf("post-shrink gen = %d, want 2", g)
+	}
+
+	// Snapshot sync: the coordinator process's blob is authoritative.
+	blobs := make([][]byte, 2)
+	for i, p := range survivors {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			local := []byte("proc-" + string(rune('0'+i)) + "-snapshot")
+			blobs[i], _ = p.SyncSnapshot(local)
+		}(i, p)
+	}
+	wg.Wait()
+	if string(blobs[0]) != "proc-0-snapshot" || string(blobs[1]) != "proc-0-snapshot" {
+		t.Fatalf("snapshot sync: %q / %q; want coordinator's on both", blobs[0], blobs[1])
+	}
+
+	got, errs := runNet(survivors, 3, 4)
+	if len(errs) != 0 {
+		t.Fatalf("post-shrink worker errors: %v", errs)
+	}
+	compareTraces(t, "post-shrink", got, runRef(3, 4))
+}
+
+// TestProcKilledProcess: severing a process's connection entirely (the
+// moral equivalent of kill -9) also shrinks the cluster — via the
+// reconnect-grace and heartbeat-deadline detectors rather than a leave.
+func TestProcKilledProcess(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.PeerDeadline = 400 * time.Millisecond
+	procs := startCluster(t, cfg, 2, 1)
+
+	// Hard-kill proc 1: close its socket without a leave and stop its
+	// heartbeats, as an OS process death would.
+	procs[1].link.close()
+
+	var wg sync.WaitGroup
+	var errs0 []error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs0 = procs[0].Run(func(c dist.Comm) {
+			for {
+				c.AllReduceScalar(1) // rank 2 never contributes → death → poison
+			}
+		})
+	}()
+	wg.Wait()
+	if len(errs0) != 2 {
+		t.Fatalf("survivor errors = %v; want both local ranks poisoned", errs0)
+	}
+	var pde *PeerDeathError
+	if !errors.As(procs[0].Err(), &pde) {
+		t.Fatalf("proc failure = %v; want PeerDeathError", procs[0].Err())
+	}
+
+	if err := procs[0].Rejoin(); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if w := procs[0].WorldSize(); w != 2 {
+		t.Fatalf("post-kill world = %d, want 2", w)
+	}
+	got, errs := runNet(procs[:1], 2, 3)
+	if len(errs) != 0 {
+		t.Fatalf("post-kill worker errors: %v", errs)
+	}
+	compareTraces(t, "post-kill", got, runRef(2, 3))
+}
+
+// TestProcRejectsConfigMismatch: a joiner whose config digest disagrees is
+// refused at rendezvous instead of being allowed to diverge mid-run.
+func TestProcRejectsConfigMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordCfg := testConfig(2)
+	coordCfg.LocalRanks = 1
+	coordCfg.Listener = ln
+
+	var coordProc *Proc
+	var coordErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		coordProc, coordErr = Start(coordCfg)
+	}()
+
+	badCfg := testConfig(2)
+	badCfg.LocalRanks = 1
+	badCfg.Join = ln.Addr().String()
+	badCfg.ConfigDigest = 0xBAD
+	if _, err := Start(badCfg); !errors.Is(err, ErrRejected) {
+		t.Fatalf("mismatched digest: got %v, want ErrRejected", err)
+	}
+
+	wrongWorld := testConfig(3)
+	wrongWorld.LocalRanks = 1
+	wrongWorld.Join = ln.Addr().String()
+	if _, err := Start(wrongWorld); !errors.Is(err, ErrRejected) {
+		t.Fatalf("mismatched world: got %v, want ErrRejected", err)
+	}
+
+	goodCfg := testConfig(2)
+	goodCfg.LocalRanks = 1
+	goodCfg.Join = ln.Addr().String()
+	good, err := Start(goodCfg)
+	if err != nil {
+		t.Fatalf("good joiner: %v", err)
+	}
+	defer good.Close()
+	wg.Wait()
+	if coordErr != nil {
+		t.Fatalf("coordinator: %v", coordErr)
+	}
+	defer coordProc.Close()
+	if good.WorldSize() != 2 || good.BaseRank() != 1 {
+		t.Fatalf("good joiner world=%d base=%d", good.WorldSize(), good.BaseRank())
+	}
+}

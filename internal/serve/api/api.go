@@ -77,6 +77,11 @@ type JobSpec struct {
 	// ResumeFrom names an earlier job whose checkpoint directory this job
 	// continues from — the resubmit-after-cancel path.
 	ResumeFrom string `json:"resume_from,omitempty"`
+	// NetPeers is a comma-separated list of HOST:PORT coordinator
+	// candidates for multi-process runs (the hylo-train -join grammar);
+	// empty means single-process. Validated with the same rule as the CLI,
+	// so a peer list the flag rejects is rejected here too.
+	NetPeers string `json:"net_peers,omitempty"`
 
 	// Benchmark spec (Kind == "bench").
 	Experiment string `json:"experiment,omitempty"`
@@ -179,6 +184,9 @@ func (s *JobSpec) Validate() error {
 		}
 		if s.Classes <= 0 || s.Samples <= 0 {
 			return fmt.Errorf("classes and samples must be positive (got %d, %d)", s.Classes, s.Samples)
+		}
+		if _, err := cliutil.ParsePeerList(s.NetPeers); err != nil {
+			return fmt.Errorf("net_peers: %v", err)
 		}
 		// Build nothing, but fail fast on unknown names with the exact CLI
 		// error text.

@@ -56,6 +56,8 @@ func TestValidateRejects(t *testing.T) {
 		{"bad classes", func(s *JobSpec) { s.Classes = -2 }, "classes"},
 		{"unknown kid sketch", func(s *JobSpec) { s.KidSketch = "hadamard" }, "kid-sketch"},
 		{"negative kid oversample", func(s *JobSpec) { s.KidOversample = -3 }, "kid-oversample"},
+		{"bad peer list", func(s *JobSpec) { s.NetPeers = "host-without-port" }, "net_peers"},
+		{"duplicate peer", func(s *JobSpec) { s.NetPeers = "a:7077,a:7077" }, "duplicate"},
 		{"bench without experiment", func(s *JobSpec) { s.Kind = KindBench; s.Experiment = "" }, "experiment"},
 		{"bench unknown experiment", func(s *JobSpec) { s.Kind = KindBench; s.Experiment = "fig99" }, "unknown experiment"},
 	}
@@ -71,6 +73,15 @@ func TestValidateRejects(t *testing.T) {
 		if !strings.Contains(strings.ToLower(err.Error()), c.want) {
 			t.Errorf("%s: err = %q, want mention of %q", c.name, err, c.want)
 		}
+	}
+}
+
+func TestValidateAcceptsPeerList(t *testing.T) {
+	var s JobSpec
+	s.Normalize()
+	s.NetPeers = "10.0.0.1:7077, 10.0.0.2:7077"
+	if err := s.Validate(); err != nil {
+		t.Fatalf("peer list rejected: %v", err)
 	}
 }
 

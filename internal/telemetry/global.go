@@ -195,6 +195,16 @@ const (
 	// MetricServeJobsTotal counts jobs reaching a terminal state, labeled
 	// state=done|failed|cancelled.
 	MetricServeJobsTotal = "serve_jobs_total"
+
+	// MetricNetBytes counts TCP transport bytes framed on/off the wire,
+	// labeled dir=tx|rx (per process, framing overhead included).
+	MetricNetBytes = "distnet_bytes_total"
+	// MetricNetRetries counts transport recovery actions, labeled
+	// kind=dial|reconnect|retransmit.
+	MetricNetRetries = "distnet_retries_total"
+	// MetricNetRTT is a histogram of heartbeat round-trip times in
+	// nanoseconds, one sample per acknowledged probe.
+	MetricNetRTT = "distnet_rtt_ns"
 )
 
 // DurationBucketsNS is the bucket layout for job-scale durations in

@@ -247,13 +247,8 @@ func (s rngSaver) LoadState(b []byte) error {
 // injector corrupting the payload before the CRC is computed would bake
 // the corruption into a "valid" snapshot.
 func gatherRankSections(comm dist.Comm, local []byte) [][]byte {
-	if w, ok := dist.AsWorker(comm); ok {
-		parts := w.AllGather(local)
-		out := make([][]byte, len(parts))
-		for i, p := range parts {
-			out[i], _ = p.([]byte)
-		}
-		return out
+	if g, ok := dist.AsByteGatherer(comm); ok {
+		return g.AllGatherBytes(local)
 	}
 	return [][]byte{local}
 }
@@ -600,8 +595,8 @@ func runWorker(comm dist.Comm, cfg Config, buildNet func(rng *mat.RNG) *nn.Netwo
 			}
 		}
 		// Keep workers in step at epoch boundaries (rank 0 evaluates).
-		if w, ok := dist.AsWorker(comm); ok {
-			w.Barrier()
+		if b, ok := dist.AsBarrier(comm); ok {
+			b.Barrier()
 		}
 		endEpoch()
 		// Joint early exit on cancellation: the checkpoint above has been
