@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race racesched serve-smoke vet cover chaos netchaos fuzzsmoke sketchsmoke bench benchfast bench-tables experiments report examples clean
+.PHONY: all build test race racesched serve-smoke servecrash vet cover chaos netchaos fuzzsmoke sketchsmoke bench benchfast bench-tables experiments report examples clean
 
 all: build test
 
@@ -28,6 +28,14 @@ racesched:
 # drain via SIGTERM. The in-process HTTP tests live in internal/serve.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Crash-recovery acceptance under the race detector: SIGKILL a real
+# hylo-serve daemon mid-job, restart it over the same data directory, and
+# require the resumed run to finish bit-identical to an uninterrupted
+# reference. The helper-process body must be runnable too, so both test
+# names are in scope.
+servecrash:
+	$(GO) test -race ./internal/serve/ -run 'TestServeCrashRecovery|TestServeCrashHelperProcess' -count=1 -timeout 600s
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +72,7 @@ fuzzsmoke:
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzCholeskySolve$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mat/ -run '^$$' -fuzz '^FuzzRandomizedID$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dist/net/ -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve/runner/ -run '^$$' -fuzz '^FuzzJournalDecode$$' -fuzztime $(FUZZTIME)
 
 # Sketched-KID smoke: the randomized-ID fast path end to end — mat/core
 # sketch kernels and guards, bit-parity (including the forced exact-KID

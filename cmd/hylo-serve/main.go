@@ -17,6 +17,14 @@
 // cancels running jobs — each checkpoints at its next epoch boundary and
 // can be resubmitted later with {"resume_from": "<job-id>"} — and exits
 // once everything unwinds or the grace deadline expires.
+//
+// Durability: the job registry is persistent. Every job writes a
+// job.json record and an append-only state journal into its artifact
+// directory; a restarted daemon (clean stop or SIGKILL alike) rescans
+// -data-dir, rebuilds the registry, re-enqueues jobs that died queued,
+// and resumes jobs that died running from their latest valid checkpoint.
+// Artifact retention is governed by -retain-done, -retain-max-bytes, and
+// -retain-age; a zero value for all three keeps artifacts forever.
 package main
 
 import (
@@ -47,6 +55,10 @@ func main() {
 		maxActive     = flag.Int("max-active-per-tenant", 0, "fairness quota: running jobs per tenant (0 = unlimited)")
 		schedWorkers  = flag.Int("sched-workers", 1, "layer-parallel stage workers per training run (1 = sequential)")
 		shutdownGrace = flag.Duration("shutdown-grace", 2*time.Minute, "max time to wait for running jobs to checkpoint on shutdown")
+		retainDone    = flag.Int("retain-done", 0, "keep at most N finished jobs' artifacts (0 = keep all)")
+		retainBytes   = flag.Int64("retain-max-bytes", 0, "cap total artifact bytes; oldest finished jobs collected first (0 = unlimited)")
+		retainAge     = flag.Duration("retain-age", 0, "collect finished jobs older than this (0 = never)")
+		gcInterval    = flag.Duration("gc-interval", time.Minute, "artifact GC sweep cadence")
 	)
 	flag.Parse()
 
@@ -55,6 +67,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := cliutil.ValidateSchedWorkers(*schedWorkers); err != nil {
+		fmt.Fprintln(os.Stderr, "hylo-serve:", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateRetention(*retainDone, *retainBytes, *retainAge, *gcInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "hylo-serve:", err)
 		os.Exit(2)
 	}
@@ -85,6 +101,12 @@ func main() {
 		Queue: queue.Config{
 			MaxQueuedPerTenant: *maxQueued,
 			MaxActivePerTenant: *maxActive,
+		},
+		Retention: runner.Retention{
+			RetainDone: *retainDone,
+			MaxBytes:   *retainBytes,
+			MaxAge:     *retainAge,
+			Interval:   *gcInterval,
 		},
 	})
 	if err != nil {

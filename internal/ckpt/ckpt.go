@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -235,16 +236,36 @@ func (m *Manager) Save(snap *Snapshot) (string, error) {
 	return final, nil
 }
 
+// removeFile is a seam for testing retention-failure handling.
+var removeFile = os.Remove
+
 // retain deletes the oldest snapshots beyond the keep-last-K budget.
-// Retention failures are ignored: stale files cost disk, not correctness.
+// Retention failures never fail the checkpoint that triggered the sweep
+// (stale files cost disk, not correctness), but they are no longer
+// silent: each sweep logs one aggregated line and bumps the
+// ckpt_retention_errors counter so an operator sees disk quietly filling.
 func (m *Manager) retain() {
 	paths, err := m.List()
 	if err != nil {
+		telemetry.IncCounter(telemetry.MetricCkptRetentionErrors, 1)
+		log.Printf("ckpt: retention sweep: list %s: %v", m.Dir, err)
 		return
 	}
+	var failed int
+	var first error
 	for len(paths) > m.keep() {
-		os.Remove(paths[0])
+		if err := removeFile(paths[0]); err != nil && !errors.Is(err, os.ErrNotExist) {
+			failed++
+			if first == nil {
+				first = err
+			}
+		}
 		paths = paths[1:]
+	}
+	if failed > 0 {
+		telemetry.IncCounter(telemetry.MetricCkptRetentionErrors, int64(failed))
+		log.Printf("ckpt: retention sweep in %s: %d delete(s) failed (first: %v)",
+			m.Dir, failed, first)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func testSnap(epoch, step int) *Snapshot {
@@ -206,5 +208,44 @@ func TestSaveAllLoadInto(t *testing.T) {
 	ok, err = LoadInto(sections, &fakeSaver{key: "missing"})
 	if err != nil || ok {
 		t.Fatalf("missing section must be (false, nil), got (%v, %v)", ok, err)
+	}
+}
+
+// TestRetentionFailureCounted: a delete that fails mid-sweep must not
+// fail the checkpoint, but it must bump ckpt_retention_errors_total and
+// keep the snapshot chain usable.
+func TestRetentionFailureCounted(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir, 1)
+
+	telemetry.SetEnabled(true)
+	defer telemetry.SetEnabled(false)
+	before := telemetry.Default().Metrics.Counter(telemetry.MetricCkptRetentionErrors).Value()
+
+	// Fail every delete attempt via the test seam (the tests run as root,
+	// so permission bits cannot force the failure).
+	removeFile = func(string) error { return errors.New("disk says no") }
+	defer func() { removeFile = os.Remove }()
+
+	for s := 1; s <= 3; s++ {
+		if _, err := m.Save(testSnap(s, s)); err != nil {
+			t.Fatalf("save %d must not fail on retention errors: %v", s, err)
+		}
+	}
+	after := telemetry.Default().Metrics.Counter(telemetry.MetricCkptRetentionErrors).Value()
+	if after <= before {
+		t.Fatalf("ckpt_retention_errors_total did not move (%d -> %d)", before, after)
+	}
+	// Nothing was actually deleted, and the chain still loads.
+	paths, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("have %d snapshots, want all 3 retained after failed deletes", len(paths))
+	}
+	snap, _, err := m.LoadLatest()
+	if err != nil || snap.Step != 3 {
+		t.Fatalf("LoadLatest = step %v err %v, want 3", snap, err)
 	}
 }

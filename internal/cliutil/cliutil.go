@@ -122,6 +122,68 @@ func ParseKidSketch(mode string) (core.Sketch, error) {
 	return core.SketchOff, fmt.Errorf("-kid-sketch must be one of off|gauss|srht (got %q)", mode)
 }
 
+// Priority class ranks shared by the queue, the runner's preemption
+// policy, and the job API. Higher ranks preempt lower ones.
+const (
+	PriorityLow    = 0
+	PriorityNormal = 1
+	PriorityHigh   = 2
+)
+
+// Priorities lists the job priority class names in ascending rank order.
+func Priorities() []string { return []string{"low", "normal", "high"} }
+
+// ParsePriority maps a priority class name onto its numeric rank. The
+// empty string means normal, so zero-valued specs stay valid; anything
+// else outside low|normal|high is rejected with the same message on the
+// command line and in the job API.
+func ParsePriority(s string) (int, error) {
+	switch s {
+	case "low":
+		return PriorityLow, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	return 0, fmt.Errorf("priority must be one of low|normal|high (got %q)", s)
+}
+
+// PriorityName renders a rank back into its class name (unknown ranks
+// clamp into range, so persisted records from any version render).
+func PriorityName(rank int) string {
+	names := Priorities()
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(names) {
+		rank = len(names) - 1
+	}
+	return names[rank]
+}
+
+// ValidateRetention checks the hylo-serve artifact-retention knobs: each
+// is "0 disables" plus a non-negativity rule, and the GC interval has a
+// floor so a typo cannot spin the sweeper hot.
+func ValidateRetention(retainDone int, maxBytes int64, maxAge, interval time.Duration) error {
+	if retainDone < 0 {
+		return fmt.Errorf("-retain-done must be >= 0 (got %d)", retainDone)
+	}
+	if maxBytes < 0 {
+		return fmt.Errorf("-retain-max-bytes must be >= 0 (got %d)", maxBytes)
+	}
+	if maxAge < 0 {
+		return fmt.Errorf("-retain-age must be >= 0 (got %v)", maxAge)
+	}
+	if interval < 0 {
+		return fmt.Errorf("-gc-interval must be >= 0 (got %v)", interval)
+	}
+	if interval > 0 && interval < time.Second {
+		return fmt.Errorf("-gc-interval %v is below the 1s floor", interval)
+	}
+	return nil
+}
+
 // ValidateSchedWorkers checks the layer-parallel scheduler worker count.
 func ValidateSchedWorkers(n int) error {
 	if n < 1 {

@@ -39,6 +39,19 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Recovery provenance values: how a job's current incarnation came to be.
+const (
+	// ProvenanceFresh marks a job started (or still waiting to start) from
+	// scratch in the life it was submitted in.
+	ProvenanceFresh = "fresh"
+	// ProvenanceResumed marks a job continuing from a checkpoint — a
+	// restart-recovered run or a preempted run that resumed.
+	ProvenanceResumed = "resumed"
+	// ProvenanceRecoveredRestart marks a job that died running with no
+	// usable checkpoint and was restarted from scratch by recovery.
+	ProvenanceRecoveredRestart = "recovered_restart"
+)
+
 // JobSpec is the POST /v1/jobs request body. Zero values select the same
 // defaults as the hylo-train flags (Normalize fills them in), so a minimal
 // submission is `{}` — a 10-epoch HyLo run on the 3c1f workload.
@@ -47,6 +60,11 @@ type JobSpec struct {
 	Kind string `json:"kind,omitempty"`
 	// Tenant is the quota/fair-queueing key; empty maps to "default".
 	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the scheduling class: "low", "normal" (default), or
+	// "high". When every job slot is busy, a queued higher-priority job
+	// checkpoint-preempts the lowest-priority running job; the preempted
+	// job re-enqueues and later resumes bit-identically.
+	Priority string `json:"priority,omitempty"`
 
 	// Training spec (Kind == "train").
 	Model       string  `json:"model,omitempty"`
@@ -96,6 +114,9 @@ func (s *JobSpec) Normalize() {
 	}
 	if s.Tenant == "" {
 		s.Tenant = "default"
+	}
+	if s.Priority == "" {
+		s.Priority = "normal"
 	}
 	if s.Kind != KindTrain {
 		return
@@ -173,6 +194,9 @@ func (s *JobSpec) PrecondOpts() cliutil.PrecondOpts {
 // Validate checks a normalized spec against the shared cliutil rules plus
 // the API-only constraints (known kind, known experiment id).
 func (s *JobSpec) Validate() error {
+	if _, err := cliutil.ParsePriority(s.Priority); err != nil {
+		return err
+	}
 	switch s.Kind {
 	case KindTrain:
 		if err := cliutil.ValidateHyper(cliutil.Hyper{
@@ -242,15 +266,26 @@ type Artifacts struct {
 
 // Job is the wire view of one submitted job (GET /v1/jobs/{id}).
 type Job struct {
-	ID         string    `json:"id"`
-	Spec       JobSpec   `json:"spec"`
-	State      State     `json:"state"`
-	Error      string    `json:"error,omitempty"`
-	CreatedAt  time.Time `json:"created_at"`
-	StartedAt  time.Time `json:"started_at"`
-	FinishedAt time.Time `json:"finished_at"`
-	Progress   Progress  `json:"progress"`
-	Artifacts  Artifacts `json:"artifacts"`
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// Priority is the spec's priority class, surfaced top-level so list
+	// consumers need not dig into the spec.
+	Priority string `json:"priority"`
+	State    State  `json:"state"`
+	// Provenance records how this incarnation of the job came to run:
+	// "fresh", "resumed" (continuing from a checkpoint after a restart or
+	// preemption), or "recovered_restart" (died running with no usable
+	// checkpoint; restarted from scratch).
+	Provenance string `json:"provenance"`
+	// Preemptions counts how many times the job was checkpoint-preempted
+	// by a higher-priority submission.
+	Preemptions int       `json:"preemptions,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	CreatedAt   time.Time `json:"created_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+	Progress    Progress  `json:"progress"`
+	Artifacts   Artifacts `json:"artifacts"`
 }
 
 // JobList is the GET /v1/jobs response.

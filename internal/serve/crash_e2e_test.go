@@ -1,0 +1,257 @@
+package serve_test
+
+// Crash-recovery end-to-end: SIGKILL a real hylo-serve daemon mid-job,
+// restart it over the same data directory, and require the restarted
+// daemon to (a) still know every job, (b) resume the killed run from its
+// latest checkpoint, and (c) produce a final model bit-identical to an
+// uninterrupted reference. The daemon is this test binary re-executed
+// with HYLO_SERVE_CRASH_HELPER=1 (the same re-exec pattern as the
+// multi-process training tests), so parent and daemon share every
+// workload builder by construction.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/serve/runner"
+	"repro/internal/telemetry"
+)
+
+const (
+	crashHelperEnv = "HYLO_SERVE_CRASH_HELPER"
+	crashDirEnv    = "HYLO_SERVE_DATA_DIR"
+)
+
+// TestServeCrashHelperProcess is not a test: it is the daemon body the
+// crash test re-executes. It serves a single-slot runner over the data
+// directory named in the environment and prints its listen address for
+// the parent to dial; it never exits on its own (the parent kills it).
+func TestServeCrashHelperProcess(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("helper process body; spawned by TestServeCrashRecovery")
+	}
+	telemetry.SetEnabled(true)
+	r, err := runner.New(runner.Config{
+		Dir:  os.Getenv(crashDirEnv),
+		Pool: sched.NewTokenPool(1),
+	})
+	if err != nil {
+		fmt.Printf("SERVE_ERR %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("SERVE_ERR %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SERVE_ADDR %s\n", ln.Addr())
+	http.Serve(ln, serve.New(r))
+}
+
+// crashDaemon is one spawned daemon incarnation.
+type crashDaemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startCrashDaemon(t *testing.T, dir string) *crashDaemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-test.run", "^TestServeCrashHelperProcess$", "-test.timeout", "600s")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1", crashDirEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn daemon: %v", err)
+	}
+	d := &crashDaemon{cmd: cmd}
+	t.Cleanup(func() { d.kill() })
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "SERVE_ADDR "); ok {
+				addrCh <- a
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			cmd.Wait()
+			t.Fatal("daemon exited before printing its address")
+		}
+		d.url = "http://" + addr
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never printed its address")
+	}
+	return d
+}
+
+// kill SIGKILLs the daemon — no drain, no checkpoint-on-shutdown, the
+// crash the recovery path exists for.
+func (d *crashDaemon) kill() {
+	if d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			var h struct {
+				Status string `json:"status"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err == nil && h.Status == "ok" {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reported healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, base, id string) api.Result {
+	t.Helper()
+	code, body := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result %s: %d %s", id, code, body)
+	}
+	var res api.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// bitsEqualHistories compares two epoch histories as raw float64 bits.
+func bitsEqualHistories(t *testing.T, label string, want, got api.Result) {
+	t.Helper()
+	if len(want.Epochs) != len(got.Epochs) {
+		t.Fatalf("%s: epoch counts differ: %d vs %d", label, len(want.Epochs), len(got.Epochs))
+	}
+	for i := range want.Epochs {
+		if math.Float64bits(want.Epochs[i].TrainLoss) != math.Float64bits(got.Epochs[i].TrainLoss) ||
+			math.Float64bits(want.Epochs[i].Metric) != math.Float64bits(got.Epochs[i].Metric) {
+			t.Fatalf("%s: epoch %d diverged: (%.17g, %.17g) vs (%.17g, %.17g)",
+				label, i, got.Epochs[i].TrainLoss, got.Epochs[i].Metric,
+				want.Epochs[i].TrainLoss, want.Epochs[i].Metric)
+		}
+	}
+	if math.Float64bits(want.FinalLoss) != math.Float64bits(got.FinalLoss) ||
+		math.Float64bits(want.Best) != math.Float64bits(got.Best) {
+		t.Fatalf("%s: final (%.17g, %.17g) vs (%.17g, %.17g)",
+			label, got.FinalLoss, got.Best, want.FinalLoss, want.Best)
+	}
+}
+
+func TestServeCrashRecovery(t *testing.T) {
+	const epochs = 200
+	const seed = 11
+	dir := t.TempDir()
+
+	// Daemon 1: submit the victim (slot holder) and one queued job.
+	d1 := startCrashDaemon(t, dir)
+	waitHealthy(t, d1.url)
+	code, body := doJSON(t, http.MethodPost, d1.url+"/v1/jobs", tinySpec(epochs, seed))
+	if code != http.StatusCreated {
+		t.Fatalf("submit victim: %d %s", code, body)
+	}
+	var victim api.Job
+	json.Unmarshal(body, &victim)
+	code, body = doJSON(t, http.MethodPost, d1.url+"/v1/jobs", tinySpec(2, 7))
+	if code != http.StatusCreated {
+		t.Fatalf("submit queued: %d %s", code, body)
+	}
+	var queued api.Job
+	json.Unmarshal(body, &queued)
+
+	// Let the victim make checkpointed progress, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j := getJob(t, d1.url, victim.ID)
+		if j.State == api.StateRunning && j.Progress.Epoch >= 3 {
+			break
+		}
+		if j.State.Terminal() {
+			t.Fatalf("victim finished before the crash (state %s) — raise epochs", j.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never reached epoch 3")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d1.kill()
+
+	// Daemon 2 over the same directory: the registry must come back.
+	d2 := startCrashDaemon(t, dir)
+	waitHealthy(t, d2.url) // "ok" implies recovery finished
+	code, body = doJSON(t, http.MethodGet, d2.url+"/v1/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list after restart: %d %s", code, body)
+	}
+	var list api.JobList
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, j := range list.Jobs {
+		seen[j.ID] = true
+	}
+	if !seen[victim.ID] || !seen[queued.ID] {
+		t.Fatalf("restart lost jobs: have %v, want %s and %s", seen, victim.ID, queued.ID)
+	}
+
+	// The killed run resumes from its checkpoint and finishes.
+	final := waitState(t, d2.url, victim.ID, api.StateDone)
+	if final.Provenance != api.ProvenanceResumed {
+		t.Fatalf("victim provenance = %q, want %q", final.Provenance, api.ProvenanceResumed)
+	}
+	// The job that died queued runs too.
+	waitState(t, d2.url, queued.ID, api.StateDone)
+
+	// Bit-identical: a fresh uninterrupted run of the same spec on daemon 2
+	// must match the crashed-and-resumed run exactly.
+	code, body = doJSON(t, http.MethodPost, d2.url+"/v1/jobs", tinySpec(epochs, seed))
+	if code != http.StatusCreated {
+		t.Fatalf("submit reference: %d %s", code, body)
+	}
+	var ref api.Job
+	json.Unmarshal(body, &ref)
+	waitState(t, d2.url, ref.ID, api.StateDone)
+	bitsEqualHistories(t, "crash-resume",
+		fetchResult(t, d2.url, ref.ID), fetchResult(t, d2.url, victim.ID))
+
+	// Recovery surfaced in metrics.
+	code, body = doJSON(t, http.MethodGet, d2.url+"/metrics", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "serve_jobs_recovered_total") {
+		t.Fatalf("metrics missing serve_jobs_recovered_total: %d\n%s", code, body)
+	}
+	d2.kill()
+}

@@ -5,12 +5,19 @@ import (
 	"testing"
 )
 
+// pushN enqueues at normal priority — the pre-priority behavior most
+// fairness tests exercise.
+func pushN[T any](t *testing.T, q *Queue[T], tenant string, v T) {
+	t.Helper()
+	if err := q.Push(tenant, 1, v); err != nil {
+		t.Fatalf("push %v: %v", v, err)
+	}
+}
+
 func TestFIFOWithinTenant(t *testing.T) {
 	q := New[int](Config{})
 	for i := 1; i <= 3; i++ {
-		if err := q.Push("a", i); err != nil {
-			t.Fatalf("push %d: %v", i, err)
-		}
+		pushN(t, q, "a", i)
 	}
 	for want := 1; want <= 3; want++ {
 		v, tn, ok := q.Pop()
@@ -29,9 +36,7 @@ func TestRoundRobinAcrossTenants(t *testing.T) {
 	for _, it := range []struct{ tn, v string }{
 		{"a", "a1"}, {"a", "a2"}, {"a", "a3"}, {"b", "b1"}, {"c", "c1"},
 	} {
-		if err := q.Push(it.tn, it.v); err != nil {
-			t.Fatal(err)
-		}
+		pushN(t, q, it.tn, it.v)
 	}
 	var got []string
 	for {
@@ -53,35 +58,104 @@ func TestRoundRobinAcrossTenants(t *testing.T) {
 	}
 }
 
+func TestPriorityOrdersAcrossClasses(t *testing.T) {
+	q := New[string](Config{})
+	// Interleaved pushes across classes and tenants: high drains first,
+	// then normal, then low, with tenant fairness within each class.
+	q.Push("a", 0, "a-low")
+	q.Push("a", 1, "a-norm")
+	q.Push("b", 2, "b-high")
+	q.Push("a", 2, "a-high")
+	q.Push("b", 0, "b-low")
+	var got []string
+	for {
+		v, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	// Classes drain strictly high → normal → low; within a class the
+	// round-robin pointer (which advances one tenant per pop, across
+	// classes) decides ties: a-high pops first (ring starts at a), the
+	// pointer moves to b for b-high, and so on.
+	want := []string{"a-high", "b-high", "a-norm", "b-low", "a-low"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPriorityClamped(t *testing.T) {
+	q := New[string](Config{})
+	q.Push("a", -5, "low")
+	q.Push("a", 99, "high")
+	if v, _, _ := q.Pop(); v != "high" {
+		t.Fatalf("first pop = %q, want the clamped-high item", v)
+	}
+}
+
+func TestRequeueGoesToFront(t *testing.T) {
+	q := New[string](Config{MaxQueuedPerTenant: 2})
+	q.Push("a", 1, "first")
+	q.Push("a", 1, "second")
+	// Requeue bypasses the exhausted quota AND lands ahead of "first".
+	q.Requeue("a", 1, "preempted")
+	if got := q.Queued("a"); got != 3 {
+		t.Fatalf("queued = %d, want 3 (requeue must bypass quota)", got)
+	}
+	want := []string{"preempted", "first", "second"}
+	for _, w := range want {
+		v, _, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop = (%q, %v), want %q", v, ok, w)
+		}
+	}
+}
+
+func TestRestoreAppendsQuotaFree(t *testing.T) {
+	q := New[int](Config{MaxQueuedPerTenant: 1})
+	q.Push("a", 1, 1)
+	q.Restore("a", 1, 2)
+	q.Restore("a", 1, 3)
+	for want := 1; want <= 3; want++ {
+		v, _, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%d, %v), want %d", v, ok, want)
+		}
+	}
+}
+
 func TestQueuedQuota(t *testing.T) {
 	q := New[int](Config{MaxQueuedPerTenant: 2})
-	if err := q.Push("a", 1); err != nil {
+	pushN(t, q, "a", 1)
+	// The quota counts across priority classes, not per class.
+	if err := q.Push("a", 2, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Push("a", 2); err != nil {
-		t.Fatal(err)
-	}
-	if err := q.Push("a", 3); !errors.Is(err, ErrQueueFull) {
+	if err := q.Push("a", 0, 3); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third push err = %v, want ErrQueueFull", err)
 	}
 	// Other tenants are unaffected by a's quota.
-	if err := q.Push("b", 1); err != nil {
-		t.Fatalf("tenant b push: %v", err)
-	}
+	pushN(t, q, "b", 1)
 	// Draining one of a's slots re-opens admission.
 	if _, _, ok := q.Pop(); !ok {
 		t.Fatal("pop failed")
 	}
-	if err := q.Push("a", 3); err != nil {
+	if err := q.Push("a", 1, 3); err != nil {
 		t.Fatalf("push after drain: %v", err)
 	}
 }
 
 func TestActiveQuotaSkipsTenant(t *testing.T) {
 	q := New[int](Config{MaxActivePerTenant: 1})
-	q.Push("a", 1)
-	q.Push("a", 2)
-	q.Push("b", 10)
+	pushN(t, q, "a", 1)
+	pushN(t, q, "a", 2)
+	pushN(t, q, "b", 10)
 
 	v, tn, ok := q.Pop()
 	if !ok || tn != "a" || v != 1 {
@@ -114,7 +188,7 @@ func TestNotifySignals(t *testing.T) {
 		t.Fatal("notify fired before any push")
 	default:
 	}
-	q.Push("a", 1)
+	pushN(t, q, "a", 1)
 	select {
 	case <-q.Notify():
 	default:
@@ -126,5 +200,29 @@ func TestNotifySignals(t *testing.T) {
 	case <-q.Notify():
 	default:
 		t.Fatal("notify did not fire after done")
+	}
+	// Requeue and Restore signal too: a recovered or preempted item must
+	// wake an idle dispatcher.
+	q.Pop()
+	drainNotify(q)
+	q.Requeue("a", 1, 2)
+	select {
+	case <-q.Notify():
+	default:
+		t.Fatal("notify did not fire after requeue")
+	}
+	drainNotify(q)
+	q.Restore("a", 1, 3)
+	select {
+	case <-q.Notify():
+	default:
+		t.Fatal("notify did not fire after restore")
+	}
+}
+
+func drainNotify[T any](q *Queue[T]) {
+	select {
+	case <-q.Notify():
+	default:
 	}
 }

@@ -49,8 +49,10 @@ func execTrain(j *Job, spec api.JobSpec) (api.Result, error) {
 	ec := train.ElasticConfig{
 		Dir:   j.CheckpointDir(),
 		Every: spec.CheckpointEvery,
-		// Resubmitted jobs continue from the source job's latest snapshot.
-		Resume: spec.ResumeFrom != "",
+		// The job-level flag, not the spec: set for resume_from submissions
+		// and armed by preemption and restart recovery, so every path that
+		// continues from a snapshot funnels through the same elastic resume.
+		Resume: j.resumeFlag(),
 	}
 	res, runErr := train.RunElasticCtx(j.Context(), spec.Workers, cfg, ec,
 		wl.Build, wl.Train, wl.Test, wl.Task, pre, wl.Target)

@@ -1,0 +1,228 @@
+package runner
+
+// Artifact garbage collection: a periodic sweep that retires terminal
+// jobs' artifact directories under a configurable retention policy.
+//
+// The sweep never touches a job that something still depends on:
+// non-terminal jobs are untouchable, and a terminal job survives as long
+// as any live job resumes from it — either by naming it in resume_from or
+// by writing into a checkpoint directory under its artifact dir (how
+// resubmitted jobs share their source's snapshots). Collection removes
+// both the directory and the registry entry, so a GC'd job disappears
+// from GET /v1/jobs and a later resume_from referencing it is rejected
+// with the same "unknown job" error as any other dangling reference.
+
+import (
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Retention configures the artifact garbage collector. The zero value
+// disables sweeping entirely.
+type Retention struct {
+	// RetainDone keeps at most this many terminal jobs (0 = unlimited).
+	// Oldest-finished jobs are collected first.
+	RetainDone int
+	// MaxBytes caps the total bytes under the artifact root attributable
+	// to registered jobs (0 = unlimited).
+	MaxBytes int64
+	// MaxAge collects terminal jobs whose finish time is older than this
+	// (0 = never expire by age).
+	MaxAge time.Duration
+	// Interval is the sweep cadence; 0 selects one minute when any other
+	// field enables the collector.
+	Interval time.Duration
+}
+
+func (p Retention) enabled() bool {
+	return p.RetainDone > 0 || p.MaxBytes > 0 || p.MaxAge > 0
+}
+
+func (p Retention) interval() time.Duration {
+	if p.Interval > 0 {
+		return p.Interval
+	}
+	return time.Minute
+}
+
+// gcLoop runs SweepArtifacts on the retention cadence until Shutdown.
+func (r *Runner) gcLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.Retention.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.SweepArtifacts()
+		}
+	}
+}
+
+// gcCandidate is one terminal job the sweep may collect.
+type gcCandidate struct {
+	id       string
+	dir      string
+	finished time.Time
+	size     int64
+}
+
+// SweepArtifacts applies the retention policy once and returns the bytes
+// reclaimed and the number of jobs collected. Exported so tests (and a
+// future admin endpoint) can force a sweep without waiting for the tick.
+func (r *Runner) SweepArtifacts() (reclaimed int64, removed int) {
+	pol := r.cfg.Retention
+	if !pol.enabled() {
+		return 0, 0
+	}
+	now := time.Now()
+
+	// Snapshot the registry: terminal jobs are candidates, live jobs
+	// contribute protection edges (resume_from references and checkpoint
+	// directories hosted inside another job's artifact dir).
+	protected := make(map[string]bool)
+	var liveCkpts []string
+	var cands []gcCandidate
+	var liveSize int64
+	for _, j := range r.Jobs() {
+		v := j.View()
+		if !v.State.Terminal() {
+			if v.Spec.ResumeFrom != "" {
+				protected[v.Spec.ResumeFrom] = true
+			}
+			if v.Artifacts.Checkpoints != "" {
+				liveCkpts = append(liveCkpts, v.Artifacts.Checkpoints)
+			}
+			liveSize += dirSize(v.Artifacts.Dir)
+			continue
+		}
+		cands = append(cands, gcCandidate{
+			id: v.ID, dir: v.Artifacts.Dir, finished: v.FinishedAt,
+			size: dirSize(v.Artifacts.Dir),
+		})
+	}
+	for _, c := range cands {
+		if c.dir == "" {
+			protected[c.id] = true
+			continue
+		}
+		for _, ck := range liveCkpts {
+			if strings.HasPrefix(ck, c.dir+string(os.PathSeparator)) {
+				protected[c.id] = true
+				break
+			}
+		}
+	}
+	sort.Slice(cands, func(i, k int) bool { return cands[i].finished.Before(cands[k].finished) })
+
+	victims := make(map[string]bool)
+	mark := func(c gcCandidate) {
+		if !protected[c.id] && !victims[c.id] {
+			victims[c.id] = true
+		}
+	}
+	// Age rule: terminal and older than MaxAge.
+	if pol.MaxAge > 0 {
+		for _, c := range cands {
+			if now.Sub(c.finished) > pol.MaxAge {
+				mark(c)
+			}
+		}
+	}
+	// Count rule: keep at most RetainDone terminal jobs, oldest out first.
+	if pol.RetainDone > 0 {
+		kept := 0
+		for _, c := range cands {
+			if !victims[c.id] {
+				kept++
+			}
+		}
+		for _, c := range cands {
+			if kept <= pol.RetainDone {
+				break
+			}
+			if victims[c.id] || protected[c.id] {
+				continue
+			}
+			mark(c)
+			if victims[c.id] {
+				kept--
+			}
+		}
+	}
+	// Byte rule: total registered bytes under the cap, oldest out first.
+	if pol.MaxBytes > 0 {
+		total := liveSize
+		for _, c := range cands {
+			if !victims[c.id] {
+				total += c.size
+			}
+		}
+		for _, c := range cands {
+			if total <= pol.MaxBytes {
+				break
+			}
+			if victims[c.id] || protected[c.id] {
+				continue
+			}
+			mark(c)
+			if victims[c.id] {
+				total -= c.size
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return 0, 0
+	}
+
+	for _, c := range cands {
+		if !victims[c.id] {
+			continue
+		}
+		if err := os.RemoveAll(c.dir); err != nil {
+			log.Printf("runner: gc: remove %s: %v", c.dir, err)
+			continue
+		}
+		r.mu.Lock()
+		delete(r.jobs, c.id)
+		for i, id := range r.order {
+			if id == c.id {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+		r.mu.Unlock()
+		reclaimed += c.size
+		removed++
+	}
+	if reclaimed > 0 {
+		telemetry.IncCounter(telemetry.MetricServeGCReclaimed, reclaimed)
+	}
+	return reclaimed, removed
+}
+
+// dirSize totals the file bytes under dir; unreadable entries count zero.
+func dirSize(dir string) int64 {
+	if dir == "" {
+		return 0
+	}
+	var n int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			n += fi.Size()
+		}
+		return nil
+	})
+	return n
+}

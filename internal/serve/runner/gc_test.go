@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/serve/api"
+)
+
+func newGCRunner(t *testing.T, pol Retention, exec ExecFunc) *Runner {
+	t.Helper()
+	r, err := New(Config{
+		Dir:       t.TempDir(),
+		Pool:      sched.NewTokenPool(2),
+		Exec:      exec,
+		Retention: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Shutdown(context.Background()) })
+	return r
+}
+
+func runToDone(t *testing.T, r *Runner) *Job {
+	t.Helper()
+	j, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if st := j.State(); st != api.StateDone {
+		t.Fatalf("job %s state = %s, want done", j.ID(), st)
+	}
+	return j
+}
+
+// TestGCRetainDone: with -retain-done 1, only the newest finished job
+// survives a sweep; older artifacts and registry entries go.
+func TestGCRetainDone(t *testing.T) {
+	// Interval is long so only the explicit sweep runs.
+	r := newGCRunner(t, Retention{RetainDone: 1, Interval: time.Hour},
+		func(j *Job) (api.Result, error) { return api.Result{Best: 1}, nil })
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, runToDone(t, r))
+	}
+	reclaimed, removed := r.SweepArtifacts()
+	if removed != 2 || reclaimed <= 0 {
+		t.Fatalf("sweep removed %d (%d bytes), want 2 jobs and positive bytes", removed, reclaimed)
+	}
+	for _, j := range jobs[:2] {
+		if _, ok := r.Get(j.ID()); ok {
+			t.Errorf("collected job %s still in registry", j.ID())
+		}
+		if _, err := os.Stat(j.View().Artifacts.Dir); !os.IsNotExist(err) {
+			t.Errorf("collected dir %s still on disk (err %v)", j.View().Artifacts.Dir, err)
+		}
+	}
+	if _, ok := r.Get(jobs[2].ID()); !ok {
+		t.Error("newest job was collected")
+	}
+}
+
+// TestGCMaxAge: only jobs older than the age bound are collected.
+func TestGCMaxAge(t *testing.T) {
+	r := newGCRunner(t, Retention{MaxAge: time.Hour, Interval: time.Hour},
+		func(j *Job) (api.Result, error) { return api.Result{}, nil })
+	old := runToDone(t, r)
+	young := runToDone(t, r)
+	// Backdate the first job's finish time past the bound.
+	old.mu.Lock()
+	old.finished = time.Now().Add(-2 * time.Hour)
+	old.mu.Unlock()
+	if _, removed := r.SweepArtifacts(); removed != 1 {
+		t.Fatalf("sweep removed %d, want 1", removed)
+	}
+	if _, ok := r.Get(old.ID()); ok {
+		t.Error("expired job survived")
+	}
+	if _, ok := r.Get(young.ID()); !ok {
+		t.Error("young job was collected")
+	}
+}
+
+// TestGCMaxBytes: oldest finished jobs go until the byte cap holds.
+func TestGCMaxBytes(t *testing.T) {
+	r := newGCRunner(t, Retention{MaxBytes: 1, Interval: time.Hour},
+		func(j *Job) (api.Result, error) { return api.Result{}, nil })
+	a := runToDone(t, r)
+	b := runToDone(t, r)
+	// Every job dir holds a record + journal + telemetry, so both exceed
+	// one byte; the sweep must clear both to chase the cap.
+	if _, removed := r.SweepArtifacts(); removed != 2 {
+		t.Fatalf("sweep removed %d, want 2", removed)
+	}
+	for _, j := range []*Job{a, b} {
+		if _, ok := r.Get(j.ID()); ok {
+			t.Errorf("job %s survived a 1-byte cap", j.ID())
+		}
+	}
+}
+
+// TestGCProtectsResumeSource: a finished job that a live job resumes from
+// is never collected — neither by count nor by age — until the resumer no
+// longer needs it.
+func TestGCProtectsResumeSource(t *testing.T) {
+	block := make(chan struct{})
+	r := newGCRunner(t, Retention{RetainDone: 0, MaxAge: time.Nanosecond, Interval: time.Hour},
+		func(j *Job) (api.Result, error) {
+			if j.Spec().ResumeFrom != "" {
+				<-block
+			}
+			return api.Result{}, nil
+		})
+	src := runToDone(t, r)
+	// The source must look ancient so only the protection edge saves it.
+	src.mu.Lock()
+	src.finished = time.Now().Add(-24 * time.Hour)
+	src.mu.Unlock()
+
+	spec := trainSpec()
+	spec.ResumeFrom = src.ID()
+	resumer, err := r.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, resumer, api.StateRunning)
+
+	if _, removed := r.SweepArtifacts(); removed != 0 {
+		t.Fatalf("sweep collected %d jobs while the source was referenced", removed)
+	}
+	if _, ok := r.Get(src.ID()); !ok {
+		t.Fatal("referenced resume source was collected")
+	}
+	ckptDir := filepath.Join(src.View().Artifacts.Dir, "checkpoints")
+	if resumer.CheckpointDir() != ckptDir {
+		t.Fatalf("resumer checkpoints at %q, want %q", resumer.CheckpointDir(), ckptDir)
+	}
+
+	close(block)
+	<-resumer.Done()
+	// With the resumer terminal the source becomes collectable (both do).
+	if _, removed := r.SweepArtifacts(); removed != 2 {
+		j1, ok1 := r.Get(src.ID())
+		t.Fatalf("post-release sweep removed %d, want 2 (src present=%v state=%v)",
+			removed, ok1, j1)
+	}
+}
+
+// TestGCNeverTouchesLiveJobs: queued and running jobs are untouchable
+// regardless of policy.
+func TestGCNeverTouchesLiveJobs(t *testing.T) {
+	block := make(chan struct{})
+	r := newGCRunner(t, Retention{RetainDone: 1, MaxAge: time.Nanosecond, MaxBytes: 1, Interval: time.Hour},
+		func(j *Job) (api.Result, error) { <-block; return api.Result{}, nil })
+	running, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, running, api.StateRunning)
+	queued, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, removed := r.SweepArtifacts(); removed != 0 {
+		t.Fatalf("sweep collected %d live jobs", removed)
+	}
+	close(block)
+	<-running.Done()
+	<-queued.Done()
+}

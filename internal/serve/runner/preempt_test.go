@@ -1,0 +1,250 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve/api"
+	"repro/internal/serve/queue"
+	"repro/internal/train"
+)
+
+func specWithPriority(pri string) api.JobSpec {
+	s := trainSpec()
+	s.Priority = pri
+	return s
+}
+
+// preemptExec is a fake executor whose first incarnation of each job
+// blocks until its context is cancelled (returning the cancellation
+// error, as training would after checkpointing); later incarnations — and
+// jobs listed in passthrough — return immediately.
+type preemptExec struct {
+	mu          sync.Mutex
+	runs        map[string]int
+	order       []string
+	passthrough map[string]bool
+}
+
+func newPreemptExec() *preemptExec {
+	return &preemptExec{runs: make(map[string]int), passthrough: make(map[string]bool)}
+}
+
+func (p *preemptExec) exec(j *Job) (api.Result, error) {
+	p.mu.Lock()
+	p.runs[j.ID()]++
+	run := p.runs[j.ID()]
+	p.order = append(p.order, j.ID())
+	pass := p.passthrough[j.ID()]
+	p.mu.Unlock()
+	if run == 1 && !pass {
+		<-j.Context().Done()
+		return api.Result{}, train.ErrCancelled
+	}
+	return api.Result{}, nil
+}
+
+func (p *preemptExec) pass(id string) {
+	p.mu.Lock()
+	p.passthrough[id] = true
+	p.mu.Unlock()
+}
+
+func (p *preemptExec) sequence() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.order...)
+}
+
+func waitJobState(t *testing.T, j *Job, want api.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", j.ID(), j.State(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPreemptionEvictsLowerPriority: with one slot busy on a low job, a
+// high submission checkpoint-preempts it; the low job re-enqueues, the
+// high job runs, and the low job then resumes and finishes.
+func TestPreemptionEvictsLowerPriority(t *testing.T) {
+	ex := newPreemptExec()
+	r := newTestRunner(t, 1, queue.Config{}, ex.exec)
+	defer r.Shutdown(context.Background())
+
+	low, err := r.Submit(specWithPriority("low"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, low, api.StateRunning)
+
+	ex.pass("jb-000002") // the high job completes immediately
+	high, err := r.Submit(specWithPriority("high"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-high.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("high job stuck in %s (preemption never fired)", high.State())
+	}
+	if st := high.State(); st != api.StateDone {
+		t.Fatalf("high state = %s, want done", st)
+	}
+	select {
+	case <-low.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("low job never resumed (state %s)", low.State())
+	}
+	v := low.View()
+	if v.State != api.StateDone {
+		t.Fatalf("low state = %s, want done", v.State)
+	}
+	if v.Preemptions != 1 {
+		t.Fatalf("low preemptions = %d, want 1", v.Preemptions)
+	}
+	if v.Provenance != api.ProvenanceResumed {
+		t.Fatalf("low provenance = %q, want resumed", v.Provenance)
+	}
+	// Execution order: low starts, high runs during the preemption window,
+	// low's second incarnation finishes.
+	want := []string{"jb-000001", "jb-000002", "jb-000001"}
+	got := ex.sequence()
+	if len(got) != len(want) {
+		t.Fatalf("execution order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	// The journal records the preemption.
+	b, err := os.ReadFile(filepath.Join(v.Artifacts.Dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"preempted"`) {
+		t.Fatalf("journal missing preempted event:\n%s", b)
+	}
+}
+
+// TestNoPreemptionWithFreeSlot: a high submission with idle capacity just
+// runs; nothing is evicted.
+func TestNoPreemptionWithFreeSlot(t *testing.T) {
+	ex := newPreemptExec()
+	r := newTestRunner(t, 2, queue.Config{}, ex.exec)
+	defer r.Shutdown(context.Background())
+
+	low, err := r.Submit(specWithPriority("low"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, low, api.StateRunning)
+
+	ex.pass("jb-000002")
+	high, err := r.Submit(specWithPriority("high"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-high.Done()
+	if st := low.State(); st != api.StateRunning {
+		t.Fatalf("low job state = %s after high finished, want still running", st)
+	}
+	if v := low.View(); v.Preemptions != 0 {
+		t.Fatalf("low preemptions = %d, want 0", v.Preemptions)
+	}
+	low.cancelCtx() // unblock the fake executor
+	<-low.Done()
+}
+
+// TestNoPreemptionAmongEquals: equal priority never evicts — the second
+// normal job waits for the slot.
+func TestNoPreemptionAmongEquals(t *testing.T) {
+	ex := newPreemptExec()
+	r := newTestRunner(t, 1, queue.Config{}, ex.exec)
+	defer r.Shutdown(context.Background())
+
+	first, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, first, api.StateRunning)
+
+	ex.pass("jb-000002")
+	second, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if st := first.State(); st != api.StateRunning {
+		t.Fatalf("first state = %s, want running (equals must not preempt)", st)
+	}
+	if st := second.State(); st != api.StateQueued {
+		t.Fatalf("second state = %s, want queued", st)
+	}
+	first.cancelCtx() // release the slot; the blocked incarnation unwinds cancelled
+	<-second.Done()
+}
+
+// TestUserCancelBeatsPreemption: DELETE on the running victim while its
+// first incarnation is blocked must land it in cancelled, not requeued —
+// even if a preemption races in at the same time.
+func TestUserCancelBeatsPreemption(t *testing.T) {
+	ex := newPreemptExec()
+	r := newTestRunner(t, 1, queue.Config{}, ex.exec)
+	defer r.Shutdown(context.Background())
+
+	low, err := r.Submit(specWithPriority("low"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, low, api.StateRunning)
+	if err := r.Cancel(low.ID()); err != nil {
+		t.Fatal(err)
+	}
+	<-low.Done()
+	if st := low.State(); st != api.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", st)
+	}
+	if v := low.View(); v.Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0", v.Preemptions)
+	}
+}
+
+// TestBenchJobsNotPreempted: bench jobs have no epoch-boundary
+// cancellation point, so a high train submission must wait, not evict.
+func TestBenchJobsNotPreempted(t *testing.T) {
+	ex := newPreemptExec()
+	r := newTestRunner(t, 1, queue.Config{}, ex.exec)
+	defer r.Shutdown(context.Background())
+
+	bspec := api.JobSpec{Kind: api.KindBench, Experiment: "fig2"}
+	bspec.Normalize()
+	bspec.Priority = "low"
+	bj, err := r.Submit(bspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, bj, api.StateRunning)
+
+	ex.pass("jb-000002")
+	high, err := r.Submit(specWithPriority("high"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if st := bj.State(); st != api.StateRunning {
+		t.Fatalf("bench state = %s, want running (bench must not be preempted)", st)
+	}
+	bj.cancelCtx() // unblock the fake bench
+	<-bj.Done()
+	<-high.Done()
+}

@@ -1,0 +1,257 @@
+package runner
+
+// Restart recovery: rebuilding the in-memory registry from the on-disk
+// records a previous daemon life left behind.
+//
+// Recovery happens in two phases. The synchronous scan (recoverScan, run
+// inside New before the dispatcher starts and before any submission can
+// be accepted) walks the artifact root, seeds the ID counter past every
+// directory it finds — even ones whose records are unreadable, so a
+// restarted daemon can never reuse a previous life's job directories —
+// and reconstructs one registry entry per readable job record, replaying
+// each job's state journal to its last intact line. Terminal jobs come
+// back as finished history (result artifact reloaded when present);
+// queued and running jobs come back as queued and are handed to the
+// asynchronous phase.
+//
+// The asynchronous phase (finishRecovery, a goroutine; /healthz reports
+// "recovering" until it completes) decides how each non-terminal job
+// restarts. It probes the job's checkpoint directory through
+// ckpt.Manager.LoadLatest — the same quarantine ladder training uses, so
+// corrupt snapshots are renamed aside and the probe falls back to the
+// previous good one. A job that died running resumes from its latest
+// valid checkpoint (provenance "resumed"); one with no usable checkpoint
+// restarts from scratch and records a "recovered_restart" event; jobs
+// that died queued simply re-enqueue. Re-enqueueing uses Queue.Restore,
+// which bypasses admission quotas: a daemon must always be able to
+// rebuild its own backlog.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"repro/internal/ckpt"
+	"repro/internal/serve/api"
+	"repro/internal/telemetry"
+)
+
+// jobDirRe matches job artifact directories (Submit's jb-%06d grammar;
+// longer digit runs are accepted so a hand-renamed dir still seeds seq).
+var jobDirRe = regexp.MustCompile(`^jb-(\d{6,})$`)
+
+// recoveredJob carries one non-terminal job from the scan to the
+// asynchronous recovery phase.
+type recoveredJob struct {
+	j          *Job
+	wasRunning bool
+}
+
+// recoverScan rescans the artifact root and rebuilds the registry. It
+// must run before the dispatcher starts and before Submit can be called:
+// seq seeding is what prevents a restarted daemon from writing new
+// artifacts into a previous life's job directories.
+func (r *Runner) recoverScan() ([]recoveredJob, error) {
+	ents, err := os.ReadDir(r.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var pending []recoveredJob
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		m := jobDirRe.FindStringSubmatch(ent.Name())
+		if m == nil {
+			continue
+		}
+		// Seed the ID counter from the directory name alone, before any
+		// attempt to read records: a corrupt or pre-durability directory
+		// must still advance seq so its ID is never reissued.
+		if n, err := strconv.Atoi(m[1]); err == nil && n > r.seq {
+			r.seq = n
+		}
+		dir := filepath.Join(r.cfg.Dir, ent.Name())
+		rec, err := readJobRecord(dir)
+		if err != nil {
+			// Unreadable record: the directory predates the durable
+			// registry or its record is corrupt. Leave the artifacts on
+			// disk (an operator may want them) but do not register a job.
+			telemetry.Instant("serve_job_record_skipped", 0,
+				telemetry.Label{Key: "dir", Value: ent.Name()},
+				telemetry.Label{Key: "error", Value: err.Error()})
+			continue
+		}
+		if rec.ID != ent.Name() {
+			telemetry.Instant("serve_job_record_skipped", 0,
+				telemetry.Label{Key: "dir", Value: ent.Name()},
+				telemetry.Label{Key: "error", Value: "record id does not match directory"})
+			continue
+		}
+		entries, damaged, err := readJournal(dir)
+		if err != nil {
+			telemetry.Instant("serve_job_record_skipped", 0,
+				telemetry.Label{Key: "dir", Value: ent.Name()},
+				telemetry.Label{Key: "error", Value: err.Error()})
+			continue
+		}
+		if damaged {
+			telemetry.Instant("serve_journal_truncated", 0,
+				telemetry.Label{Key: "job", Value: rec.ID})
+		}
+		// Replay: the last intact entry's state is the crash-time FSM
+		// position; provenance and the resume flag are sticky.
+		state := api.StateQueued
+		prov := api.ProvenanceFresh
+		resume := rec.Spec.ResumeFrom != ""
+		errMsg := ""
+		for _, e := range entries {
+			if e.State != "" {
+				state = e.State
+			}
+			if e.Provenance != "" {
+				prov = e.Provenance
+			}
+			if e.Resume {
+				resume = true
+			}
+			if e.Error != "" {
+				errMsg = e.Error
+			}
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			id:         rec.ID,
+			spec:       rec.Spec,
+			priority:   rec.Priority,
+			provenance: prov,
+			resume:     resume,
+			created:    rec.CreatedAt,
+			arts:       rec.Artifacts,
+			errMsg:     errMsg,
+			ctx:        ctx, ctxCancel: cancel,
+			done: make(chan struct{}),
+		}
+		j.progress.Epochs = rec.Spec.Epochs
+		switch {
+		case state.Terminal():
+			j.state = state
+			j.finished = rec.CreatedAt // best available ordering key
+			if fi, err := os.Stat(filepath.Join(dir, journalFile)); err == nil {
+				j.finished = fi.ModTime() // last journal append ≈ finish time
+			}
+			if res, err := readResultArtifact(j.arts.Result); err == nil {
+				j.result = res
+			}
+			close(j.done)
+		default:
+			// queued or running: comes back as queued and is re-enqueued by
+			// the asynchronous phase. This is registry reconstruction, not
+			// an FSM transition — the running incarnation is dead.
+			j.state = api.StateQueued
+			pending = append(pending, recoveredJob{j: j, wasRunning: state == api.StateRunning})
+		}
+		r.jobs[j.id] = j
+		r.order = append(r.order, j.id) // ReadDir sorts, IDs are zero-padded
+	}
+	return pending, nil
+}
+
+// readResultArtifact reloads a terminal job's result.json.
+func readResultArtifact(path string) (*api.Result, error) {
+	if path == "" {
+		return nil, os.ErrNotExist
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res api.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// finishRecovery is the asynchronous recovery phase: probe checkpoints,
+// journal the recovery decision, and re-enqueue. Runs once per process
+// start; /healthz reports "recovering" until it flips r.recovering off.
+func (r *Runner) finishRecovery(pending []recoveredJob) {
+	defer r.wg.Done()
+	defer r.recovering.Store(false)
+	for _, p := range pending {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		j := p.j
+		hasCkpt := probeCheckpoint(j.Spec(), j.CheckpointDir())
+
+		var event, kind string
+		var prov string
+		switch {
+		case p.wasRunning && hasCkpt:
+			event, prov, kind = "recovered_resume", api.ProvenanceResumed, "resumed"
+		case p.wasRunning:
+			event, prov, kind = "recovered_restart", api.ProvenanceRecoveredRestart, "restart"
+		case hasCkpt:
+			// Died queued but a checkpoint exists (a preempted or
+			// resume_from job): it will resume where it left off.
+			event, prov, kind = "recovered_requeue", api.ProvenanceResumed, "requeued"
+		default:
+			event, prov, kind = "recovered_requeue", "", "requeued"
+		}
+
+		j.mu.Lock()
+		if j.state != api.StateQueued {
+			// Cancelled (or otherwise finished) while recovery was probing.
+			j.mu.Unlock()
+			continue
+		}
+		// A job can only resume from what actually survived on disk: the
+		// probe's verdict overrides whatever the journal believed.
+		j.resume = hasCkpt
+		if prov != "" {
+			j.provenance = prov
+		}
+		j.appendJournalLocked(journalEntry{
+			State: api.StateQueued, Event: event,
+			Provenance: j.provenance, Resume: j.resume,
+		})
+		j.logEventLocked(telemetryLine{Event: event, State: string(api.StateQueued)})
+		tenant, pri := j.spec.Tenant, j.priority
+		j.mu.Unlock()
+
+		telemetry.IncCounter(telemetry.MetricServeJobsRecovered, 1,
+			telemetry.Label{Key: "kind", Value: kind})
+		r.q.Restore(tenant, pri, j)
+		r.maybePreempt(pri)
+	}
+}
+
+// probeCheckpoint reports whether the job has a loadable snapshot to
+// resume from, walking ckpt's quarantine ladder (corrupt snapshots are
+// renamed aside, the probe falls back to the previous good one).
+func probeCheckpoint(spec api.JobSpec, dir string) bool {
+	if spec.Kind != api.KindTrain || dir == "" {
+		return false
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return false
+	}
+	mgr, err := ckpt.NewManager(dir, 0)
+	if err != nil {
+		return false
+	}
+	_, _, err = mgr.LoadLatest()
+	return err == nil
+}
+
+// Recovering reports whether the asynchronous recovery phase is still
+// probing checkpoints and re-enqueueing jobs from a previous life.
+func (r *Runner) Recovering() bool { return r.recovering.Load() }

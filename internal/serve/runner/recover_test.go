@@ -1,0 +1,320 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/sched"
+	"repro/internal/serve/api"
+)
+
+// plantJob writes a job's durable records by hand — the on-disk state a
+// crashed daemon would have left behind.
+func plantJob(t *testing.T, root, id string, spec api.JobSpec, entries ...journalEntry) api.Artifacts {
+	t.Helper()
+	dir := filepath.Join(root, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	arts := api.Artifacts{
+		Dir:       dir,
+		Telemetry: filepath.Join(dir, "telemetry.jsonl"),
+		Result:    filepath.Join(dir, "result.json"),
+	}
+	if spec.Kind == api.KindTrain {
+		arts.Checkpoints = filepath.Join(dir, "checkpoints")
+	}
+	if err := writeJobRecord(dir, jobRecord{
+		ID: id, Spec: spec, Priority: 1, CreatedAt: time.Now(), Artifacts: arts,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{arts: arts}
+	j.mu.Lock()
+	for _, e := range entries {
+		j.appendJournalLocked(e)
+	}
+	j.closeLogsLocked()
+	j.mu.Unlock()
+	return arts
+}
+
+// newRunnerAt builds a runner over an existing directory (the restart).
+func newRunnerAt(t *testing.T, dir string, exec ExecFunc) *Runner {
+	t.Helper()
+	r, err := New(Config{
+		Dir:  dir,
+		Pool: sched.NewTokenPool(2),
+		Exec: exec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Shutdown(context.Background()) })
+	return r
+}
+
+func waitRecovered(t *testing.T, r *Runner) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for r.Recovering() {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSeqSeededFromDiskScan is the job-ID collision fix: a restarted
+// daemon must never reissue an ID a previous life already used, even for
+// directories whose records are unreadable.
+func TestSeqSeededFromDiskScan(t *testing.T) {
+	dir := t.TempDir()
+	// jb-000007 has no job.json at all (pre-durability directory).
+	if err := os.MkdirAll(filepath.Join(dir, "jb-000007"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// jb-000042's record is garbage (torn write).
+	if err := os.MkdirAll(filepath.Join(dir, "jb-000042"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jb-000042", jobRecordFile),
+		[]byte("torn gar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) { return api.Result{}, nil })
+	if n := r.JobCount(); n != 0 {
+		t.Fatalf("registry has %d jobs, want 0 (both dirs unreadable)", n)
+	}
+	j, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "jb-000043" {
+		t.Fatalf("first post-restart ID = %s, want jb-000043 (seeded past jb-000042)", j.ID())
+	}
+}
+
+// TestRecoverTerminalJob: finished jobs come back as history — correct
+// state, result artifact reloaded, not re-enqueued.
+func TestRecoverTerminalJob(t *testing.T) {
+	dir := t.TempDir()
+	ran := make(chan string, 8)
+	exec := func(j *Job) (api.Result, error) {
+		ran <- j.ID()
+		return api.Result{Best: 0.5, FinalLoss: 0.25}, nil
+	}
+	r1 := newRunnerAt(t, dir, exec)
+	j, err := r1.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	r1.Shutdown(context.Background())
+	<-ran
+
+	r2 := newRunnerAt(t, dir, exec)
+	waitRecovered(t, r2)
+	got, ok := r2.Get(j.ID())
+	if !ok {
+		t.Fatalf("job %s not recovered", j.ID())
+	}
+	if st := got.State(); st != api.StateDone {
+		t.Fatalf("recovered state = %s, want done", st)
+	}
+	res, ok := got.Result()
+	if !ok || res.FinalLoss != 0.25 || res.Best != 0.5 {
+		t.Fatalf("recovered result = %+v ok=%v", res, ok)
+	}
+	v := got.View()
+	if v.Priority != "normal" || v.Provenance != api.ProvenanceFresh {
+		t.Fatalf("recovered view: priority %q provenance %q", v.Priority, v.Provenance)
+	}
+	select {
+	case id := <-ran:
+		t.Fatalf("terminal job %s re-executed after recovery", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestRecoverQueuedJobRequeues: a job that died queued runs after restart.
+func TestRecoverQueuedJobRequeues(t *testing.T) {
+	dir := t.TempDir()
+	plantJob(t, dir, "jb-000001", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted", Provenance: api.ProvenanceFresh})
+	ran := make(chan string, 1)
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) {
+		ran <- j.ID()
+		return api.Result{}, nil
+	})
+	waitRecovered(t, r)
+	j, ok := r.Get("jb-000001")
+	if !ok {
+		t.Fatal("queued job not recovered")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("recovered job stuck in %s", j.State())
+	}
+	if st := j.State(); st != api.StateDone {
+		t.Fatalf("state = %s, want done", st)
+	}
+	if id := <-ran; id != "jb-000001" {
+		t.Fatalf("executed %s, want jb-000001", id)
+	}
+}
+
+// TestRecoverRunningNoCheckpointRestarts: died running, nothing on disk to
+// resume from → restarted from scratch with recovered_restart provenance.
+func TestRecoverRunningNoCheckpointRestarts(t *testing.T) {
+	dir := t.TempDir()
+	plantJob(t, dir, "jb-000001", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted", Provenance: api.ProvenanceFresh},
+		journalEntry{State: api.StateRunning, Event: "started"})
+	var mu sync.Mutex
+	var sawResume bool
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) {
+		mu.Lock()
+		sawResume = j.resumeFlag()
+		mu.Unlock()
+		return api.Result{}, nil
+	})
+	waitRecovered(t, r)
+	j, _ := r.Get("jb-000001")
+	if j == nil {
+		t.Fatal("job not recovered")
+	}
+	<-j.Done()
+	v := j.View()
+	if v.State != api.StateDone || v.Provenance != api.ProvenanceRecoveredRestart {
+		t.Fatalf("state %s provenance %q, want done/recovered_restart", v.State, v.Provenance)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sawResume {
+		t.Fatal("restart-from-scratch job had the resume flag armed")
+	}
+}
+
+// TestRecoverRunningWithCheckpointResumes: died running with a loadable
+// snapshot → re-enqueued with resume armed and resumed provenance.
+func TestRecoverRunningWithCheckpointResumes(t *testing.T) {
+	dir := t.TempDir()
+	arts := plantJob(t, dir, "jb-000001", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted", Provenance: api.ProvenanceFresh},
+		journalEntry{State: api.StateRunning, Event: "started"})
+	mgr, err := ckpt.NewManager(arts.Checkpoints, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Save(&ckpt.Snapshot{
+		Epoch: 2, Step: 10, P: 1, Trainer: []byte{1}, Ranks: [][]byte{{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var sawResume bool
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) {
+		mu.Lock()
+		sawResume = j.resumeFlag()
+		mu.Unlock()
+		return api.Result{}, nil
+	})
+	waitRecovered(t, r)
+	j, _ := r.Get("jb-000001")
+	if j == nil {
+		t.Fatal("job not recovered")
+	}
+	<-j.Done()
+	v := j.View()
+	if v.State != api.StateDone || v.Provenance != api.ProvenanceResumed {
+		t.Fatalf("state %s provenance %q, want done/resumed", v.State, v.Provenance)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !sawResume {
+		t.Fatal("recovered job with a valid checkpoint did not arm resume")
+	}
+}
+
+// TestRecoverTornJournalTail: a journal whose last line was torn by the
+// crash still recovers every intact entry — the job that had reached
+// running (intact lines) is recovered even though the torn tail is lost.
+func TestRecoverTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	arts := plantJob(t, dir, "jb-000001", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted"},
+		journalEntry{State: api.StateRunning, Event: "started"})
+	// Tear: append half of a valid line.
+	line := encodeCRCLine([]byte(`{"state":"done","event":"finished"}`))
+	f, err := os.OpenFile(filepath.Join(arts.Dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(line[:len(line)/2])
+	f.Close()
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) { return api.Result{}, nil })
+	waitRecovered(t, r)
+	j, ok := r.Get("jb-000001")
+	if !ok {
+		t.Fatal("job with torn journal tail not recovered")
+	}
+	// The torn "finished" line must NOT count: the job was running at
+	// crash time and must re-run to completion.
+	<-j.Done()
+	if v := j.View(); v.State != api.StateDone || v.Provenance != api.ProvenanceRecoveredRestart {
+		t.Fatalf("state %s provenance %q, want done/recovered_restart", v.State, v.Provenance)
+	}
+}
+
+// TestRecoveryCountsMetric: serve_jobs_recovered_total increments per
+// recovered job, labeled by how it came back.
+func TestRecoveryCountsJobs(t *testing.T) {
+	dir := t.TempDir()
+	plantJob(t, dir, "jb-000001", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted"})
+	plantJob(t, dir, "jb-000002", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted"},
+		journalEntry{State: api.StateRunning, Event: "started"})
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) { return api.Result{}, nil })
+	waitRecovered(t, r)
+	if n := r.JobCount(); n != 2 {
+		t.Fatalf("registry has %d jobs, want 2", n)
+	}
+	for _, id := range []string{"jb-000001", "jb-000002"} {
+		j, _ := r.Get(id)
+		if j == nil {
+			t.Fatalf("%s not recovered", id)
+		}
+		<-j.Done()
+	}
+}
+
+// TestRecoveredJobsDoNotCollideWithNewSubmissions: recovery and fresh
+// submissions share the registry; IDs keep ascending.
+func TestRecoveredJobsDoNotCollideWithNewSubmissions(t *testing.T) {
+	dir := t.TempDir()
+	plantJob(t, dir, "jb-000005", trainSpec(),
+		journalEntry{State: api.StateQueued, Event: "submitted"})
+	r := newRunnerAt(t, dir, func(j *Job) (api.Result, error) { return api.Result{}, nil })
+	j, err := r.Submit(trainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID() != "jb-000006" {
+		t.Fatalf("post-recovery submit got ID %s, want jb-000006", j.ID())
+	}
+	waitRecovered(t, r)
+	old, _ := r.Get("jb-000005")
+	if old == nil {
+		t.Fatal("planted job lost")
+	}
+	<-old.Done()
+	<-j.Done()
+}

@@ -18,6 +18,18 @@
 // context, train.RunElasticCtx observes it at the next epoch boundary,
 // force-writes a checkpoint, and the job lands in StateCancelled with a
 // resumable checkpoint directory in its artifacts.
+//
+// The registry is durable: every job writes an immutable job.json and an
+// append-only state journal into its artifact directory (persist.go), and
+// a restarted daemon replays them to rebuild the registry, re-enqueue
+// interrupted work, and resume from checkpoints (recover.go). Priority
+// classes (low/normal/high) order dispatch globally, and when every slot
+// is busy a queued higher-priority job checkpoint-preempts the
+// lowest-priority running train job: the victim's context is cancelled —
+// the same epoch-boundary force-checkpoint path as user cancellation —
+// and the job re-enqueues at the front of its class to resume later,
+// bit-identical to an unpreempted run. Artifact GC (gc.go) sweeps
+// terminal jobs under the configured Retention policy.
 package runner
 
 import (
@@ -31,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/sched"
 	"repro/internal/serve/api"
 	"repro/internal/serve/httperror"
@@ -58,6 +71,9 @@ type Config struct {
 	Queue queue.Config
 	// Exec overrides the job executor (tests); nil selects Execute.
 	Exec ExecFunc
+	// Retention configures the artifact garbage collector; the zero value
+	// disables sweeping (artifacts are kept forever).
+	Retention Retention
 }
 
 // Job is one submitted job. All exported accessors are safe for concurrent
@@ -76,6 +92,23 @@ type Job struct {
 	arts     api.Artifacts
 	result   *api.Result
 	telog    *os.File
+	journal  *os.File
+
+	// priority is the cliutil rank (0 low … 2 high) parsed at submit.
+	priority int
+	// provenance records how this incarnation came to run (api.Provenance*).
+	provenance string
+	// resume marks that the next dispatch must load the latest checkpoint:
+	// set for resume_from submissions, by preemption, and by recovery.
+	resume bool
+	// preempted marks an in-flight checkpoint-preemption; runJob re-enqueues
+	// instead of finishing when the executor unwinds with it set.
+	preempted bool
+	// userCancelled distinguishes an explicit DELETE from a preemption when
+	// both race: the user's cancel always wins.
+	userCancelled bool
+	// preemptions counts completed preemptions, surfaced in the wire view.
+	preemptions int
 
 	// ctx is cancelled by Runner.Cancel and Runner.Shutdown; its Done
 	// channel gates the token acquisition and flows into
@@ -106,8 +139,30 @@ func (j *Job) State() api.State {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Context returns the job's cancellation context.
-func (j *Job) Context() context.Context { return j.ctx }
+// Context returns the job's cancellation context. Preemption swaps in a
+// fresh context for the next incarnation, so the read is locked.
+func (j *Job) Context() context.Context {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctx
+}
+
+// cancelCtx cancels the job's current context (locked for the same
+// reason as Context).
+func (j *Job) cancelCtx() {
+	j.mu.Lock()
+	cancel := j.ctxCancel
+	j.mu.Unlock()
+	cancel()
+}
+
+// resumeFlag reports whether the next dispatch must load the latest
+// checkpoint.
+func (j *Job) resumeFlag() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resume
+}
 
 // CheckpointDir returns the checkpoint directory this job writes to (its
 // resume source's directory for resubmitted jobs).
@@ -122,15 +177,18 @@ func (j *Job) View() api.Job {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return api.Job{
-		ID:         j.id,
-		Spec:       j.spec,
-		State:      j.state,
-		Error:      j.errMsg,
-		CreatedAt:  j.created,
-		StartedAt:  j.started,
-		FinishedAt: j.finished,
-		Progress:   j.progress,
-		Artifacts:  j.arts,
+		ID:          j.id,
+		Spec:        j.spec,
+		Priority:    cliutil.PriorityName(j.priority),
+		State:       j.state,
+		Provenance:  j.provenance,
+		Preemptions: j.preemptions,
+		Error:       j.errMsg,
+		CreatedAt:   j.created,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+		Progress:    j.progress,
+		Artifacts:   j.arts,
 	}
 }
 
@@ -148,8 +206,11 @@ func (j *Job) Result() (api.Result, bool) {
 // state change goes through transition, so an illegal move is a bug caught
 // at the choke point rather than a silently inconsistent registry.
 var validNext = map[api.State][]api.State{
-	api.StateQueued:  {api.StateRunning, api.StateCancelled},
-	api.StateRunning: {api.StateDone, api.StateFailed, api.StateCancelled},
+	api.StateQueued: {api.StateRunning, api.StateCancelled},
+	// running → queued is the checkpoint-preemption edge: the job's context
+	// is cancelled, training force-writes a checkpoint, and the job goes
+	// back to the queue to resume later instead of finishing.
+	api.StateRunning: {api.StateDone, api.StateFailed, api.StateCancelled, api.StateQueued},
 }
 
 func canTransition(from, to api.State) bool {
@@ -219,6 +280,19 @@ func (j *Job) logEventLocked(line telemetryLine) {
 	j.telog.Write(append(b, '\n'))
 }
 
+// closeLogsLocked closes the telemetry and journal files (terminal state
+// or admission rollback); both reopen lazily if ever written again.
+func (j *Job) closeLogsLocked() {
+	if j.telog != nil {
+		j.telog.Close()
+		j.telog = nil
+	}
+	if j.journal != nil {
+		j.journal.Close()
+		j.journal = nil
+	}
+}
+
 // recordEpoch is the train.Config.OnEpoch hook: live progress for the
 // status endpoint plus one JSONL telemetry line per epoch.
 func (j *Job) recordEpoch(st train.EpochStat) {
@@ -253,6 +327,13 @@ type Runner struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 	running  atomic.Int64
+	// dispatched counts jobs holding a dispatch slot inside runJob; the
+	// preemption trigger fires only when it reaches the slot count (a slot
+	// parked in the dispatcher's pop loop is not busy).
+	dispatched atomic.Int64
+	// recovering is true while the asynchronous recovery phase re-enqueues
+	// jobs from a previous daemon life; /healthz surfaces it.
+	recovering atomic.Bool
 }
 
 // New builds a Runner, creates its artifact root, and starts the
@@ -282,8 +363,23 @@ func New(cfg Config) (*Runner, error) {
 	if r.exec == nil {
 		r.exec = Execute
 	}
+	// Rebuild the registry from a previous daemon life before the
+	// dispatcher starts and before any submission can race the seq seed.
+	pending, err := r.recoverScan()
+	if err != nil {
+		return nil, fmt.Errorf("runner: recovery scan: %w", err)
+	}
+	if len(pending) > 0 {
+		r.recovering.Store(true)
+		r.wg.Add(1)
+		go r.finishRecovery(pending)
+	}
 	r.wg.Add(1)
 	go r.dispatch()
+	if cfg.Retention.enabled() {
+		r.wg.Add(1)
+		go r.gcLoop()
+	}
 	return r, nil
 }
 
@@ -295,6 +391,14 @@ func (r *Runner) Running() int { return int(r.running.Load()) }
 
 // QueueLen returns the number of admitted, undispatched jobs.
 func (r *Runner) QueueLen() int { return r.q.Len() }
+
+// JobCount returns the registry size (all states, including recovered
+// history); /healthz surfaces it.
+func (r *Runner) JobCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
 
 // Submit validates nothing — the server normalizes and validates specs
 // before calling — but resolves resume_from, allocates the job directory
@@ -323,17 +427,28 @@ func (r *Runner) Submit(spec api.JobSpec) (*Job, error) {
 		}
 		resumeCkpt = srcCkpt
 	}
+	pri, err := cliutil.ParsePriority(spec.Priority)
+	if err != nil {
+		r.mu.Unlock()
+		return nil, httperror.BadRequest(err.Error())
+	}
 	r.seq++
 	id := fmt.Sprintf("jb-%06d", r.seq)
 	dir := filepath.Join(r.cfg.Dir, id)
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		id:      id,
-		spec:    spec,
-		state:   api.StateQueued,
-		created: time.Now(),
-		ctx:     ctx, ctxCancel: cancel,
+		id:         id,
+		spec:       spec,
+		state:      api.StateQueued,
+		priority:   pri,
+		provenance: api.ProvenanceFresh,
+		resume:     spec.ResumeFrom != "",
+		created:    time.Now(),
+		ctx:        ctx, ctxCancel: cancel,
 		done: make(chan struct{}),
+	}
+	if j.resume {
+		j.provenance = api.ProvenanceResumed
 	}
 	j.arts = api.Artifacts{
 		Dir:       dir,
@@ -355,13 +470,36 @@ func (r *Runner) Submit(spec api.JobSpec) (*Job, error) {
 		r.forget(id)
 		return nil, httperror.Internal(fmt.Sprintf("create job dir: %v", err))
 	}
-	if err := r.q.Push(spec.Tenant, j); err != nil {
+	// The durable record is what recovery rebuilds the registry from: if it
+	// cannot be written the job must not be admitted, or a crash would
+	// silently drop it.
+	if err := writeJobRecord(dir, jobRecord{
+		ID: id, Spec: spec, Priority: pri, CreatedAt: j.created, Artifacts: j.arts,
+	}); err != nil {
 		r.forget(id)
 		cancel()
+		return nil, httperror.Internal(fmt.Sprintf("persist job record: %v", err))
+	}
+	j.mu.Lock()
+	j.appendJournalLocked(journalEntry{
+		State: api.StateQueued, Event: "submitted",
+		Provenance: j.provenance, Resume: j.resume,
+	})
+	j.logEventLocked(telemetryLine{Event: "submitted", State: string(api.StateQueued)})
+	j.mu.Unlock()
+	if err := r.q.Push(spec.Tenant, pri, j); err != nil {
+		r.forget(id)
+		cancel()
+		// Remove the durable record too, or a restart would resurrect a job
+		// the tenant was told got bounced.
+		j.mu.Lock()
+		j.closeLogsLocked()
+		j.mu.Unlock()
+		os.RemoveAll(dir)
 		return nil, httperror.TooManyRequests(fmt.Sprintf(
 			"tenant %q queue quota exhausted; retry after a job finishes", spec.Tenant))
 	}
-	j.logEvent(telemetryLine{Event: "submitted", State: string(api.StateQueued)})
+	r.maybePreempt(pri)
 	return j, nil
 }
 
@@ -412,13 +550,19 @@ func (r *Runner) Cancel(id string) error {
 	case j.state == api.StateQueued:
 		// The dispatcher discards cancelled jobs it pops; no token was
 		// held, so the transition is immediate.
+		j.userCancelled = true
 		j.transitionLocked(api.StateCancelled)
+		j.appendJournalLocked(journalEntry{State: api.StateCancelled, Event: "cancelled"})
 		j.logEventLocked(telemetryLine{Event: "cancelled", State: string(api.StateCancelled)})
+		j.closeLogsLocked()
 		j.mu.Unlock()
 	default: // running
+		// Mark the cancel as user-initiated so a preemption racing with it
+		// cannot re-enqueue the job the user asked to stop.
+		j.userCancelled = true
 		j.mu.Unlock()
 	}
-	j.ctxCancel()
+	j.cancelCtx()
 	return nil
 }
 
@@ -456,23 +600,31 @@ func (r *Runner) runJob(j *Job, tenant string) {
 	defer r.wg.Done()
 	defer func() { <-r.slots }()
 	defer r.q.Done(tenant)
+	r.dispatched.Add(1)
+	defer r.dispatched.Add(-1)
 
 	// One token per running job, shared with nested stage/GEMM
 	// parallelism: this acquire is what makes N concurrent jobs respect
 	// the process-wide core budget. Cancellation aborts the wait.
-	if !r.cfg.Pool.Acquire(j.ctx.Done()) {
+	if !r.cfg.Pool.Acquire(j.Context().Done()) {
 		j.finish(api.StateCancelled, nil, nil)
 		return
 	}
 	defer r.cfg.Pool.Release(1)
 
-	if err := j.transition(api.StateRunning); err != nil {
+	j.mu.Lock()
+	if err := j.transitionLocked(api.StateRunning); err != nil {
 		// Cancelled between dequeue and token grant; nothing ran.
+		j.mu.Unlock()
 		return
 	}
+	j.appendJournalLocked(journalEntry{
+		State: api.StateRunning, Event: "started", Resume: j.resume,
+	})
+	j.logEventLocked(telemetryLine{Event: "started", State: string(api.StateRunning)})
+	j.mu.Unlock()
 	n := r.running.Add(1)
 	telemetry.SetGauge(telemetry.MetricServeJobsRunning, float64(n))
-	j.logEvent(telemetryLine{Event: "started", State: string(api.StateRunning)})
 	start := time.Now()
 
 	result, err := r.exec(j)
@@ -490,6 +642,15 @@ func (r *Runner) runJob(j *Job, tenant string) {
 	default:
 		state = api.StateFailed
 	}
+	if state == api.StateCancelled && r.requeuePreempted(j) {
+		if telemetry.Enabled() {
+			lbl := telemetry.Label{Key: "state", Value: "preempted"}
+			telemetry.Default().Metrics.Histogram(
+				telemetry.MetricServeJobDuration, telemetry.DurationBucketsNS, lbl).
+				Observe(float64(dur.Nanoseconds()))
+		}
+		return
+	}
 	if telemetry.Enabled() {
 		lbl := telemetry.Label{Key: "state", Value: string(state)}
 		telemetry.Default().Metrics.Histogram(
@@ -498,6 +659,84 @@ func (r *Runner) runJob(j *Job, tenant string) {
 		telemetry.IncCounter(telemetry.MetricServeJobsTotal, 1, lbl)
 	}
 	j.finish(state, &result, err)
+}
+
+// maybePreempt fires when a job of priority pri joins the queue: if every
+// dispatch slot is busy and some running train job has strictly lower
+// priority, the lowest-priority (most recently started among equals)
+// victim is checkpoint-preempted — its context is cancelled, training
+// force-writes a checkpoint at the epoch boundary, and runJob re-enqueues
+// it to resume later.
+func (r *Runner) maybePreempt(pri int) {
+	if int(r.dispatched.Load()) < cap(r.slots) {
+		return // a slot is (or is about to be) free; no need to evict
+	}
+	var victim *Job
+	victimPri := 0
+	var victimStart time.Time
+	r.mu.Lock()
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		// Only running train jobs of strictly lower priority are eligible:
+		// bench jobs have no epoch-boundary cancellation point, and equal
+		// priority never evicts (FIFO fairness among peers).
+		eligible := j.state == api.StateRunning && !j.preempted && !j.userCancelled &&
+			j.spec.Kind == api.KindTrain && j.priority < pri
+		// Among eligible victims: lowest priority wins; among equals, the
+		// most recently started (least checkpointed progress to replay).
+		if eligible && (victim == nil || j.priority < victimPri ||
+			(j.priority == victimPri && j.started.After(victimStart))) {
+			victim, victimPri, victimStart = j, j.priority, j.started
+		}
+		j.mu.Unlock()
+	}
+	if victim != nil {
+		victim.mu.Lock()
+		// Re-check under the victim's lock: it may have finished or been
+		// cancelled while we scanned.
+		if victim.state == api.StateRunning && !victim.preempted && !victim.userCancelled {
+			victim.preempted = true
+			cancel := victim.ctxCancel
+			victim.mu.Unlock()
+			r.mu.Unlock()
+			cancel()
+			return
+		}
+		victim.mu.Unlock()
+	}
+	r.mu.Unlock()
+}
+
+// requeuePreempted handles a cancelled executor unwind that was caused by
+// preemption rather than a user cancel: transition running → queued, arm
+// the resume flag, swap in a fresh context, and put the job back at the
+// FRONT of its priority class. Reports whether the job was re-enqueued.
+func (r *Runner) requeuePreempted(j *Job) bool {
+	j.mu.Lock()
+	if !j.preempted || j.userCancelled || j.state != api.StateRunning {
+		j.mu.Unlock()
+		return false
+	}
+	if err := j.transitionLocked(api.StateQueued); err != nil {
+		j.mu.Unlock()
+		return false
+	}
+	j.preempted = false
+	j.resume = true
+	j.provenance = api.ProvenanceResumed
+	j.preemptions++
+	j.ctx, j.ctxCancel = context.WithCancel(context.Background())
+	j.appendJournalLocked(journalEntry{
+		State: api.StateQueued, Event: "preempted",
+		Provenance: j.provenance, Resume: true,
+	})
+	j.logEventLocked(telemetryLine{Event: "preempted", State: string(api.StateQueued)})
+	tenant, pri := j.spec.Tenant, j.priority
+	j.mu.Unlock()
+
+	telemetry.IncCounter(telemetry.MetricServePreemptions, 1)
+	r.q.Requeue(tenant, pri, j)
+	return true
 }
 
 // isCancelled classifies executor errors that mean "stopped on request".
@@ -521,12 +760,10 @@ func (j *Job) finish(state api.State, result *api.Result, err error) {
 	if result != nil && (state == api.StateDone || state == api.StateCancelled) {
 		j.result = result
 	}
+	j.appendJournalLocked(journalEntry{State: state, Event: "finished", Error: j.errMsg})
 	line := telemetryLine{Event: "finished", State: string(state), Error: j.errMsg}
 	j.logEventLocked(line)
-	if j.telog != nil {
-		j.telog.Close()
-		j.telog = nil
-	}
+	j.closeLogsLocked()
 	resPath := j.arts.Result
 	var resCopy *api.Result
 	if j.result != nil {

@@ -56,6 +56,7 @@ func TestFSMTransitions(t *testing.T) {
 		{api.StateRunning, api.StateDone},
 		{api.StateRunning, api.StateFailed},
 		{api.StateRunning, api.StateCancelled},
+		{api.StateRunning, api.StateQueued}, // checkpoint-preemption requeues
 	}
 	for _, e := range legal {
 		if !canTransition(e.from, e.to) {
@@ -69,7 +70,7 @@ func TestFSMTransitions(t *testing.T) {
 		{api.StateDone, api.StateCancelled},  // cancelling finished work is a 409
 		{api.StateFailed, api.StateRunning},  // no silent retry
 		{api.StateCancelled, api.StateDone},  // cancelled stays cancelled
-		{api.StateRunning, api.StateQueued},  // no requeue of a running job
+		{api.StateQueued, api.StateQueued},   // no self-loop
 		{api.StateRunning, api.StateRunning}, // no self-loop
 	}
 	for _, e := range illegal {

@@ -412,3 +412,139 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz body: %s (err %v)", body, err)
 	}
 }
+
+// newOneSlotServer boots a server whose runner has a single dispatch
+// slot, so priority preemption is the only way a high job can jump a
+// busy daemon.
+func newOneSlotServer(t testing.TB) (*httptest.Server, *runner.Runner) {
+	t.Helper()
+	telemetry.SetEnabled(true)
+	r, err := runner.New(runner.Config{
+		Dir:  t.TempDir(),
+		Pool: sched.NewTokenPool(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(r))
+	t.Cleanup(ts.Close)
+	return ts, r
+}
+
+// TestPreemptThenResumeBitIdentical drives checkpoint-preemption over
+// HTTP: a low-priority run is evicted by a high-priority submission at an
+// epoch boundary, re-enqueues, resumes when the slot frees — and its
+// final history matches an uninterrupted reference run bit for bit.
+func TestPreemptThenResumeBitIdentical(t *testing.T) {
+	ts, _ := newOneSlotServer(t)
+	const epochs = 200
+	const seed = 11
+
+	// Uninterrupted reference on the same daemon.
+	code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", tinySpec(epochs, seed))
+	if code != http.StatusCreated {
+		t.Fatalf("submit ref: %d %s", code, body)
+	}
+	var ref api.Job
+	json.Unmarshal(body, &ref)
+	waitState(t, ts.URL, ref.ID, api.StateDone)
+	var refRes api.Result
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ref.ID+"/result", nil)
+	if err := json.Unmarshal(body, &refRes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: low priority, long enough to still be running when the
+	// preemptor lands.
+	vspec := tinySpec(epochs, seed)
+	vspec["priority"] = "low"
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", vspec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit victim: %d %s", code, body)
+	}
+	var victim api.Job
+	json.Unmarshal(body, &victim)
+	if victim.Priority != "low" || victim.Provenance != api.ProvenanceFresh {
+		t.Fatalf("victim wire view: priority %q provenance %q", victim.Priority, victim.Provenance)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j := getJob(t, ts.URL, victim.ID)
+		if j.State == api.StateRunning && j.Progress.Epoch >= 2 {
+			break
+		}
+		if j.State.Terminal() {
+			t.Fatalf("victim finished before preemption (state %s) — raise epochs", j.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never reached epoch 2")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// High-priority preemptor: evicts the victim and runs to completion.
+	pspec := tinySpec(3, 99)
+	pspec["priority"] = "high"
+	code, body = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", pspec)
+	if code != http.StatusCreated {
+		t.Fatalf("submit preemptor: %d %s", code, body)
+	}
+	var pre api.Job
+	json.Unmarshal(body, &pre)
+	waitState(t, ts.URL, pre.ID, api.StateDone)
+
+	// The victim resumes and finishes; the wire view records the eviction.
+	final := waitState(t, ts.URL, victim.ID, api.StateDone)
+	if final.Preemptions < 1 {
+		t.Fatalf("victim preemptions = %d, want >= 1", final.Preemptions)
+	}
+	if final.Provenance != api.ProvenanceResumed {
+		t.Fatalf("victim provenance = %q, want %q", final.Provenance, api.ProvenanceResumed)
+	}
+	if final.Progress.Epoch != epochs {
+		t.Fatalf("victim completed %d epochs, want %d", final.Progress.Epoch, epochs)
+	}
+
+	// Bit-identical to the unpreempted reference: same losses, same
+	// metrics, no tolerance.
+	var vicRes api.Result
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+victim.ID+"/result", nil)
+	if err := json.Unmarshal(body, &vicRes); err != nil {
+		t.Fatal(err)
+	}
+	if len(vicRes.Epochs) != len(refRes.Epochs) {
+		t.Fatalf("victim %d epochs, reference %d", len(vicRes.Epochs), len(refRes.Epochs))
+	}
+	for i := range refRes.Epochs {
+		if vicRes.Epochs[i].TrainLoss != refRes.Epochs[i].TrainLoss ||
+			vicRes.Epochs[i].Metric != refRes.Epochs[i].Metric {
+			t.Fatalf("epoch %d diverged: victim (%.17g, %.17g) vs reference (%.17g, %.17g)",
+				i, vicRes.Epochs[i].TrainLoss, vicRes.Epochs[i].Metric,
+				refRes.Epochs[i].TrainLoss, refRes.Epochs[i].Metric)
+		}
+	}
+	if vicRes.FinalLoss != refRes.FinalLoss || vicRes.Best != refRes.Best {
+		t.Fatalf("final loss/best diverged: (%.17g, %.17g) vs (%.17g, %.17g)",
+			vicRes.FinalLoss, vicRes.Best, refRes.FinalLoss, refRes.Best)
+	}
+
+	// The eviction shows up in daemon metrics and the jobs list carries
+	// priority + provenance for every entry.
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "serve_preemptions_total") {
+		t.Fatalf("metrics missing serve_preemptions_total: %d\n%s", code, body)
+	}
+	code, body = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	var list api.JobList
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range list.Jobs {
+		if j.Priority == "" || j.Provenance == "" {
+			t.Fatalf("list entry %s missing priority/provenance: %+v", j.ID, j)
+		}
+	}
+}

@@ -178,8 +178,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Status precedence: draining (going away; stop routing) beats
+	// recovering (alive and accepting, but still re-enqueueing jobs from a
+	// previous life) beats ok. Recovery is reported at 200 so orchestration
+	// health checks pass while the backlog rebuilds.
 	status := "ok"
 	code := http.StatusOK
+	if s.r.Recovering() {
+		status = "recovering"
+	}
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
@@ -188,6 +195,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":      status,
 		"running":     s.r.Running(),
 		"queued":      s.r.QueueLen(),
+		"jobs":        s.r.JobCount(),
 		"max_running": s.r.MaxRunning(),
 	})
 }

@@ -136,6 +136,10 @@ const (
 	MetricCkptCorrupt = "ckpt_corrupt_total"
 	// MetricCkptErrors counts failed checkpoint writes (training continues).
 	MetricCkptErrors = "ckpt_errors_total"
+	// MetricCkptRetentionErrors counts snapshot deletions (and retention
+	// sweeps) that failed — stale files accumulating on disk instead of
+	// being reclaimed.
+	MetricCkptRetentionErrors = "ckpt_retention_errors_total"
 	// MetricFaultsInjected counts faults delivered by the chaos layer,
 	// labeled kind=panic|bitflip|delay.
 	MetricFaultsInjected = "dist_faults_injected_total"
@@ -195,6 +199,15 @@ const (
 	// MetricServeJobsTotal counts jobs reaching a terminal state, labeled
 	// state=done|failed|cancelled.
 	MetricServeJobsTotal = "serve_jobs_total"
+	// MetricServeJobsRecovered counts jobs re-enqueued by the restart
+	// recovery scan, labeled kind=resumed|restart|requeued.
+	MetricServeJobsRecovered = "serve_jobs_recovered_total"
+	// MetricServePreemptions counts running jobs checkpoint-preempted in
+	// favor of a higher-priority submission.
+	MetricServePreemptions = "serve_preemptions_total"
+	// MetricServeGCReclaimed accumulates artifact bytes deleted by the
+	// retention sweeper.
+	MetricServeGCReclaimed = "serve_gc_bytes_reclaimed_total"
 
 	// MetricNetBytes counts TCP transport bytes framed on/off the wire,
 	// labeled dir=tx|rx (per process, framing overhead included).
