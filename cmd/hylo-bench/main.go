@@ -101,6 +101,7 @@ func main() {
 			fmt.Println("telemetry phase summary (top 15):")
 			telemetry.WriteSummary(os.Stdout,
 				telemetry.Summarize(telemetry.Default().Trace.Events()), 15)
+			telemetry.WriteNetSummary(os.Stdout, telemetry.Default().Metrics)
 		}
 	}
 	if *numReport {

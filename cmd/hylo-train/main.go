@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
+	distnet "repro/internal/dist/net"
 	"repro/internal/mat"
 	"repro/internal/numerics"
 	"repro/internal/opt"
@@ -74,6 +75,8 @@ func main() {
 		join           = flag.String("join", "", "join a multi-process cluster at this coordinator address (comma-separated candidates are tried in order)")
 		netRanks       = flag.Int("net-ranks", 1, "global ranks hosted by this process in -listen/-join mode")
 		netFault       = flag.String("net-fault", "", "socket fault spec, comma-separated: drop:PROB | dup:PROB | reorder:PROB | delay:PROB@DUR | partition:AFTER@DUR (e.g. drop:0.1,reorder:0.05)")
+		netTopology    = flag.String("net-topology", distnet.TopologyHub, "reduction topology in -listen/-join mode: hub (coordinator folds every payload) or tree (binary tree, chunk-pipelined; bit-identical results)")
+		netChunk       = flag.Int("net-chunk", 0, "tree pipeline chunk size in float64 elements (0 = default; ignored under hub)")
 		barrierTimeout = flag.Duration("barrier-timeout", 0, "convert a collective stuck longer than this into a recoverable worker failure (0 = watchdog off)")
 
 		numReport = flag.Bool("numerics-report", false, "print the numerical-health summary (condition estimates, damping retries, fallback rungs) at exit")
@@ -167,15 +170,21 @@ func main() {
 	netOpt := netOpts{
 		listen: *listen, join: *join, localRanks: *netRanks,
 		world: *workers, netFault: *netFault, seed: *seed,
+		topology: *netTopology, chunkElems: *netChunk,
 		barrierTimeout: *barrierTimeout,
 		ckptDir:        *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 		faults: plan,
+		// Topology and chunk size are digest fields: results are
+		// bit-identical either way, but a mixed cluster would stall (tree
+		// members wait on data-plane peers hub members never dial), so a
+		// mismatch is rejected at rendezvous instead.
 		digestFields: []string{
 			*model, *optimizer, fmt.Sprint(*epochs), fmt.Sprint(*batch),
 			fmt.Sprint(*workers), fmt.Sprint(*lr), *decayAt,
 			fmt.Sprint(*momentum), fmt.Sprint(*wd), fmt.Sprint(*damping),
 			fmt.Sprint(*freq), fmt.Sprint(*rankFrac), fmt.Sprint(*eta),
 			fmt.Sprint(*seed), fmt.Sprint(*classes), fmt.Sprint(*samples),
+			*netTopology, fmt.Sprint(*netChunk),
 		},
 	}
 	if *listen != "" || *join != "" {
@@ -255,6 +264,7 @@ func main() {
 			fmt.Println("\ntelemetry phase summary (top 15):")
 			telemetry.WriteSummary(os.Stdout,
 				telemetry.Summarize(telemetry.Default().Trace.Events()), 15)
+			telemetry.WriteNetSummary(os.Stdout, telemetry.Default().Metrics)
 		}
 	}
 	if *numReport {

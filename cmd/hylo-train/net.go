@@ -22,6 +22,8 @@ type netOpts struct {
 	localRanks     int
 	world          int
 	netFault       string
+	topology       string
+	chunkElems     int
 	seed           uint64
 	barrierTimeout time.Duration
 	ckptDir        string
@@ -55,6 +57,15 @@ func (o netOpts) validate() error {
 	if _, err := distnet.ParseSocketFaultSpec(o.netFault); err != nil {
 		return fmt.Errorf("-net-fault: %v", err)
 	}
+	switch o.topology {
+	case "", distnet.TopologyHub, distnet.TopologyTree:
+	default:
+		return fmt.Errorf("-net-topology must be %q or %q (got %q)",
+			distnet.TopologyHub, distnet.TopologyTree, o.topology)
+	}
+	if o.chunkElems < 0 {
+		return fmt.Errorf("-net-chunk must be >= 0 (got %d)", o.chunkElems)
+	}
 	return nil
 }
 
@@ -86,6 +97,8 @@ func runNetCluster(o netOpts, cfg train.Config,
 		Seed:         o.seed,
 		Faults:       sockPlan,
 		CollTimeout:  o.barrierTimeout,
+		Topology:     o.topology,
+		ChunkElems:   o.chunkElems,
 	}
 
 	var proc *distnet.Proc

@@ -176,17 +176,18 @@ func (w *Worker) AllGatherBytes(b []byte) [][]byte {
 
 // AllReduceMat sums matrices across workers; every worker receives the sum
 // in a freshly allocated matrix. The reduction completes before the exit
-// barrier (so callers may immediately mutate their inputs), and the
-// summation order is rank order on every worker, so results are bitwise
-// identical across ranks.
+// barrier (so callers may immediately mutate their inputs), and every
+// worker applies the canonical pairwise-tree order (see reduce.go), so
+// results are bitwise identical across ranks — and across transports.
 func (w *Worker) AllReduceMat(m *mat.Dense) *mat.Dense {
 	countComm("allreduce", m.Rows()*m.Cols())
 	w.c.slots[w.Rank] = m
 	w.Barrier()
-	sum := w.c.slots[0].(*mat.Dense).Clone()
-	for _, p := range w.c.slots[1:] {
-		sum.AddMat(p.(*mat.Dense))
+	parts := make([]*mat.Dense, w.c.P)
+	for i, p := range w.c.slots {
+		parts[i] = p.(*mat.Dense)
 	}
+	sum := CanonicalReduceDense(parts)
 	w.Barrier()
 	return sum
 }
@@ -223,14 +224,15 @@ func (w *Worker) ReduceScatterRows(m *mat.Dense) *mat.Dense {
 	return shard
 }
 
-// AllReduceScalar sums a scalar across workers.
+// AllReduceScalar sums a scalar across workers in the canonical
+// pairwise-tree order.
 func (w *Worker) AllReduceScalar(v float64) float64 {
 	parts := w.AllGather(v)
-	var s float64
-	for _, p := range parts {
-		s += p.(float64)
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		vals[i] = p.(float64)
 	}
-	return s
+	return CanonicalReduceScalar(vals)
 }
 
 // Broadcast sends root's matrix to all workers. Non-root callers pass nil

@@ -7,6 +7,13 @@ import "math"
 // effective FLOP rate with a memory-bandwidth floor; communication uses the
 // α-β model with ring-collective message schedules, matching NCCL's
 // algorithms. Times are in seconds.
+//
+// The model is analytic only, but the TCP transport realizes the same
+// logarithmic-depth schedule shape in real sockets: with
+// -net-topology=tree (internal/dist/net, DESIGN.md §5l) an allreduce
+// ascends and descends a binary member tree in chunk-pipelined stages,
+// so per-process wire volume is O(n·fan-in) rather than the hub's
+// O(P·n) coordinator ingress this model would charge a star topology.
 type CostModel struct {
 	// Workers is the number of GPUs P.
 	Workers int

@@ -5,9 +5,12 @@ import (
 	"math"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/dist"
+	"repro/internal/mat"
 	"repro/internal/telemetry"
 )
 
@@ -36,6 +39,13 @@ type member struct {
 	graceUntil time.Time
 	joinedGen  uint32
 	dead       bool
+	// dataPort is the member's advertised tree-data listener port (0 =
+	// none); treeParent/treeChildren/treeDepth are its place in the
+	// generation's reduction tree, recomputed by startGenLocked.
+	dataPort     int
+	treeParent   string
+	treeChildren []uint32
+	treeDepth    int
 	// left marks a clean departure that was not (yet) a failure: the member
 	// disconnected after contributing to every open collective. It turns
 	// into a death lazily if a later collective needs its ranks.
@@ -83,11 +93,21 @@ type coordinator struct {
 
 	rejoinBy time.Time
 	done     chan struct{}
+
+	// treeGen is true while the current generation runs the tree
+	// topology (the configured topology may fall back to hub for a
+	// generation when a member's data address cannot be resolved).
+	treeGen bool
+	// count accounts wire traffic to the owning process (set by Start).
+	count func(dir string, payloadLen int)
 }
 
 const cacheLimit = 1024
 
-func newCoordinator(cfg *Config, ln net.Listener) *coordinator {
+func newCoordinator(cfg *Config, ln net.Listener, count func(dir string, payloadLen int)) *coordinator {
+	if count == nil {
+		count = func(string, int) {}
+	}
 	c := &coordinator{
 		cfg:     cfg,
 		ln:      ln,
@@ -97,6 +117,7 @@ func newCoordinator(cfg *Config, ln net.Listener) *coordinator {
 		colls:   map[uint64]*collSrvState{},
 		cache:   map[uint64][]byte{},
 		done:    make(chan struct{}),
+		count:   count,
 	}
 	// The coordinator's own configuration is the authoritative digest;
 	// otherwise the first joiner's would win the race to define "correct".
@@ -151,6 +172,7 @@ func (c *coordinator) serveConn(conn net.Conn) {
 			c.connLost(m, conn)
 			return
 		}
+		c.count("rx", len(f.Payload))
 		switch f.Type {
 		case ftJoin:
 			jm, err := decodeJoin(f.Payload)
@@ -208,7 +230,7 @@ func (c *coordinator) sendTo(m *member, f Frame) {
 		return
 	}
 	if err := fw.writeFrame(f); err == nil {
-		countNetBytes("tx", len(f.Payload))
+		c.count("tx", len(f.Payload))
 	}
 }
 
@@ -260,6 +282,9 @@ func (c *coordinator) handleJoin(bound *member, conn net.Conn, msgID uint64, jm 
 		m.connected = true
 		m.lastSeen = time.Now()
 		m.graceUntil = time.Time{}
+		if jm.DataPort != 0 {
+			m.dataPort = int(jm.DataPort)
+		}
 		if jm.Gen == c.gen+1 && c.phase == phaseRejoin {
 			m.joinedGen = jm.Gen
 			m.nLocal = int(jm.NLocal)
@@ -274,6 +299,9 @@ func (c *coordinator) handleJoin(bound *member, conn net.Conn, msgID uint64, jm 
 	// Fresh member: only valid while gathering generation 1.
 	if c.phase != phaseGather {
 		return reject(rejectFull, "membership already complete")
+	}
+	if c.cfg.Topology == TopologyTree && jm.DataPort == 0 {
+		return reject(rejectConfig, "tree topology requires a data listener (joiner sent no data port; is it running with -net-topology=tree?)")
 	}
 	if !c.haveDig {
 		c.digest, c.haveDig = jm.ConfigDigest, true
@@ -297,6 +325,7 @@ func (c *coordinator) handleJoin(bound *member, conn net.Conn, msgID uint64, jm 
 		connected: true,
 		lastSeen:  time.Now(),
 		joinedGen: 1,
+		dataPort:  int(jm.DataPort),
 	}
 	c.members[m.id] = m
 	c.ackLocked(m)
@@ -313,8 +342,8 @@ func (c *coordinator) ackLocked(m *member) {
 	ack := Frame{Type: ftJoinAck, Payload: joinAckMsg{MemberID: m.id, Gen: c.gen}.encode()}
 	var start *Frame
 	if c.phase == phaseRunning && m.joinedGen == c.gen {
-		start = &Frame{Type: ftStart, Payload: startMsg{
-			Gen: c.gen, WorldSize: uint32(c.world), BaseRank: uint32(m.baseRank)}.encode()}
+		f := c.startFrameLocked(m)
+		start = &f
 	}
 	go func() {
 		fw.writeFrame(ack)
@@ -355,15 +384,123 @@ func (c *coordinator) startGenLocked() {
 	c.cacheMin = 0
 	c.blob, c.haveBlob = nil, false
 	c.blobWant = map[uint32]bool{}
+	c.treeGen = c.cfg.Topology == TopologyTree && c.computeTreeLocked(live)
 	for _, m := range live {
-		f := Frame{Type: ftStart, Payload: startMsg{
-			Gen: c.gen, WorldSize: uint32(c.world), BaseRank: uint32(m.baseRank)}.encode()}
+		f := c.startFrameLocked(m)
 		fw := m.fw
 		go fw.writeFrame(f)
 	}
 	telemetry.Instant("distnet_gen_start", 0,
 		telemetry.Label{Key: "gen", Value: fmt.Sprint(c.gen)},
 		telemetry.Label{Key: "world", Value: fmt.Sprint(c.world)})
+}
+
+// startFrameLocked (mu held) builds one member's generation-start frame,
+// including its place in the reduction tree when this generation runs
+// the tree topology.
+func (c *coordinator) startFrameLocked(m *member) Frame {
+	sm := startMsg{Gen: c.gen, WorldSize: uint32(c.world), BaseRank: uint32(m.baseRank)}
+	if mat.FMAKernels() {
+		// The coordinator's kernel family is part of the generation
+		// contract: members conform in applyStart so all ranks round
+		// identically (see mat.SetFMAKernels).
+		sm.FMA = 1
+	}
+	if c.treeGen {
+		sm.Topology = topoTree
+		sm.ChunkElems = uint32(c.cfg.ChunkElems)
+		sm.TreeParent = m.treeParent
+		sm.TreeChildren = m.treeChildren
+		sm.TreeDepth = uint32(m.treeDepth)
+	}
+	return Frame{Type: ftStart, Payload: sm.encode()}
+}
+
+// computeTreeLocked (mu held) arranges live members (sorted, ranks
+// assigned) into the physical reduction tree and reports whether every
+// member's data address resolved. Members split at canonical rank
+// boundaries (dist.ReduceSplit), so the set of ranks under any subtree
+// is exactly one canonical node's range: partial sums forwarded up a
+// link are always segments the parent may fold in the canonical order.
+// For P single-rank members this makes the root's per-collective ingress
+// ≤ ceil(log2 P) payloads instead of the hub's P.
+func (c *coordinator) computeTreeLocked(live []*member) bool {
+	for _, m := range live {
+		m.treeParent, m.treeChildren, m.treeDepth = "", nil, 0
+	}
+	if len(live) == 0 {
+		return false
+	}
+	parentOf := make(map[uint32]*member, len(live))
+	var build func(a, b, d int)
+	build = func(a, b, d int) {
+		live[a].treeDepth = d
+		if b-a <= 1 {
+			return
+		}
+		lo := live[a].baseRank
+		hi := live[b-1].baseRank + live[b-1].nLocal
+		mid := dist.ReduceSplit(lo, hi)
+		// First member whose ranks start at/after the canonical boundary
+		// roots the right subtree; everything between the node root and it
+		// forms the left subtree. A straddling split (a member's ranks
+		// crossing mid) leaves one child holding the whole remainder, which
+		// is still canonical: that subtree's own fold respects the order.
+		split := b
+		for i := a + 1; i < b; i++ {
+			if live[i].baseRank >= mid {
+				split = i
+				break
+			}
+		}
+		if split > a+1 {
+			live[a].treeChildren = append(live[a].treeChildren, live[a+1].id)
+			parentOf[live[a+1].id] = live[a]
+			build(a+1, split, d+1)
+		}
+		if split < b {
+			live[a].treeChildren = append(live[a].treeChildren, live[split].id)
+			parentOf[live[split].id] = live[a]
+			build(split, b, d+1)
+		}
+	}
+	build(0, len(live), 0)
+	ok := true
+	for _, m := range live {
+		if pm := parentOf[m.id]; pm != nil {
+			m.treeParent = c.dataAddrLocked(m, pm)
+			if m.treeParent == "" {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// dataAddrLocked resolves parent pm's tree-data address as recipient m
+// should dial it: the coordinator knows pm's host from its control
+// connection (or, when pm is the coordinator's own process, the host m
+// reached the coordinator at), and pm's listener port from its join.
+func (c *coordinator) dataAddrLocked(m, pm *member) string {
+	if pm.dataPort == 0 {
+		return ""
+	}
+	var base net.Addr
+	if pm.self {
+		if m.conn != nil {
+			base = m.conn.LocalAddr()
+		}
+	} else if pm.conn != nil {
+		base = pm.conn.RemoteAddr()
+	}
+	if base == nil {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(base.String())
+	if err != nil {
+		return ""
+	}
+	return net.JoinHostPort(host, strconv.Itoa(pm.dataPort))
 }
 
 // maybeStartRejoinLocked starts gen+1 once every live member has rejoined.
@@ -416,12 +553,18 @@ func (c *coordinator) handleLeave(m *member) {
 		c.mu.Unlock()
 		return
 	}
-	if c.phase == phaseRunning && !c.memberNeededLocked(m) {
+	if c.phase == phaseRunning && !c.treeGen && !c.memberNeededLocked(m) {
 		// Clean end-of-run departure: every open collective already holds
 		// this member's contributions, so nothing the survivors are waiting
 		// on depends on it (cached results keep serving retransmits). Retire
 		// it silently — if a later collective does need its ranks,
 		// handleCollReq converts the retirement into a death then.
+		//
+		// Tree generations skip this: allreduce traffic bypasses the
+		// coordinator entirely, so it cannot see whether a leaver's subtree
+		// is still feeding anyone. A running-phase leave under the tree is
+		// therefore always a death — survivors poison and rejoin rather
+		// than risk waiting on a vanished interior member forever.
 		m.left = true
 		m.connected = false
 		m.conn.Close()
@@ -668,34 +811,42 @@ func (c *coordinator) handleCollReq(m *member, seq uint64, req collReq) {
 }
 
 // computeCollective runs the deterministic reduction. Arithmetic matches
-// the in-process cluster exactly: sums accumulate in global rank order, so
-// results are bitwise identical to a goroutine-cluster run issuing the
-// same collective sequence.
+// the in-process cluster exactly: sums fold in the canonical
+// pairwise-tree order over global ranks (dist.CanonicalReduce*), so
+// results are bitwise identical to a goroutine-cluster run — and to the
+// tree topology's distributed fold — issuing the same collective
+// sequence. Decode scratch comes from the size-bucketed pools.
 func computeCollective(st *collSrvState) []byte {
 	switch st.op {
 	case opAllReduce:
-		sum, err := decodeMat(st.parts[0])
-		if err != nil {
-			return collRes{Op: st.op}.encode()
+		parts := make([]*mat.Dense, 0, len(st.parts))
+		release := func() {
+			for _, m := range parts {
+				mat.PutDense(m)
+			}
 		}
-		for _, p := range st.parts[1:] {
-			m, err := decodeMat(p)
+		for _, p := range st.parts {
+			m, err := decodeMatPooled(p)
 			if err != nil {
+				release()
 				return collRes{Op: st.op}.encode()
 			}
-			sum.AddMat(m)
+			parts = append(parts, m)
 		}
-		return collRes{Op: st.op, Result: encodeMat(sum)}.encode()
+		sum := dist.CanonicalReduceInPlace(parts)
+		res := collRes{Op: st.op, Result: encodeMat(sum)}.encode()
+		release()
+		return res
 	case opScalar:
-		var s float64
-		for _, p := range st.parts {
+		vals := make([]float64, len(st.parts))
+		for i, p := range st.parts {
 			v, err := decodeScalar(p)
 			if err != nil {
 				return collRes{Op: st.op}.encode()
 			}
-			s += v
+			vals[i] = v
 		}
-		return collRes{Op: st.op, Result: encodeScalar(s)}.encode()
+		return collRes{Op: st.op, Result: encodeScalar(dist.CanonicalReduceScalar(vals))}.encode()
 	case opBroadcast:
 		root := int(st.aux)
 		if root < 0 || root >= len(st.parts) {

@@ -10,13 +10,18 @@
 //   - fault.go: deterministic socket-level fault injection (drop, delay,
 //     duplicate, reorder, partition) between framing and the wire;
 //   - msg.go: the wire messages — join/rendezvous handshake, heartbeats,
-//     collective requests/results;
+//     collective requests/results, and the tree data-plane frames
+//     (hello/up/down carrying canonical partial-sum segments per chunk);
 //   - coord.go: the rank-0 coordinator — membership FSM, deterministic
-//     rank-order collective engine, peer-failure detection;
+//     canonical-order collective engine, peer-failure detection, and the
+//     tree topology computation distributed in start frames;
 //   - link.go: the per-process client link — dial with bounded backoff,
 //     idempotent retransmit keyed by collective sequence number;
+//   - tree.go: the tree data plane — per-member listeners, chunked
+//     segment folding in the canonical bracketing (dist/reduce.go), and
+//     ack-free retransmit reliability (-net-topology=tree);
 //   - proc.go: Proc, hosting this process's local ranks; each rank is a
-//     dist.Comm whose collectives ride the link.
+//     dist.Comm whose collectives ride the link (hub) or the tree.
 //
 // A dead peer surfaces to local ranks as the same typed failure the
 // in-process chaos layer produces (a dist.ErrClusterPoisoned panic), so

@@ -34,14 +34,6 @@ func (e *PeerDeathError) Error() string {
 // deliberately (version/world-size/config disagreement).
 var ErrRejected = errors.New("distnet: join rejected")
 
-func countNetBytes(dir string, n int) {
-	if !telemetry.Enabled() {
-		return
-	}
-	telemetry.IncCounter(telemetry.MetricNetBytes, int64(n+headerLen+trailerLen),
-		telemetry.Label{Key: "dir", Value: dir})
-}
-
 // link is one process's connection to the coordinator: rendezvous,
 // heartbeats, and the idempotent request/response engine the collectives
 // ride on. All delivery loss — injected socket faults or real network
@@ -53,6 +45,7 @@ type link struct {
 
 	onResult  func(seq uint64, res collRes)
 	onFailure func(err error)
+	count     func(dir string, payloadLen int)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -90,6 +83,7 @@ func newLink(cfg *Config, addr string, self bool,
 	l := &link{
 		cfg: cfg, addr: addr, self: self,
 		onResult: onResult, onFailure: onFailure,
+		count:   func(string, int) {},
 		pending: map[uint64]Frame{},
 		dialRNG: mat.NewRNG(cfg.Seed + 0xA5A5),
 	}
@@ -148,7 +142,7 @@ func (l *link) writeFrame(f Frame) {
 		return
 	}
 	if err := fw.writeFrame(f); err == nil {
-		countNetBytes("tx", len(f.Payload))
+		l.count("tx", len(f.Payload))
 	}
 	// Write errors surface via the read loop's reconnect; retransmit
 	// re-delivers the payload.
@@ -174,7 +168,7 @@ func (l *link) readLoop() {
 			}
 			continue
 		}
-		countNetBytes("rx", len(f.Payload))
+		l.count("rx", len(f.Payload))
 		l.mu.Lock()
 		l.lastRecv = time.Now()
 		l.mu.Unlock()
@@ -218,7 +212,12 @@ func (l *link) dispatch(f Frame) {
 			rtt := time.Since(l.hbSentAt)
 			l.hbSentAt = time.Time{}
 			if telemetry.Enabled() {
-				telemetry.Observe(telemetry.MetricNetRTT, float64(rtt.Nanoseconds()))
+				// Explicit ns-scale bounds: the default TimeBuckets are in
+				// seconds, which would fold every RTT into the +Inf bucket
+				// and ruin the -telemetry-summary quantiles.
+				telemetry.Default().Metrics.Histogram(
+					telemetry.MetricNetRTT, telemetry.RTTBucketsNS,
+				).Observe(float64(rtt.Nanoseconds()))
 			}
 		}
 		l.mu.Unlock()
@@ -322,7 +321,15 @@ func (l *link) joinFrame(gen uint32, id uint32) Frame {
 	return Frame{Type: ftJoin, Payload: joinMsg{
 		Gen: gen, MemberID: id, NLocal: uint32(l.cfg.LocalRanks),
 		WorldSize: claim, ConfigDigest: l.cfg.ConfigDigest, Self: self,
+		DataPort: uint32(l.cfg.dataPort),
 	}.encode()}
+}
+
+// id returns the coordinator-assigned member id (0 before the first ack).
+func (l *link) id() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.memberID
 }
 
 // pendingFrames snapshots the retransmit set (mu held).

@@ -23,6 +23,9 @@ const (
 	ftPeerDead                     // coordinator → member: a member was declared dead
 	ftLeave                        // member → coordinator: graceful departure
 	ftBlob                         // coordinator → member: generation state blob (snapshot sync)
+	ftTreeHello                    // member → tree parent: bind a data connection to (gen, member)
+	ftTreeUp                       // member → tree parent: merged partial-sum segments for one chunk
+	ftTreeDown                     // tree parent → member: one chunk of the finished reduction
 )
 
 // Collective ops carried by ftCollReq/ftCollRes.
@@ -149,22 +152,28 @@ type joinMsg struct {
 	// Self marks the coordinator's own loopback link; it always sorts
 	// first in rank assignment so global rank 0 lives with the coordinator.
 	Self byte
+	// DataPort is the member's tree-data listener port (0 = none). The
+	// coordinator joins it with the host it observes on the control
+	// connection to form the member's advertised tree-data address.
+	DataPort uint32
 }
 
 func (m joinMsg) encode() []byte {
-	b := make([]byte, 0, 25)
+	b := make([]byte, 0, 29)
 	b = binary.LittleEndian.AppendUint32(b, m.Gen)
 	b = binary.LittleEndian.AppendUint32(b, m.MemberID)
 	b = binary.LittleEndian.AppendUint32(b, m.NLocal)
 	b = binary.LittleEndian.AppendUint32(b, m.WorldSize)
 	b = binary.LittleEndian.AppendUint64(b, m.ConfigDigest)
-	return append(b, m.Self)
+	b = append(b, m.Self)
+	return binary.LittleEndian.AppendUint32(b, m.DataPort)
 }
 
 func decodeJoin(p []byte) (joinMsg, error) {
 	r := &byteReader{b: p}
 	m := joinMsg{Gen: r.u32(), MemberID: r.u32(), NLocal: r.u32(),
-		WorldSize: r.u32(), ConfigDigest: r.u64(), Self: r.u8()}
+		WorldSize: r.u32(), ConfigDigest: r.u64(), Self: r.u8(),
+		DataPort: r.u32()}
 	return m, r.err
 }
 
@@ -206,25 +215,71 @@ func decodeReject(p []byte) (rejectMsg, error) {
 	return m, r.err
 }
 
-// startMsg begins a generation: the member's assigned base rank and the
-// agreed world size.
+// startMsg begins a generation: the member's assigned base rank, the
+// agreed world size, and (for the tree topology) the member's place in
+// the coordinator-computed reduction tree.
 type startMsg struct {
 	Gen       uint32
 	WorldSize uint32
 	BaseRank  uint32
+	// Topology is the coordinator's authoritative choice for this
+	// generation (topoHub or topoTree on the wire).
+	Topology   byte
+	ChunkElems uint32 // tree chunk size in float64 elements
+	// FMA is the coordinator's numerics profile: nonzero when its mat
+	// kernels use fused multiply-adds. FMA rounds once where mul+add
+	// rounds twice, so ranks that disagree produce last-ulp-divergent
+	// local results and the cluster loses bit-reproducibility; every
+	// member conforms to this flag before the generation runs.
+	FMA byte
+	// TreeParent is the address of this member's tree parent's data
+	// listener ("" at the root). TreeChildren are the member ids expected
+	// to connect to this member's data listener. TreeDepth is this
+	// member's depth in the tree (0 = root; telemetry).
+	TreeParent   string
+	TreeChildren []uint32
+	TreeDepth    uint32
 }
 
+// Wire codes for startMsg.Topology.
+const (
+	topoHub  byte = 0
+	topoTree byte = 1
+)
+
 func (m startMsg) encode() []byte {
-	b := make([]byte, 0, 12)
+	b := make([]byte, 0, 35+len(m.TreeParent)+4*len(m.TreeChildren))
 	b = binary.LittleEndian.AppendUint32(b, m.Gen)
 	b = binary.LittleEndian.AppendUint32(b, m.WorldSize)
 	b = binary.LittleEndian.AppendUint32(b, m.BaseRank)
-	return b
+	b = append(b, m.Topology)
+	b = binary.LittleEndian.AppendUint32(b, m.ChunkElems)
+	b = append(b, m.FMA)
+	b = appendBytes(b, []byte(m.TreeParent))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.TreeChildren)))
+	for _, c := range m.TreeChildren {
+		b = binary.LittleEndian.AppendUint32(b, c)
+	}
+	return binary.LittleEndian.AppendUint32(b, m.TreeDepth)
 }
 
 func decodeStart(p []byte) (startMsg, error) {
 	r := &byteReader{b: p}
-	m := startMsg{Gen: r.u32(), WorldSize: r.u32(), BaseRank: r.u32()}
+	m := startMsg{Gen: r.u32(), WorldSize: r.u32(), BaseRank: r.u32(),
+		Topology: r.u8(), ChunkElems: r.u32(), FMA: r.u8(),
+		TreeParent: string(r.bytes())}
+	n := r.u32()
+	if r.err != nil {
+		return m, r.err
+	}
+	if n > maxWorldSize {
+		return m, ErrTruncatedMsg
+	}
+	m.TreeChildren = make([]uint32, n)
+	for i := range m.TreeChildren {
+		m.TreeChildren[i] = r.u32()
+	}
+	m.TreeDepth = r.u32()
 	return m, r.err
 }
 
@@ -333,6 +388,14 @@ func encodeMat(m *mat.Dense) []byte {
 	return appendMat(make([]byte, 0, 8+8*m.Rows()*m.Cols()), m)
 }
 
+// encodeMatPooled is encodeMat over a buffer checked out of the
+// size-bucketed byte pools; release with mat.PutBytes once the payload
+// has left the process (see localColl's release in proc.go).
+func encodeMatPooled(m *mat.Dense) []byte {
+	need := 8 + 8*m.Rows()*m.Cols()
+	return appendMat(mat.GetBytes(need)[:0], m)
+}
+
 func (r *byteReader) mat() *mat.Dense {
 	rows := r.u32()
 	cols := r.u32()
@@ -358,5 +421,200 @@ func (r *byteReader) mat() *mat.Dense {
 func decodeMat(p []byte) (*mat.Dense, error) {
 	r := &byteReader{b: p}
 	m := r.mat()
+	return m, r.err
+}
+
+// matPooled is byteReader.mat decoding into a pooled matrix; callers
+// own the result and release it with mat.PutDense.
+func (r *byteReader) matPooled() *mat.Dense {
+	rows := r.u32()
+	cols := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if rows > maxWorldSize*64 || cols > maxWorldSize*64 {
+		r.err = ErrTruncatedMsg
+		return nil
+	}
+	raw := r.take(8 * int(rows) * int(cols))
+	if r.err != nil {
+		return nil
+	}
+	out := mat.GetDense(int(rows), int(cols))
+	d := out.Data()
+	for i := range d {
+		d[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func decodeMatPooled(p []byte) (*mat.Dense, error) {
+	r := &byteReader{b: p}
+	m := r.matPooled()
+	return m, r.err
+}
+
+// Tree-topology data-plane messages. Up/down payloads carry one chunk of
+// a collective; chunking bounds peak buffering and lets partial-sum folds
+// overlap receives without changing the canonical per-element bracketing.
+
+// treeHelloMsg binds a freshly dialed data connection to (gen, member).
+// It is idempotent and resent on every retransmit tick, so a dropped
+// hello only delays binding.
+type treeHelloMsg struct {
+	Gen      uint32
+	MemberID uint32
+}
+
+func (m treeHelloMsg) encode() []byte {
+	b := make([]byte, 0, 8)
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	return binary.LittleEndian.AppendUint32(b, m.MemberID)
+}
+
+func decodeTreeHello(p []byte) (treeHelloMsg, error) {
+	r := &byteReader{b: p}
+	m := treeHelloMsg{Gen: r.u32(), MemberID: r.u32()}
+	return m, r.err
+}
+
+// treeSeg is one canonical partial sum: the elementwise sum of ranks
+// [Lo, Hi) over one chunk of the payload.
+type treeSeg struct {
+	Lo, Hi uint32
+	Data   []float64
+}
+
+// treeUpMsg carries a member's merged partial-sum segments for one chunk
+// of collective Seq (the frame's sequence number), flowing child → parent.
+type treeUpMsg struct {
+	Gen     uint32
+	Op      byte
+	Chunk   uint32
+	NChunks uint32
+	Elems   uint32 // whole-payload length in float64 elements
+	Segs    []treeSeg
+}
+
+// maxTreeChunks bounds decoded chunk counts against corrupted frames.
+const maxTreeChunks = 1 << 20
+
+// encodePooled serializes the message into a pooled buffer (the engine
+// retains up frames for retransmission and releases them on delivery).
+func (m treeUpMsg) encodePooled() []byte {
+	need := 21
+	for _, s := range m.Segs {
+		need += 12 + 8*len(s.Data)
+	}
+	b := mat.GetBytes(need)[:0]
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	b = append(b, m.Op)
+	b = binary.LittleEndian.AppendUint32(b, m.Chunk)
+	b = binary.LittleEndian.AppendUint32(b, m.NChunks)
+	b = binary.LittleEndian.AppendUint32(b, m.Elems)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Segs)))
+	for _, s := range m.Segs {
+		b = binary.LittleEndian.AppendUint32(b, s.Lo)
+		b = binary.LittleEndian.AppendUint32(b, s.Hi)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Data)))
+		for _, v := range s.Data {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	}
+	return b
+}
+
+// floatsPooled reads a u32 count followed by that many float64s into a
+// pooled buffer (release with mat.PutFloats).
+func (r *byteReader) floatsPooled() []float64 {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxFramePayload/8 {
+		r.err = ErrTruncatedMsg
+		return nil
+	}
+	raw := r.take(8 * int(n))
+	if r.err != nil {
+		return nil
+	}
+	out := mat.GetFloats(int(n))
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// decodeTreeUp parses an up payload; segment data lands in pooled float
+// buffers owned by the caller. On error every already-decoded segment has
+// been released.
+func decodeTreeUp(p []byte) (treeUpMsg, error) {
+	r := &byteReader{b: p}
+	m := treeUpMsg{Gen: r.u32(), Op: r.u8(), Chunk: r.u32(),
+		NChunks: r.u32(), Elems: r.u32()}
+	n := r.u32()
+	if r.err != nil {
+		return m, r.err
+	}
+	if n > maxWorldSize || m.NChunks > maxTreeChunks {
+		return m, ErrTruncatedMsg
+	}
+	m.Segs = make([]treeSeg, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s := treeSeg{Lo: r.u32(), Hi: r.u32()}
+		s.Data = r.floatsPooled()
+		if r.err != nil {
+			for _, prev := range m.Segs {
+				mat.PutFloats(prev.Data)
+			}
+			m.Segs = nil
+			return m, r.err
+		}
+		m.Segs = append(m.Segs, s)
+	}
+	return m, r.err
+}
+
+// treeDownMsg carries one chunk of the finished reduction, flowing
+// root → leaves along the tree.
+type treeDownMsg struct {
+	Gen     uint32
+	Op      byte
+	Chunk   uint32
+	NChunks uint32
+	Elems   uint32
+	Data    []float64
+}
+
+// encode serializes the message into a plain (unpooled) buffer: down
+// payloads live in the completed-collective cache for retransmission, so
+// their lifetime is unbounded and they must not hold pool capacity.
+func (m treeDownMsg) encode() []byte {
+	b := make([]byte, 0, 21+8*len(m.Data))
+	b = binary.LittleEndian.AppendUint32(b, m.Gen)
+	b = append(b, m.Op)
+	b = binary.LittleEndian.AppendUint32(b, m.Chunk)
+	b = binary.LittleEndian.AppendUint32(b, m.NChunks)
+	b = binary.LittleEndian.AppendUint32(b, m.Elems)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Data)))
+	for _, v := range m.Data {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// decodeTreeDown parses a down payload; Data is pooled (mat.PutFloats).
+func decodeTreeDown(p []byte) (treeDownMsg, error) {
+	r := &byteReader{b: p}
+	m := treeDownMsg{Gen: r.u32(), Op: r.u8(), Chunk: r.u32(),
+		NChunks: r.u32(), Elems: r.u32()}
+	if r.err != nil {
+		return m, r.err
+	}
+	if m.NChunks > maxTreeChunks {
+		return m, ErrTruncatedMsg
+	}
+	m.Data = r.floatsPooled()
 	return m, r.err
 }

@@ -3,13 +3,36 @@ package distnet
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/mat"
 	"repro/internal/telemetry"
 )
+
+// Reduction topologies for the transport's sum-style collectives.
+const (
+	// TopologyHub routes every collective through the coordinator, which
+	// folds all parts itself: O(P·n) ingress at one process. It is the
+	// default, the fallback, and the chaos-test oracle.
+	TopologyHub = "hub"
+	// TopologyTree arranges members in a deterministic binary tree keyed
+	// by global rank: interior members fold their children's partial sums
+	// with their own contribution and forward one payload upward, so
+	// per-process wire volume is O(n·log P) worst-case per link and the
+	// fold work is distributed. Results are bit-identical to hub: both
+	// realize the canonical pairwise bracketing of dist/reduce.go.
+	TopologyTree = "tree"
+)
+
+// defaultChunkElems is the tree pipeline's chunk size in float64
+// elements (64 KiB payload chunks): large enough to amortize framing,
+// small enough that folds overlap receives and peak buffering stays
+// bounded.
+const defaultChunkElems = 8192
 
 // Config describes one process's place in a TCP training cluster.
 type Config struct {
@@ -59,8 +82,24 @@ type Config struct {
 	DialTimeout     time.Duration
 	// CollTimeout arms the coordinator's stuck-collective watchdog — the
 	// transport-level equivalent of the in-process barrier watchdog. Zero
-	// disables it.
+	// disables it. (Tree-topology allreduces bypass the coordinator's
+	// data path and are covered by heartbeat liveness instead.)
 	CollTimeout time.Duration
+
+	// Topology selects the reduction topology (TopologyHub or
+	// TopologyTree; default hub). The coordinator's choice is
+	// authoritative: members learn the effective topology at rendezvous,
+	// and joiners without a data listener are rejected by a tree
+	// coordinator.
+	Topology string
+	// ChunkElems is the tree pipeline's chunk size in float64 elements
+	// (default 8192). The chunking never changes result bits — the
+	// canonical bracketing is per-element — only buffering and overlap.
+	ChunkElems int
+
+	// dataPort is the bound tree-data listener port, filled in by Start
+	// before the join handshake.
+	dataPort int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +118,12 @@ func (c Config) withDefaults() Config {
 	def(&c.DialTimeout, c.RendezvousTimeout)
 	if c.LocalRanks <= 0 {
 		c.LocalRanks = 1
+	}
+	if c.Topology == "" {
+		c.Topology = TopologyHub
+	}
+	if c.ChunkElems <= 0 {
+		c.ChunkElems = defaultChunkElems
 	}
 	return c
 }
@@ -105,6 +150,7 @@ type Proc struct {
 	cfg   Config
 	coord *coordinator
 	link  *link
+	tree  *treeEngine // nil unless this process opened a tree-data listener
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -114,6 +160,52 @@ type Proc struct {
 	colls    map[uint64]*localColl
 	failed   error
 	closed   bool
+	// seqFloor is the highest collective sequence number any worker has
+	// used this generation. A later Run in the same generation starts its
+	// workers above it, so sequence numbers never alias completed
+	// collectives (whose cached results would otherwise be replayed).
+	seqFloor uint64
+	// treeOn records whether the current generation routes allreduce and
+	// scalar collectives over the tree (the coordinator's startMsg is
+	// authoritative, so a hub coordinator quietly idles a member's tree).
+	rankA  atomic.Int32 // baseRank mirror for lock-free telemetry labels
+	treeOn bool
+
+	// Whole-process TCP traffic (payload + framing), both directions,
+	// across control and tree-data connections. BenchmarkNetAllReduce
+	// reads these to compare coordinator ingress across topologies.
+	rxBytes atomic.Int64
+	txBytes atomic.Int64
+}
+
+// countBytes accounts one frame's wire traffic to this process: the
+// benchmark counters always, and the global plus per-rank telemetry
+// counters when telemetry is on.
+func (p *Proc) countBytes(dir string, payloadLen int) {
+	n := int64(payloadLen + headerLen + trailerLen)
+	if dir == "rx" {
+		p.rxBytes.Add(n)
+	} else {
+		p.txBytes.Add(n)
+	}
+	if telemetry.Enabled() {
+		telemetry.IncCounter(telemetry.MetricNetBytes, n,
+			telemetry.Label{Key: "dir", Value: dir})
+		// Per-rank attribution starts once rendezvous assigns this
+		// process its base rank; handshake traffic before that would
+		// otherwise be mislabeled as rank 0's on every process.
+		if r := p.rankA.Load(); r >= 0 {
+			telemetry.IncCounter(telemetry.MetricNetRankBytes, n,
+				telemetry.Label{Key: "dir", Value: dir},
+				telemetry.Label{Key: "rank", Value: strconv.Itoa(int(r))})
+		}
+	}
+}
+
+// NetBytes returns the cumulative TCP bytes this process has received and
+// sent (payload + framing) across all its connections.
+func (p *Proc) NetBytes() (rx, tx int64) {
+	return p.rxBytes.Load(), p.txBytes.Load()
 }
 
 // Start joins (or forms) the cluster and blocks until generation 1 begins:
@@ -131,8 +223,27 @@ func Start(cfg Config) (*Proc, error) {
 		return nil, fmt.Errorf("distnet: coordinator world size %d < local ranks %d", cfg.WorldSize, cfg.LocalRanks)
 	}
 
+	switch cfg.Topology {
+	case TopologyHub, TopologyTree:
+	default:
+		return nil, fmt.Errorf("distnet: unknown topology %q (want %q or %q)",
+			cfg.Topology, TopologyHub, TopologyTree)
+	}
+
 	p := &Proc{cfg: cfg, colls: map[uint64]*localColl{}}
 	p.cond = sync.NewCond(&p.mu)
+	p.rankA.Store(-1) // no per-rank byte attribution until rendezvous
+
+	// A tree-topology process opens its member↔member data listener before
+	// the join handshake so the advertised DataPort is already bound.
+	if cfg.Topology == TopologyTree {
+		tln, err := net.Listen("tcp", ":0")
+		if err != nil {
+			return nil, fmt.Errorf("distnet: tree data listen: %w", err)
+		}
+		p.tree = newTreeEngine(p, tln)
+		p.cfg.dataPort = p.tree.port
+	}
 
 	addr := cfg.Join
 	if isCoord {
@@ -141,10 +252,11 @@ func Start(cfg Config) (*Proc, error) {
 			var err error
 			ln, err = net.Listen("tcp", cfg.Listen)
 			if err != nil {
+				p.Close()
 				return nil, fmt.Errorf("distnet: listen %s: %w", cfg.Listen, err)
 			}
 		}
-		p.coord = newCoordinator(&p.cfg, ln)
+		p.coord = newCoordinator(&p.cfg, ln, p.countBytes)
 		addr = ln.Addr().String()
 	}
 
@@ -152,6 +264,7 @@ func Start(cfg Config) (*Proc, error) {
 	// collective engine through the same client link, so there is exactly
 	// one code path to get right.
 	p.link = newLink(&p.cfg, addr, isCoord, p.onResult, p.onFailure)
+	p.link.count = p.countBytes
 	if err := p.link.connect(); err != nil {
 		p.Close()
 		return nil, err
@@ -162,10 +275,32 @@ func Start(cfg Config) (*Proc, error) {
 		p.Close()
 		return nil, err
 	}
+	p.applyStart(sm)
+	return p, nil
+}
+
+// applyStart installs a generation's start message: rank assignment plus
+// the coordinator's authoritative topology and numerics choices.
+func (p *Proc) applyStart(sm startMsg) {
+	// Conform the kernel family before the generation runs: each process
+	// calibrates FMA-vs-mul+add by timing at init, and the two families
+	// round differently, so a member that raced its calibration the other
+	// way would diverge from the cluster by an ulp per local op. The
+	// rendezvous is a compute quiescent point, so flipping here is safe.
+	mat.SetFMAKernels(sm.FMA != 0)
 	p.mu.Lock()
 	p.gen, p.world, p.baseRank = sm.Gen, int(sm.WorldSize), int(sm.BaseRank)
+	p.seqFloor = 0 // wire sequences are generation-tagged; restart small
+	p.rankA.Store(int32(p.baseRank))
+	p.treeOn = p.tree != nil && sm.Topology == topoTree
+	treeOn := p.treeOn
 	p.mu.Unlock()
-	return p, nil
+	if p.tree != nil {
+		p.tree.install(sm)
+	}
+	if treeOn && telemetry.Enabled() {
+		telemetry.SetGauge(telemetry.MetricNetTreeDepth, float64(sm.TreeDepth))
+	}
 }
 
 // ListenAddr returns the coordinator's bound address ("" on members) —
@@ -230,6 +365,9 @@ func (p *Proc) collective(slot int, op byte, aux uint32, payload []byte, seq uin
 		panic(dist.ErrClusterPoisoned)
 	}
 	gen := p.gen
+	if seq > p.seqFloor {
+		p.seqFloor = seq
+	}
 	ws := wireSeq(gen, seq)
 	lc := p.colls[ws]
 	if lc == nil {
@@ -246,13 +384,26 @@ func (p *Proc) collective(slot int, op byte, aux uint32, payload []byte, seq uin
 		lc.have++
 	}
 	var req *collReq
+	var toTree bool
 	if lc.have == p.cfg.LocalRanks && !lc.sent {
 		lc.sent = true
-		req = &collReq{Op: op, Aux: aux, BaseRank: uint32(p.baseRank), Parts: lc.parts}
+		// The last depositor sends the whole process's contribution: over
+		// the tree for the sum-style collectives when the generation runs
+		// tree topology, through the coordinator hub otherwise.
+		if p.treeOn && (op == opAllReduce || op == opScalar) {
+			toTree = true
+		} else {
+			req = &collReq{Op: op, Aux: aux, BaseRank: uint32(p.baseRank), Parts: lc.parts}
+		}
 	}
 	p.mu.Unlock()
 	if req != nil {
 		p.link.sendRequest(ws, *req)
+	}
+	if toTree {
+		// submit decodes the parts synchronously, so once every local rank
+		// has taken the result the payload buffers are safe to recycle.
+		p.tree.submit(ws, op, lc.parts)
 	}
 
 	p.mu.Lock()
@@ -267,6 +418,16 @@ func (p *Proc) collective(slot int, op byte, aux uint32, payload []byte, seq uin
 	lc.taken++
 	if lc.taken == p.cfg.LocalRanks {
 		delete(p.colls, ws)
+		// Recycle the pooled wire-encoding scratch for the ops whose
+		// payloads the transport itself encoded; barrier and byte-gather
+		// payloads are caller-owned and must not be pooled.
+		switch lc.op {
+		case opAllReduce, opAllGather, opBroadcast, opScalar:
+			for i, pb := range lc.parts {
+				mat.PutBytes(pb)
+				lc.parts[i] = nil
+			}
+		}
 	}
 	return res
 }
@@ -280,6 +441,7 @@ func (p *Proc) Run(fn func(c dist.Comm)) []error {
 	p.mu.Lock()
 	n := p.cfg.LocalRanks
 	base, world, gen := p.baseRank, p.world, p.gen
+	floor := p.seqFloor
 	p.mu.Unlock()
 
 	var emu sync.Mutex
@@ -302,7 +464,7 @@ func (p *Proc) Run(fn func(c dist.Comm)) []error {
 					}
 				}
 			}()
-			fn(&netWorker{p: p, slot: slot, base: base, world: world, gen: gen})
+			fn(&netWorker{p: p, slot: slot, base: base, world: world, gen: gen, seq: floor})
 		}(slot)
 	}
 	wg.Wait()
@@ -340,10 +502,10 @@ func (p *Proc) Rejoin() error {
 		return err
 	}
 	p.mu.Lock()
-	p.gen, p.world, p.baseRank = sm.Gen, int(sm.WorldSize), int(sm.BaseRank)
 	p.failed = nil
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.applyStart(sm)
 	telemetry.IncCounter(telemetry.MetricRecoveries, 1,
 		telemetry.Label{Key: "transport", Value: "tcp"})
 	return nil
@@ -373,6 +535,9 @@ func (p *Proc) Close() error {
 	p.mu.Unlock()
 	if p.link != nil {
 		p.link.close()
+	}
+	if p.tree != nil {
+		p.tree.close()
 	}
 	if p.coord != nil {
 		p.coord.close()
@@ -413,12 +578,13 @@ func (w *netWorker) countComm(op string, elems int) {
 	telemetry.IncCounter(telemetry.MetricCommCalls, 1, lbl)
 }
 
-// AllReduceMat implements dist.Comm; the sum is computed once at the
-// coordinator in global rank order — bitwise identical to the in-process
-// cluster's accumulation.
+// AllReduceMat implements dist.Comm; whichever topology carries the sum
+// (hub fold at the coordinator, or distributed folds up the tree), the
+// bracketing is the canonical pairwise order of dist/reduce.go — bitwise
+// identical to the in-process cluster's accumulation.
 func (w *netWorker) AllReduceMat(m *mat.Dense) *mat.Dense {
 	w.countComm("allreduce", m.Rows()*m.Cols())
-	res := w.p.collective(w.slot, opAllReduce, 0, encodeMat(m), w.next())
+	res := w.p.collective(w.slot, opAllReduce, 0, encodeMatPooled(m), w.next())
 	out, err := decodeMat(res)
 	if err != nil {
 		panic(dist.ErrClusterPoisoned)
@@ -429,7 +595,7 @@ func (w *netWorker) AllReduceMat(m *mat.Dense) *mat.Dense {
 // AllGatherMat implements dist.Comm.
 func (w *netWorker) AllGatherMat(m *mat.Dense) []*mat.Dense {
 	w.countComm("allgather", m.Rows()*m.Cols())
-	res := w.p.collective(w.slot, opAllGather, 0, encodeMat(m), w.next())
+	res := w.p.collective(w.slot, opAllGather, 0, encodeMatPooled(m), w.next())
 	parts, err := splitParts(res, w.world)
 	if err != nil {
 		panic(dist.ErrClusterPoisoned)
@@ -457,7 +623,7 @@ func (w *netWorker) BroadcastMat(root int, m *mat.Dense) *mat.Dense {
 	var payload []byte
 	if w.ID() == root {
 		w.countComm("broadcast", m.Rows()*m.Cols())
-		payload = encodeMat(m)
+		payload = encodeMatPooled(m)
 	} else {
 		payload = []byte{}
 	}
@@ -472,8 +638,9 @@ func (w *netWorker) BroadcastMat(root int, m *mat.Dense) *mat.Dense {
 	return out
 }
 
-// AllReduceScalar implements dist.Comm; summed at the coordinator in rank
-// order, like the in-process worker's gather-then-sum.
+// AllReduceScalar implements dist.Comm; summed in the canonical pairwise
+// order on whichever topology the generation runs, like the in-process
+// worker's gather-then-fold.
 func (w *netWorker) AllReduceScalar(v float64) float64 {
 	res := w.p.collective(w.slot, opScalar, 0, encodeScalar(v), w.next())
 	s, err := decodeScalar(res)

@@ -27,9 +27,13 @@ func testConfig(world int) Config {
 	}
 }
 
+// topologies is the parity matrix every transport suite runs over: the
+// hub is the oracle, the tree must reproduce its bits exactly.
+var topologies = []string{TopologyHub, TopologyTree}
+
 // startCluster launches one Proc per locals entry over real loopback TCP
 // (index 0 is the coordinator) and blocks until generation 1 is live.
-func startCluster(t *testing.T, base Config, locals ...int) []*Proc {
+func startCluster(t testing.TB, base Config, locals ...int) []*Proc {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -155,33 +159,60 @@ func compareTraces(t *testing.T, name string, got, want [][]uint64) {
 
 // TestProcMatchesCluster: P=4 split across two processes' worth of Procs on
 // real TCP sockets produces bit-identical collective results to the
-// in-process simulated cluster.
+// in-process simulated cluster — under both reduction topologies.
 func TestProcMatchesCluster(t *testing.T) {
-	procs := startCluster(t, testConfig(4), 3, 1)
-	if procs[0].WorldSize() != 4 || procs[0].BaseRank() != 0 {
-		t.Fatalf("coordinator world=%d base=%d", procs[0].WorldSize(), procs[0].BaseRank())
+	for _, topo := range topologies {
+		t.Run(topo, func(t *testing.T) {
+			cfg := testConfig(4)
+			cfg.Topology = topo
+			procs := startCluster(t, cfg, 3, 1)
+			if procs[0].WorldSize() != 4 || procs[0].BaseRank() != 0 {
+				t.Fatalf("coordinator world=%d base=%d", procs[0].WorldSize(), procs[0].BaseRank())
+			}
+			if procs[1].BaseRank() != 3 {
+				t.Fatalf("joiner base rank = %d, want 3", procs[1].BaseRank())
+			}
+			got, errs := runNet(procs, 4, 6)
+			if len(errs) != 0 {
+				t.Fatalf("worker errors: %v", errs)
+			}
+			compareTraces(t, "tcp-vs-cluster", got, runRef(4, 6))
+		})
 	}
-	if procs[1].BaseRank() != 3 {
-		t.Fatalf("joiner base rank = %d, want 3", procs[1].BaseRank())
-	}
+}
+
+// TestProcTreeChunked: a payload far larger than the configured chunk size
+// exercises the tree's chunk pipelining (many up/down frames per
+// collective) and still lands on the canonical bits.
+func TestProcTreeChunked(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Topology = TopologyTree
+	cfg.ChunkElems = 7 // deliberately tiny and misaligned: 4×3 mat → 2 chunks
+	procs := startCluster(t, cfg, 1, 1, 1, 1)
 	got, errs := runNet(procs, 4, 6)
 	if len(errs) != 0 {
 		t.Fatalf("worker errors: %v", errs)
 	}
-	compareTraces(t, "tcp-vs-cluster", got, runRef(4, 6))
+	compareTraces(t, "tree-chunked-vs-cluster", got, runRef(4, 6))
 }
 
 // TestProcParityUnderSocketFaults: with 10% drop/dup/reorder injected on
-// every link the retransmit protocol still yields the exact same bits.
+// every link (tree data links included) the retransmit protocol still
+// yields the exact same bits under both topologies.
 func TestProcParityUnderSocketFaults(t *testing.T) {
-	cfg := testConfig(4)
-	cfg.Faults = &SocketFaultPlan{Seed: 9, DropProb: 0.10, DupProb: 0.10, ReorderProb: 0.10}
-	procs := startCluster(t, cfg, 2, 2)
-	got, errs := runNet(procs, 4, 6)
-	if len(errs) != 0 {
-		t.Fatalf("worker errors under faults: %v", errs)
+	for _, topo := range topologies {
+		t.Run(topo, func(t *testing.T) {
+			cfg := testConfig(4)
+			cfg.Topology = topo
+			cfg.Faults = &SocketFaultPlan{Seed: 9, DropProb: 0.10, DupProb: 0.10, ReorderProb: 0.10}
+			procs := startCluster(t, cfg, 2, 2)
+			got, errs := runNet(procs, 4, 6)
+			if len(errs) != 0 {
+				t.Fatalf("worker errors under faults: %v", errs)
+			}
+			compareTraces(t, "tcp-faults-vs-cluster", got, runRef(4, 6))
+		})
 	}
-	compareTraces(t, "tcp-faults-vs-cluster", got, runRef(4, 6))
 }
 
 // TestProcShrinkRejoin: a worker panic in one process poisons every rank
@@ -190,7 +221,15 @@ func TestProcParityUnderSocketFaults(t *testing.T) {
 // the smaller size. This is the transport-level half of the elastic
 // recovery contract.
 func TestProcShrinkRejoin(t *testing.T) {
-	procs := startCluster(t, testConfig(4), 2, 1, 1)
+	for _, topo := range topologies {
+		t.Run(topo, func(t *testing.T) { testProcShrinkRejoin(t, topo) })
+	}
+}
+
+func testProcShrinkRejoin(t *testing.T, topo string) {
+	cfg := testConfig(4)
+	cfg.Topology = topo
+	procs := startCluster(t, cfg, 2, 1, 1)
 
 	// Join order decides which single-rank process hosts rank 3; find it
 	// rather than assuming.
@@ -326,6 +365,81 @@ func TestProcKilledProcess(t *testing.T) {
 		t.Fatalf("post-kill worker errors: %v", errs)
 	}
 	compareTraces(t, "post-kill", got, runRef(2, 3))
+}
+
+// TestProcTreeInteriorMemberDeath hard-kills an interior member of the
+// reduction tree (one with both a parent and a child). The orphaned
+// subtree can no longer ascend, so the generation must poison via the
+// liveness detectors; survivors rejoin at gen+1, the coordinator rebuilds
+// the tree over the shrunken world, and post-recovery collectives are
+// bit-identical to the hub oracle (== the in-process cluster).
+func TestProcTreeInteriorMemberDeath(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Topology = TopologyTree
+	cfg.PeerDeadline = 400 * time.Millisecond
+	procs := startCluster(t, cfg, 1, 1, 1, 1)
+
+	// With four single-rank members the canonical tree is
+	// rank0 ← {rank1, rank2}, rank2 ← rank3: rank 2 is interior.
+	interior := 0
+	for i, p := range procs {
+		if p.BaseRank() == 2 {
+			interior = i
+		}
+	}
+	if interior == 0 {
+		t.Fatal("rank 2 landed on the coordinator; expected a joiner")
+	}
+	procs[interior].link.close()
+
+	var survivors []*Proc
+	for i, p := range procs {
+		if i != interior {
+			survivors = append(survivors, p)
+		}
+	}
+	var wg sync.WaitGroup
+	allErrs := make([][]error, len(survivors))
+	for i, p := range survivors {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			allErrs[i] = p.Run(func(c dist.Comm) {
+				for {
+					c.AllReduceScalar(1) // rank 2 never contributes → death → poison
+				}
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	for i, errs := range allErrs {
+		if len(errs) == 0 {
+			t.Fatalf("survivor %d: no poison after interior death", i)
+		}
+	}
+
+	rejoinErr := make([]error, len(survivors))
+	for i, p := range survivors {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			rejoinErr[i] = p.Rejoin()
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range rejoinErr {
+		if err != nil {
+			t.Fatalf("survivor %d rejoin: %v", i, err)
+		}
+	}
+	if w := procs[0].WorldSize(); w != 3 {
+		t.Fatalf("post-death world = %d, want 3", w)
+	}
+	got, errs := runNet(survivors, 3, 4)
+	if len(errs) != 0 {
+		t.Fatalf("post-death worker errors: %v", errs)
+	}
+	compareTraces(t, "tree-post-interior-death", got, runRef(3, 4))
 }
 
 // TestProcRejectsConfigMismatch: a joiner whose config digest disagrees is

@@ -1,0 +1,5 @@
+//go:build !race
+
+package distnet
+
+const raceEnabled = false

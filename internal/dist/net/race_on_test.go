@@ -1,0 +1,9 @@
+//go:build race
+
+package distnet
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately drops a fraction of sync.Pool puts to
+// widen interleaving coverage — making steady-state pool-miss
+// assertions meaningless.
+const raceEnabled = true

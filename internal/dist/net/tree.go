@@ -1,0 +1,842 @@
+package distnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/mat"
+)
+
+// This file is the tree topology's data plane. Control (rendezvous,
+// heartbeats, failure detection) stays on the hub link; only the
+// sum-style collectives (allreduce, scalar) ride member↔member TCP
+// connections arranged as the coordinator's reduction tree.
+//
+// Protocol: each member dials its parent's data listener and binds the
+// connection with ftTreeHello (gen, memberID). Contributions flow upward
+// as ftTreeUp frames — one per chunk, carrying the sender subtree's
+// merged partial-sum segments — and the finished reduction flows back
+// down as ftTreeDown frames, one per chunk. There are no acks: a child
+// re-sends its hello plus every pending up frame each retransmit tick
+// until the result arrives; parents drop duplicates while a collective
+// is open and answer duplicates for a completed one by re-sending that
+// chunk's down frame from a bounded cache. This masks socket faults
+// (drop/dup/reorder/delay) with the same idempotent-retransmit strategy
+// as the hub path.
+//
+// Correctness of the distributed fold: a segment is a partial sum tagged
+// with the contiguous rank range it covers. Two adjacent segments merge
+// (left + right, elementwise) only when dist.CanMergeSegments allows it,
+// i.e. when they are exactly the two children of a canonical reduction
+// node. Greedy merging is confluent — every canonical node has a unique
+// sibling — so the bits are independent of arrival order, of chunking,
+// and of how ranks are grouped into processes; they equal the hub's and
+// the in-process cluster's canonical fold exactly.
+
+// treeSegBuf is one partial-sum segment of one chunk: the elementwise
+// canonical sum of ranks [lo, hi) over that chunk's slice. data is
+// returned to the float pool on release only when pooled (segments that
+// alias a full-payload buffer are freed with their owner instead).
+type treeSegBuf struct {
+	lo, hi int
+	data   []float64
+	pooled bool
+}
+
+// treeChunk accumulates one chunk of one collective.
+type treeChunk struct {
+	segs []treeSegBuf    // sorted by lo, merged as far as canonical
+	from map[uint32]bool // children whose contribution arrived
+	sent bool            // up frame built (or, at the root, down built)
+}
+
+// treeColl is one in-flight collective on the tree.
+type treeColl struct {
+	op         byte
+	elems      int
+	nChunks    int
+	rows, cols int // result shape, known once the local deposit lands
+	haveLocal  bool
+
+	chunks []*treeChunk
+
+	// fullBufs are the local fold's whole-payload accumulation buffers;
+	// chunk segments alias into them, so they are released only when the
+	// collective retires.
+	fullBufs [][]float64
+
+	// down holds per-chunk encoded ftTreeDown payloads (for forwarding
+	// and retransmit service); downData/downPooled the decoded floats the
+	// result is assembled from.
+	down       [][]byte
+	downData   [][]float64
+	downPooled []bool
+	downN      int
+
+	// upFrames are this member's pending frames to its parent, re-sent
+	// every tick until delivery. Payloads are pooled.
+	upFrames  []Frame
+	delivered bool
+}
+
+// release returns every pooled buffer the collective still owns.
+func (tc *treeColl) release() {
+	for _, ch := range tc.chunks {
+		for _, s := range ch.segs {
+			if s.pooled {
+				mat.PutFloats(s.data)
+			}
+		}
+		ch.segs = nil
+	}
+	for _, b := range tc.fullBufs {
+		mat.PutFloats(b)
+	}
+	tc.fullBufs = nil
+	for i, d := range tc.downData {
+		if tc.downPooled[i] {
+			mat.PutFloats(d)
+		}
+		tc.downData[i] = nil
+	}
+	for _, f := range tc.upFrames {
+		mat.PutBytes(f.Payload)
+	}
+	tc.upFrames = nil
+}
+
+// treeEndpoint derives deterministic fault-injection endpoint ids for
+// tree-data writers, disjoint from the hub link's id*2 / id*2+1 space.
+func treeEndpoint(member uint32, towardChild bool) uint64 {
+	e := uint64(0x10000) + uint64(member)*2
+	if towardChild {
+		e++
+	}
+	return e
+}
+
+// outFrame is a write staged under the engine lock and performed outside
+// it (TCP writes may block on backpressure).
+type outFrame struct {
+	fw frameWriter
+	f  Frame
+}
+
+// treeEngine owns one process's tree-data listener, its parent and child
+// connections, and every in-flight tree collective. It is created once
+// per Proc and re-installed with fresh topology every generation.
+type treeEngine struct {
+	p    *Proc
+	ln   net.Listener
+	port int
+
+	mu     sync.Mutex
+	closed bool
+
+	gen        uint32
+	active     bool
+	world      int
+	base       int
+	chunkElems int
+	parentAddr string
+	children   map[uint32]bool
+
+	parentConn net.Conn
+	parentFW   frameWriter
+
+	childConns map[uint32]net.Conn
+	childFWs   map[uint32]frameWriter
+
+	colls    map[uint64]*treeColl
+	cache    map[uint64][][]byte // completed ws → per-chunk down payloads
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+func newTreeEngine(p *Proc, ln net.Listener) *treeEngine {
+	t := &treeEngine{
+		p: p, ln: ln, port: ln.Addr().(*net.TCPAddr).Port,
+		children:   map[uint32]bool{},
+		childConns: map[uint32]net.Conn{},
+		childFWs:   map[uint32]frameWriter{},
+		colls:      map[uint64]*treeColl{},
+		cache:      map[uint64][][]byte{},
+		stop:       make(chan struct{}),
+	}
+	go t.acceptLoop()
+	go t.tickLoop()
+	return t
+}
+
+// install points the engine at a new generation's topology, tearing down
+// the previous generation's connections and in-flight state. A non-tree
+// start message leaves the engine idle for the generation.
+func (t *treeEngine) install(sm startMsg) {
+	t.mu.Lock()
+	for _, tc := range t.colls {
+		tc.release()
+	}
+	t.colls = map[uint64]*treeColl{}
+	t.cache = map[uint64][][]byte{}
+	t.gen = sm.Gen
+	t.active = sm.Topology == topoTree
+	t.world = int(sm.WorldSize)
+	t.base = int(sm.BaseRank)
+	t.chunkElems = int(sm.ChunkElems)
+	if t.chunkElems <= 0 {
+		t.chunkElems = t.p.cfg.ChunkElems
+	}
+	t.parentAddr = sm.TreeParent
+	t.children = make(map[uint32]bool, len(sm.TreeChildren))
+	for _, id := range sm.TreeChildren {
+		t.children[id] = true
+	}
+	oldParent := t.parentConn
+	t.parentConn, t.parentFW = nil, nil
+	oldChildren := t.childConns
+	t.childConns = map[uint32]net.Conn{}
+	t.childFWs = map[uint32]frameWriter{}
+	gen, active, addr := t.gen, t.active, t.parentAddr
+	t.mu.Unlock()
+
+	if oldParent != nil {
+		oldParent.Close()
+	}
+	for _, cn := range oldChildren {
+		cn.Close()
+	}
+	if active && addr != "" {
+		go t.dialParent(gen, addr)
+	}
+}
+
+func (t *treeEngine) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.active = false
+	for _, tc := range t.colls {
+		tc.release()
+	}
+	t.colls = map[uint64]*treeColl{}
+	parent := t.parentConn
+	children := t.childConns
+	t.parentConn, t.parentFW = nil, nil
+	t.childConns = map[uint32]net.Conn{}
+	t.childFWs = map[uint32]frameWriter{}
+	t.mu.Unlock()
+
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.ln.Close()
+	if parent != nil {
+		parent.Close()
+	}
+	for _, cn := range children {
+		cn.Close()
+	}
+}
+
+// stale reports whether work for generation gen is obsolete.
+func (t *treeEngine) stale(gen uint32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed || !t.active || t.gen != gen
+}
+
+func (t *treeEngine) write(fw frameWriter, f Frame) {
+	if fw == nil {
+		return
+	}
+	if err := fw.writeFrame(f); err == nil {
+		t.p.countBytes("tx", len(f.Payload))
+	}
+}
+
+func (t *treeEngine) writeAll(frames []outFrame) {
+	for _, of := range frames {
+		t.write(of.fw, of.f)
+	}
+}
+
+// acceptLoop serves child data connections.
+func (t *treeEngine) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.serveChild(conn)
+	}
+}
+
+// serveChild owns one inbound data connection. The first valid hello for
+// the current generation binds it to a child member; afterwards up
+// frames fold into the engine. Frames for the wrong generation are
+// dropped — the child's per-tick hello rebinds once both sides agree.
+func (t *treeEngine) serveChild(conn net.Conn) {
+	var bound uint32
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			t.mu.Lock()
+			if bound != 0 && t.childConns[bound] == conn {
+				delete(t.childConns, bound)
+				delete(t.childFWs, bound)
+			}
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.p.countBytes("rx", len(f.Payload))
+		switch f.Type {
+		case ftTreeHello:
+			hm, err := decodeTreeHello(f.Payload)
+			if err != nil {
+				continue
+			}
+			t.mu.Lock()
+			if !t.closed && t.active && hm.Gen == t.gen && t.children[hm.MemberID] {
+				if old := t.childConns[hm.MemberID]; old != nil && old != conn {
+					old.Close()
+				}
+				bound = hm.MemberID
+				t.childConns[bound] = conn
+				t.childFWs[bound] = wrapWriter(conn, t.p.cfg.Faults, treeEndpoint(bound, true))
+			}
+			t.mu.Unlock()
+		case ftTreeUp:
+			if bound == 0 {
+				continue
+			}
+			um, err := decodeTreeUp(f.Payload)
+			if err != nil {
+				continue
+			}
+			t.handleUp(bound, f.Seq, um)
+		}
+	}
+}
+
+// dialParent establishes (or re-establishes) the upstream data
+// connection for generation gen, with backoff bounded by DialTimeout.
+// Exhausting the budget withdraws the process: an unreachable parent
+// means this subtree's contributions can never ascend.
+func (t *treeEngine) dialParent(gen uint32, addr string) {
+	deadline := time.Now().Add(t.p.cfg.DialTimeout)
+	backoff := t.p.cfg.DialBackoffBase
+	for {
+		if t.stale(gen) {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", addr, t.p.cfg.DialBackoffMax)
+		if err == nil {
+			t.mu.Lock()
+			if t.closed || !t.active || t.gen != gen {
+				t.mu.Unlock()
+				conn.Close()
+				return
+			}
+			if t.parentConn != nil {
+				t.parentConn.Close()
+			}
+			t.parentConn = conn
+			t.parentFW = wrapWriter(conn, t.p.cfg.Faults, treeEndpoint(t.p.link.id(), false))
+			frames := t.pendingUpLocked()
+			fw := t.parentFW
+			t.mu.Unlock()
+			for _, f := range frames {
+				t.write(fw, f)
+			}
+			go t.readParent(gen, addr, conn)
+			return
+		}
+		if time.Now().After(deadline) {
+			if !t.stale(gen) {
+				t.p.abortLocal(fmt.Errorf("distnet: tree parent %s unreachable: %v", addr, err))
+			}
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > t.p.cfg.DialBackoffMax {
+			backoff = t.p.cfg.DialBackoffMax
+		}
+	}
+}
+
+// pendingUpLocked snapshots the hello plus every pending up frame
+// (mu held) — the per-tick retransmit batch. The hello leads so an
+// unbound parent binds before folding.
+func (t *treeEngine) pendingUpLocked() []Frame {
+	frames := []Frame{{Type: ftTreeHello,
+		Payload: treeHelloMsg{Gen: t.gen, MemberID: t.p.link.id()}.encode()}}
+	for ws, tc := range t.colls {
+		for _, f := range tc.upFrames {
+			f.Seq = ws
+			frames = append(frames, f)
+		}
+	}
+	return frames
+}
+
+// readParent consumes down frames until the connection breaks, then
+// redials (the parent may have restarted its listener backlog, or a
+// fault plan partition may have reset the conn).
+func (t *treeEngine) readParent(gen uint32, addr string, conn net.Conn) {
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			t.mu.Lock()
+			if t.parentConn == conn {
+				t.parentConn, t.parentFW = nil, nil
+			}
+			t.mu.Unlock()
+			conn.Close()
+			if t.stale(gen) || t.p.Err() != nil {
+				return
+			}
+			go t.dialParent(gen, addr)
+			return
+		}
+		t.p.countBytes("rx", len(f.Payload))
+		if f.Type != ftTreeDown {
+			continue
+		}
+		dm, err := decodeTreeDown(f.Payload)
+		if err != nil {
+			continue
+		}
+		t.handleDown(f.Seq, dm, f.Payload)
+	}
+}
+
+// tickLoop re-sends the hello and pending up frames every retransmit
+// period — the engine's only timer, and its whole reliability story.
+func (t *treeEngine) tickLoop() {
+	tick := time.NewTicker(t.p.cfg.RetransmitEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		}
+		t.mu.Lock()
+		if t.closed || !t.active || t.parentFW == nil {
+			t.mu.Unlock()
+			continue
+		}
+		fw := t.parentFW
+		frames := t.pendingUpLocked()
+		t.mu.Unlock()
+		for _, f := range frames {
+			t.write(fw, f)
+		}
+	}
+}
+
+// chunkLen returns chunk i's element count for a payload of elems.
+func chunkLen(elems, chunkElems, i int) int {
+	lo := i * chunkElems
+	hi := lo + chunkElems
+	if hi > elems {
+		hi = elems
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// ensureLocked finds or creates the collective's state (mu held).
+// Returns nil on a shape disagreement with an existing entry (corrupt or
+// confused frame; dropping it is safe — retransmit re-offers it).
+func (t *treeEngine) ensureLocked(ws uint64, op byte, elems int) *treeColl {
+	if tc := t.colls[ws]; tc != nil {
+		if tc.op != op || tc.elems != elems {
+			return nil
+		}
+		return tc
+	}
+	nChunks := 1
+	if elems > t.chunkElems {
+		nChunks = (elems + t.chunkElems - 1) / t.chunkElems
+	}
+	tc := &treeColl{
+		op: op, elems: elems, nChunks: nChunks,
+		chunks:     make([]*treeChunk, nChunks),
+		down:       make([][]byte, nChunks),
+		downData:   make([][]float64, nChunks),
+		downPooled: make([]bool, nChunks),
+	}
+	for i := range tc.chunks {
+		tc.chunks[i] = &treeChunk{from: map[uint32]bool{}}
+	}
+	t.colls[ws] = tc
+	return tc
+}
+
+// insertSegLocked adds a segment to a chunk in lo-order and re-merges
+// greedily under the canonical rule.
+func (t *treeEngine) insertSegLocked(ch *treeChunk, s treeSegBuf) {
+	pos := len(ch.segs)
+	for i, e := range ch.segs {
+		if s.lo < e.lo {
+			pos = i
+			break
+		}
+	}
+	ch.segs = append(ch.segs, treeSegBuf{})
+	copy(ch.segs[pos+1:], ch.segs[pos:])
+	ch.segs[pos] = s
+	for {
+		merged := false
+		for i := 0; i+1 < len(ch.segs); i++ {
+			a, b := ch.segs[i], ch.segs[i+1]
+			if a.hi != b.lo || !dist.CanMergeSegments(t.world, a.lo, a.hi, b.hi) {
+				continue
+			}
+			for j := range a.data {
+				a.data[j] += b.data[j]
+			}
+			if b.pooled {
+				mat.PutFloats(b.data)
+			}
+			ch.segs[i] = treeSegBuf{lo: a.lo, hi: b.hi, data: a.data, pooled: a.pooled}
+			ch.segs = append(ch.segs[:i+1], ch.segs[i+2:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// decodeMatVec decodes a matrix payload into (rows, cols, pooled vector).
+func decodeMatVec(p []byte) (rows, cols int, vec []float64, err error) {
+	r := &byteReader{b: p}
+	rw := r.u32()
+	cl := r.u32()
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	if rw > maxWorldSize*64 || cl > maxWorldSize*64 {
+		return 0, 0, nil, ErrTruncatedMsg
+	}
+	raw := r.take(8 * int(rw) * int(cl))
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	vec = mat.GetFloats(int(rw) * int(cl))
+	for i := range vec {
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return int(rw), int(cl), vec, nil
+}
+
+// submit deposits this process's local contributions (the encoded
+// payloads of ranks base..base+nLocal) into the tree. Must be called
+// without p.mu held; it may complete the collective synchronously (the
+// single-member tree) and deliver through p.onResult.
+func (t *treeEngine) submit(ws uint64, op byte, parts [][]byte) {
+	// Decode every local rank's payload into a pooled full-length vector.
+	vecs := make([][]float64, len(parts))
+	rows, cols := 1, 1
+	for i, pb := range parts {
+		switch op {
+		case opAllReduce:
+			r, c, v, err := decodeMatVec(pb)
+			if err != nil {
+				t.p.abortLocal(fmt.Errorf("distnet: tree submit: corrupt local payload: %v", err))
+				return
+			}
+			rows, cols, vecs[i] = r, c, v
+		case opScalar:
+			v, err := decodeScalar(pb)
+			if err != nil {
+				t.p.abortLocal(fmt.Errorf("distnet: tree submit: corrupt local scalar: %v", err))
+				return
+			}
+			vecs[i] = mat.GetFloats(1)
+			vecs[i][0] = v
+		default:
+			t.p.abortLocal(fmt.Errorf("distnet: tree submit: unsupported op %s", opName(op)))
+			return
+		}
+	}
+	elems := rows * cols
+
+	// Fold the local ranks into canonical full-length segments in place.
+	segs := make([]treeSegBuf, len(vecs))
+	for i, v := range vecs {
+		segs[i] = treeSegBuf{lo: t.base + i, hi: t.base + i + 1, data: v}
+	}
+	t.mu.Lock()
+	world := t.world
+	for {
+		merged := false
+		for i := 0; i+1 < len(segs); i++ {
+			a, b := segs[i], segs[i+1]
+			if a.hi != b.lo || !dist.CanMergeSegments(world, a.lo, a.hi, b.hi) {
+				continue
+			}
+			for j := range a.data {
+				a.data[j] += b.data[j]
+			}
+			mat.PutFloats(b.data)
+			segs[i] = treeSegBuf{lo: a.lo, hi: b.hi, data: a.data}
+			segs = append(segs[:i+1], segs[i+2:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			break
+		}
+	}
+
+	if t.closed || !t.active {
+		for _, s := range segs {
+			mat.PutFloats(s.data)
+		}
+		t.mu.Unlock()
+		return
+	}
+	tc := t.ensureLocked(ws, op, elems)
+	if tc == nil || tc.haveLocal {
+		for _, s := range segs {
+			mat.PutFloats(s.data)
+		}
+		t.mu.Unlock()
+		if tc == nil {
+			t.p.abortLocal(fmt.Errorf("distnet: tree submit: collective %d shape disagreement", ws))
+		}
+		return
+	}
+	tc.haveLocal = true
+	tc.rows, tc.cols = rows, cols
+	for _, s := range segs {
+		tc.fullBufs = append(tc.fullBufs, s.data)
+	}
+	// Slice the full segments into per-chunk alias segments and merge
+	// with anything the children delivered early.
+	var out []outFrame
+	for i := 0; i < tc.nChunks; i++ {
+		off := i * t.chunkElems
+		cl := chunkLen(elems, t.chunkElems, i)
+		for _, s := range segs {
+			t.insertSegLocked(tc.chunks[i], treeSegBuf{
+				lo: s.lo, hi: s.hi, data: s.data[off : off+cl : off+cl]})
+		}
+		out = append(out, t.finishChunkLocked(ws, tc, i)...)
+	}
+	res, deliver := t.deliverLocked(ws, tc)
+	t.mu.Unlock()
+
+	t.writeAll(out)
+	if deliver {
+		t.p.onResult(ws, collRes{Op: op, Result: res})
+	}
+}
+
+// handleUp folds one child's chunk contribution (pooled segment buffers
+// whose ownership transfers here).
+func (t *treeEngine) handleUp(child uint32, ws uint64, um treeUpMsg) {
+	free := func() {
+		for _, s := range um.Segs {
+			mat.PutFloats(s.Data)
+		}
+	}
+	t.mu.Lock()
+	if t.closed || !t.active || um.Gen != t.gen {
+		t.mu.Unlock()
+		free()
+		return
+	}
+	// Completed collective: the child missed (some of) the result; serve
+	// the requested chunk's down frame from the cache.
+	if down, ok := t.cache[ws]; ok {
+		fw := t.childFWs[child]
+		var f *Frame
+		if int(um.Chunk) < len(down) {
+			f = &Frame{Type: ftTreeDown, Seq: ws, Payload: down[um.Chunk]}
+		}
+		t.mu.Unlock()
+		free()
+		if f != nil {
+			t.write(fw, *f)
+		}
+		return
+	}
+	tc := t.ensureLocked(ws, um.Op, int(um.Elems))
+	if tc == nil || int(um.Chunk) >= tc.nChunks {
+		t.mu.Unlock()
+		free()
+		return
+	}
+	ch := tc.chunks[um.Chunk]
+	if ch.from[child] || ch.sent {
+		t.mu.Unlock()
+		free()
+		return
+	}
+	cl := chunkLen(tc.elems, t.chunkElems, int(um.Chunk))
+	for _, s := range um.Segs {
+		if len(s.Data) != cl || int(s.Lo) >= int(s.Hi) || int(s.Hi) > t.world {
+			t.mu.Unlock()
+			free()
+			return
+		}
+	}
+	ch.from[child] = true
+	for _, s := range um.Segs {
+		t.insertSegLocked(ch, treeSegBuf{lo: int(s.Lo), hi: int(s.Hi), data: s.Data, pooled: true})
+	}
+	out := t.finishChunkLocked(ws, tc, int(um.Chunk))
+	res, deliver := t.deliverLocked(ws, tc)
+	t.mu.Unlock()
+
+	t.writeAll(out)
+	if deliver {
+		t.p.onResult(ws, collRes{Op: tc.op, Result: res})
+	}
+}
+
+// finishChunkLocked advances a chunk whose inputs may now be complete
+// (mu held): when the local deposit and every child have contributed, an
+// interior member emits the chunk's up frame; the root builds and fans
+// out the chunk's down frame.
+func (t *treeEngine) finishChunkLocked(ws uint64, tc *treeColl, i int) []outFrame {
+	ch := tc.chunks[i]
+	if ch.sent || !tc.haveLocal || len(ch.from) != len(t.children) {
+		return nil
+	}
+	ch.sent = true
+	if t.parentAddr != "" {
+		// Interior/leaf member: forward the merged segments upward and
+		// keep the frame for retransmit. The segment buffers are no longer
+		// needed once encoded (aliased ones live in fullBufs).
+		um := treeUpMsg{Gen: t.gen, Op: tc.op, Chunk: uint32(i),
+			NChunks: uint32(tc.nChunks), Elems: uint32(tc.elems)}
+		for _, s := range ch.segs {
+			um.Segs = append(um.Segs, treeSeg{Lo: uint32(s.lo), Hi: uint32(s.hi), Data: s.data})
+		}
+		f := Frame{Type: ftTreeUp, Seq: ws, Payload: um.encodePooled()}
+		for _, s := range ch.segs {
+			if s.pooled {
+				mat.PutFloats(s.data)
+			}
+		}
+		ch.segs = nil
+		tc.upFrames = append(tc.upFrames, f)
+		if t.parentFW == nil {
+			return nil
+		}
+		return []outFrame{{fw: t.parentFW, f: f}}
+	}
+	// Root: the chunk must have merged to the single [0, world) segment.
+	if len(ch.segs) != 1 || ch.segs[0].lo != 0 || ch.segs[0].hi != t.world {
+		// Impossible under the canonical tree; treat as corruption.
+		ch.sent = false
+		return nil
+	}
+	s := ch.segs[0]
+	ch.segs = nil
+	dm := treeDownMsg{Gen: t.gen, Op: tc.op, Chunk: uint32(i),
+		NChunks: uint32(tc.nChunks), Elems: uint32(tc.elems), Data: s.data}
+	raw := dm.encode()
+	tc.down[i] = raw
+	tc.downData[i] = s.data
+	tc.downPooled[i] = s.pooled
+	tc.downN++
+	out := make([]outFrame, 0, len(t.childFWs))
+	for _, fw := range t.childFWs {
+		out = append(out, outFrame{fw: fw, f: Frame{Type: ftTreeDown, Seq: ws, Payload: raw}})
+	}
+	return out
+}
+
+// handleDown installs one chunk of the finished reduction arriving from
+// the parent: record it, forward it to the children, and deliver once
+// every chunk (and the local deposit) is in. raw is the frame's payload,
+// reused verbatim for forwarding and retransmit service.
+func (t *treeEngine) handleDown(ws uint64, dm treeDownMsg, raw []byte) {
+	t.mu.Lock()
+	if t.closed || !t.active || dm.Gen != t.gen {
+		t.mu.Unlock()
+		mat.PutFloats(dm.Data)
+		return
+	}
+	tc := t.colls[ws]
+	if tc == nil || tc.delivered || int(dm.Chunk) >= tc.nChunks || tc.down[dm.Chunk] != nil {
+		t.mu.Unlock()
+		mat.PutFloats(dm.Data)
+		return
+	}
+	if len(dm.Data) != chunkLen(tc.elems, t.chunkElems, int(dm.Chunk)) {
+		t.mu.Unlock()
+		mat.PutFloats(dm.Data)
+		return
+	}
+	tc.down[dm.Chunk] = raw
+	tc.downData[dm.Chunk] = dm.Data
+	tc.downPooled[dm.Chunk] = true
+	tc.downN++
+	out := make([]outFrame, 0, len(t.childFWs))
+	for _, fw := range t.childFWs {
+		out = append(out, outFrame{fw: fw, f: Frame{Type: ftTreeDown, Seq: ws, Payload: raw}})
+	}
+	res, deliver := t.deliverLocked(ws, tc)
+	t.mu.Unlock()
+
+	t.writeAll(out)
+	if deliver {
+		t.p.onResult(ws, collRes{Op: tc.op, Result: res})
+	}
+}
+
+// deliverLocked assembles and retires a completed collective (mu held).
+// The encoded result is returned for delivery outside the lock; the
+// collective's down payloads move to the bounded completed-cache so
+// lagging children can still be served.
+func (t *treeEngine) deliverLocked(ws uint64, tc *treeColl) ([]byte, bool) {
+	if tc.delivered || !tc.haveLocal || tc.downN != tc.nChunks {
+		return nil, false
+	}
+	tc.delivered = true
+	var res []byte
+	switch tc.op {
+	case opScalar:
+		res = encodeScalar(tc.downData[0][0])
+	default: // opAllReduce
+		res = make([]byte, 0, 8+8*tc.elems)
+		res = binary.LittleEndian.AppendUint32(res, uint32(tc.rows))
+		res = binary.LittleEndian.AppendUint32(res, uint32(tc.cols))
+		for _, d := range tc.downData {
+			for _, v := range d {
+				res = binary.LittleEndian.AppendUint64(res, math.Float64bits(v))
+			}
+		}
+	}
+	if len(t.children) > 0 {
+		t.cache[ws] = tc.down
+		if len(t.cache) > cacheLimit {
+			for k := range t.cache {
+				if k < ws && len(t.cache) > cacheLimit {
+					delete(t.cache, k)
+				}
+			}
+		}
+	}
+	tc.release()
+	delete(t.colls, ws)
+	return res, true
+}

@@ -2,16 +2,58 @@ package mat
 
 import (
 	"math"
+	"os"
+	"sync/atomic"
 	"time"
 )
 
-// useFMA selects the math.FMA-based kernels. On hardware without fused
+// fmaKernels selects the math.FMA-based kernels. On hardware without fused
 // multiply-add the stdlib falls back to a very slow software path, and even
 // with the instruction present some microarchitectures (and VMs) sustain
 // fewer fused ops per cycle than separate mul+add streams. Neither the
 // build tags nor cpu-feature flags settle that, so the choice is made by
 // timing the two real micro-kernels once at package init.
-var useFMA = fmaIsFast()
+//
+// The choice changes numerics: fused multiply-add rounds once where
+// mul+add rounds twice, so the two kernel families produce results that
+// differ in the last ulp. A single process is internally consistent either
+// way, but processes that must agree bit-for-bit (the multi-process
+// transport's ranks) cannot each trust their own timing race — the
+// coordinator's choice is authoritative and is propagated to every member
+// through the generation-start handshake via SetFMAKernels. The HYLO_FMA
+// environment variable (0/1) overrides the calibration for deterministic
+// runs.
+var fmaKernels atomic.Bool
+
+func init() { fmaKernels.Store(initialFMA()) }
+
+func initialFMA() bool {
+	switch os.Getenv("HYLO_FMA") {
+	case "0":
+		return false
+	case "1":
+		return true
+	}
+	return fmaIsFast()
+}
+
+// fmaEnabled reports whether the fused-multiply-add kernel family is
+// active. An atomic load so the transport may conform the profile while
+// compute goroutines are running; the cost is noise next to any kernel's
+// inner loop.
+func fmaEnabled() bool { return fmaKernels.Load() }
+
+// FMAKernels reports the active kernel family: true when the fused
+// multiply-add variants are in use. Part of the process's numerics
+// profile — distributed ranks must agree on it for bit-identical results.
+func FMAKernels() bool { return fmaEnabled() }
+
+// SetFMAKernels selects the kernel family, overriding the init-time
+// calibration. The multi-process transport calls this when a generation
+// starts so every rank computes with the coordinator's kernels; results
+// of concurrent in-flight kernels are unspecified, so callers should
+// conform the profile at a compute quiescent point (rendezvous).
+func SetFMAKernels(on bool) { fmaKernels.Store(on) }
 
 // fmaIsFast races microKernel2x4FMA against microKernel2x4 on packed panels
 // of a realistic depth. Timing the actual kernels (independent accumulator

@@ -371,7 +371,7 @@ func packA(ap []float64, a *Dense, transA bool, i0, rows, pc, kc int) {
 // unconditional). Dispatches to the fused-multiply-add variant when the
 // init-time calibration found hardware FMA.
 func microKernel(out *Dense, ap, bp []float64, k, i0, j0, rows, cols int) {
-	if useFMA {
+	if fmaEnabled() {
 		microKernel2x4FMA(out, ap, bp, k, i0, j0, rows, cols)
 		return
 	}
@@ -455,7 +455,7 @@ func gemmRows(out, a, b *Dense, lo, hi int) {
 // axpy computes dst += s*src with 4-way unrolling (fused multiply-adds
 // when the hardware has them).
 func axpy(dst, src []float64, s float64) {
-	if useFMA {
+	if fmaEnabled() {
 		axpyFMA(dst, src, s)
 		return
 	}
@@ -520,7 +520,7 @@ func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: Dot length mismatch")
 	}
-	if useFMA {
+	if fmaEnabled() {
 		return dotFMA(x, y)
 	}
 	var s0, s1, s2, s3 float64

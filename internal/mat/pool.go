@@ -139,6 +139,66 @@ func PutFloats(buf []float64) {
 	floatPools[class].Put(h)
 }
 
+// Byte pools mirror the float pools (same bucket shifts, counted in
+// bytes) for wire-encoding scratch: the distributed transport encodes
+// and decodes matrix payloads every collective, and pooling those
+// buffers keeps the steady-state comm path allocation-free too.
+var (
+	bytePools [maxPoolShift - minPoolShift + 1]sync.Pool
+	byteBoxes = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// GetBytes checks out a length-n byte slice with unspecified contents
+// whose capacity is an exact pool bucket (so append within capacity
+// never reallocates). Return it with PutBytes when done.
+func GetBytes(n int) []byte {
+	class, size := poolClass(n)
+	if class < 0 {
+		if n == 0 {
+			return nil
+		}
+		poolMisses.Add(1)
+		if telemetry.Enabled() {
+			telemetry.IncCounter(MetricPoolMisses, 1)
+		}
+		return make([]byte, n)
+	}
+	if v := bytePools[class].Get(); v != nil {
+		poolHits.Add(1)
+		if telemetry.Enabled() {
+			telemetry.IncCounter(MetricPoolHits, 1)
+		}
+		h := v.(*[]byte)
+		buf := *h
+		*h = nil
+		byteBoxes.Put(h)
+		return buf[:n]
+	}
+	poolMisses.Add(1)
+	if telemetry.Enabled() {
+		telemetry.IncCounter(MetricPoolMisses, 1)
+	}
+	return make([]byte, size)[:n]
+}
+
+// PutBytes returns a slice obtained from GetBytes to the pool. Like
+// PutFloats, slices whose capacity is not an exact bucket size are
+// dropped, so pooling foreign buffers is harmless. buf must not be used
+// after Put.
+func PutBytes(buf []byte) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	class, size := poolClass(c)
+	if class < 0 || c != size {
+		return
+	}
+	h := byteBoxes.Get().(*[]byte)
+	*h = buf[:c]
+	bytePools[class].Put(h)
+}
+
 // getInts checks out a length-n int slice with unspecified contents.
 func getInts(n int) []int {
 	if v := intSlices.Get(); v != nil {

@@ -218,7 +218,25 @@ const (
 	// MetricNetRTT is a histogram of heartbeat round-trip times in
 	// nanoseconds, one sample per acknowledged probe.
 	MetricNetRTT = "distnet_rtt_ns"
+	// MetricNetRankBytes counts TCP transport bytes per hosting process,
+	// labeled dir=tx|rx and rank=<base rank> — the per-rank breakdown of
+	// MetricNetBytes used by the -telemetry-summary network section.
+	MetricNetRankBytes = "distnet_rank_bytes_total"
+	// MetricNetTreeDepth is a gauge of this process's depth in the
+	// tree-topology reduction tree (0 = root/coordinator; unset under hub).
+	MetricNetTreeDepth = "distnet_tree_depth"
 )
+
+// RTTBucketsNS is the bucket layout for network round-trip times in
+// nanoseconds, spanning 10 µs to 10 s logarithmically — the
+// distnet_rtt_ns layout (heartbeats ride the same sockets as collective
+// frames, so RTTs range from loopback microseconds to multi-second
+// stalls under faults).
+var RTTBucketsNS = []float64{
+	1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5,
+	1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7,
+	1e8, 2.5e8, 5e8, 1e9, 2.5e9, 5e9, 1e10,
+}
 
 // DurationBucketsNS is the bucket layout for job-scale durations in
 // nanoseconds, spanning 1 ms to 100 s logarithmically — the hylo-serve

@@ -151,6 +151,42 @@ type HistogramSnapshot struct {
 	Count  int64
 }
 
+// Quantile estimates the q-quantile of the snapshot by linear
+// interpolation inside the containing bucket — the same scheme as
+// Histogram.Quantile, applied to a frozen copy. Returns 0 when empty.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s == nil || s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, cnt := range s.Counts {
+		c := float64(cnt)
+		if cum+c >= rank {
+			if i == len(s.Bounds) { // +Inf bucket
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // MetricPoint is one metric in a Snapshot.
 type MetricPoint struct {
 	Name   string

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -53,6 +54,95 @@ func Summarize(events []SpanEvent) []PhaseStat {
 		return out[i].Name < out[j].Name
 	})
 	return out
+}
+
+// WriteNetSummary prints the network section of -telemetry-summary from
+// the given registry: heartbeat RTT quantiles, per-rank transport byte
+// counters, and the tree depth gauge when a tree topology is active. It
+// prints nothing when the registry holds no network metrics (in-process
+// runs), so CLIs can call it unconditionally.
+func WriteNetSummary(w io.Writer, r *Registry) {
+	if r == nil {
+		return
+	}
+	type rankBytes struct {
+		rank   int
+		tx, rx float64
+	}
+	var (
+		ranks     []*rankBytes
+		byRank    = map[int]*rankBytes{}
+		treeDepth = -1.0
+		rttSnap   *HistogramSnapshot
+	)
+	for _, p := range r.Snapshot() {
+		switch p.Name {
+		case MetricNetRTT:
+			if p.Hist != nil && p.Hist.Count > 0 {
+				rttSnap = p.Hist
+			}
+		case MetricNetTreeDepth:
+			treeDepth = p.Value
+		case MetricNetRankBytes:
+			var dir string
+			rank := -1
+			for _, l := range p.Labels {
+				switch l.Key {
+				case "dir":
+					dir = l.Value
+				case "rank":
+					if n, err := strconv.Atoi(l.Value); err == nil {
+						rank = n
+					}
+				}
+			}
+			if rank < 0 {
+				continue
+			}
+			rb := byRank[rank]
+			if rb == nil {
+				rb = &rankBytes{rank: rank}
+				byRank[rank] = rb
+				ranks = append(ranks, rb)
+			}
+			switch dir {
+			case "tx":
+				rb.tx += p.Value
+			case "rx":
+				rb.rx += p.Value
+			}
+		}
+	}
+	if rttSnap == nil && len(ranks) == 0 && treeDepth < 0 {
+		return
+	}
+
+	fmt.Fprintln(w, "network:")
+	if rttSnap != nil {
+		fmt.Fprintf(w, "  heartbeat rtt: p50 %.3fms  p95 %.3fms  p99 %.3fms  (n=%d)\n",
+			rttSnap.Quantile(0.50)/1e6, rttSnap.Quantile(0.95)/1e6, rttSnap.Quantile(0.99)/1e6, rttSnap.Count)
+	}
+	if treeDepth >= 0 {
+		fmt.Fprintf(w, "  tree depth: %d (0 = root)\n", int(treeDepth))
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].rank < ranks[j].rank })
+	for _, rb := range ranks {
+		fmt.Fprintf(w, "  rank %d: tx %s  rx %s\n", rb.rank, fmtBytes(rb.tx), fmtBytes(rb.rx))
+	}
+}
+
+// fmtBytes renders a byte count with a binary-prefix unit.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
 }
 
 // WriteSummary prints the top-N phase table the CLIs show under

@@ -14,9 +14,18 @@ import (
 
 	"repro/internal/dist"
 	distnet "repro/internal/dist/net"
+	"repro/internal/mat"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
+
+// b2i renders a bool as the 0/1 the HYLO_FMA override expects.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // These tests are the acceptance gate for the TCP transport: a P=4 run
 // split across two real OS processes must produce bit-identical results to
@@ -45,8 +54,11 @@ func netTrainCfg(epochs int) Config {
 
 // netDigest fingerprints the test workload so a helper launched with
 // mismatched parameters is rejected at rendezvous instead of diverging.
-func netDigest(optName string, epochs int) uint64 {
-	return distnet.ConfigDigestOf("netproc-test", optName, strconv.Itoa(epochs))
+// Topology is part of the fingerprint: a hub member joining a tree
+// cluster would stall (it never opens a data-plane listener), so the
+// mismatch is fenced at rendezvous.
+func netDigest(optName string, epochs int, topo string) uint64 {
+	return distnet.ConfigDigestOf("netproc-test", optName, strconv.Itoa(epochs), topo)
 }
 
 func netTimeouts(cfg *distnet.Config) {
@@ -104,14 +116,18 @@ func TestNetTrainHelperProcess(t *testing.T) {
 			t.Fatalf("helper: bad panic spec %q", spec)
 		}
 	}
+	topo := os.Getenv("HYLO_NET_TOPOLOGY")
+	chunk, _ := strconv.Atoi(os.Getenv("HYLO_NET_CHUNK"))
 
 	ncfg := distnet.Config{
 		Join:         join,
 		LocalRanks:   ranks,
 		WorldSize:    world,
-		ConfigDigest: netDigest(optName, epochs),
+		ConfigDigest: netDigest(optName, epochs, topo),
 		Seed:         42,
 		Faults:       sockPlan,
+		Topology:     topo,
+		ChunkElems:   chunk,
 	}
 	netTimeouts(&ncfg)
 	proc, err := distnet.Start(ncfg)
@@ -144,7 +160,7 @@ func TestNetTrainHelperProcess(t *testing.T) {
 // helperRanks — trains the shared workload over it, and returns rank 0's
 // Result plus the post-run world size and generation.
 func runNetCoordinator(t *testing.T, optName string, epochs, coordRanks, helperRanks int,
-	sockSpec, panicSpec string, schedWorkers int) (Result, int, int) {
+	sockSpec, panicSpec string, schedWorkers int, topo string, chunk int) (Result, int, int) {
 	t.Helper()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -160,6 +176,15 @@ func runNetCoordinator(t *testing.T, optName string, epochs, coordRanks, helperR
 		fmt.Sprintf("HYLO_NET_EPOCHS=%d", epochs),
 		fmt.Sprintf("HYLO_NET_RANKS=%d", helperRanks),
 		fmt.Sprintf("HYLO_NET_WORLD=%d", world),
+		"HYLO_NET_TOPOLOGY="+topo,
+		fmt.Sprintf("HYLO_NET_CHUNK=%d", chunk),
+		// Adversarial numerics: start the helper on the OPPOSITE kernel
+		// family from this process. mat calibrates FMA-vs-mul+add by
+		// timing at init, so under load the helper can genuinely race the
+		// other way; the generation-start handshake must conform it to
+		// the coordinator's profile or every parity assertion below fails
+		// by an ulp. Forcing the mismatch makes that path deterministic.
+		fmt.Sprintf("HYLO_FMA=%d", b2i(!mat.FMAKernels())),
 	)
 	if schedWorkers > 0 {
 		env = append(env, fmt.Sprintf("HYLO_NET_SCHED=%d", schedWorkers))
@@ -201,9 +226,11 @@ func runNetCoordinator(t *testing.T, optName string, epochs, coordRanks, helperR
 		Listener:     ln,
 		LocalRanks:   coordRanks,
 		WorldSize:    world,
-		ConfigDigest: netDigest(optName, epochs),
+		ConfigDigest: netDigest(optName, epochs, topo),
 		Seed:         42,
 		Faults:       sockPlan,
+		Topology:     topo,
+		ChunkElems:   chunk,
 	}
 	netTimeouts(&ncfg)
 	proc, err := distnet.Start(ncfg)
@@ -221,10 +248,20 @@ func runNetCoordinator(t *testing.T, optName string, epochs, coordRanks, helperR
 	if err != nil {
 		t.Fatalf("coordinator run: %v\nhelper output:\n%s", err, out.Bytes())
 	}
+	// Capture world/gen before waiting out the helper: the assertions are
+	// about the cluster DURING training. Once the helper's deferred Close
+	// sends its leave, a tree-topology coordinator reforms the remaining
+	// members into a smaller generation (tree leaves are deaths — the
+	// coordinator cannot see data-plane collectives), which would make a
+	// post-Wait reading race against that perfectly healthy shutdown.
+	world, gen := proc.WorldSize(), proc.Gen()
 	if werr := cmd.Wait(); werr != nil {
 		t.Fatalf("helper process failed: %v\noutput:\n%s", werr, out.Bytes())
 	}
-	return res, proc.WorldSize(), proc.Gen()
+	if gen != 1 {
+		t.Logf("gen=%d helper output:\n%s", gen, out.Bytes())
+	}
+	return res, world, gen
 }
 
 // bitsEqualResults compares two training histories as raw float64 bits —
@@ -269,18 +306,77 @@ func TestNetProcTrainingParity(t *testing.T) {
 				t.Fatalf("in-process reference: %v", err)
 			}
 
-			res, world, gen := runNetCoordinator(t, optName, 2, 2, 2, "", "", 0)
+			res, world, gen := runNetCoordinator(t, optName, 2, 2, 2, "", "", 0, distnet.TopologyHub, 0)
 			if world != 4 || gen != 1 {
 				t.Fatalf("cluster ended at world=%d gen=%d; want 4/1", world, gen)
 			}
 			bitsEqualResults(t, optName+"/clean", ref, res)
 
 			res, world, gen = runNetCoordinator(t, optName, 2, 2, 2,
-				"drop:0.1,dup:0.1,reorder:0.1", "", 0)
+				"drop:0.1,dup:0.1,reorder:0.1", "", 0, distnet.TopologyHub, 0)
 			if world != 4 || gen != 1 {
 				t.Fatalf("faulted cluster ended at world=%d gen=%d; want 4/1", world, gen)
 			}
 			bitsEqualResults(t, optName+"/socket-faults", ref, res)
+		})
+	}
+}
+
+// TestNetProcTreeTopologyParity: the tree data plane must be invisible
+// to training arithmetic. For every optimizer the paper benchmarks, at
+// P=2 and P=4 split across two OS processes, a tree-topology run — with
+// a deliberately tiny chunk size so every gradient allreduce is
+// pipelined across multiple chunks — must reproduce the in-process
+// elastic reference bit-for-bit, on a clean network and under 10%
+// socket drop/dup/reorder faults on every link including the tree
+// data plane.
+func TestNetProcTreeTopologyParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	for _, optName := range netOptimizers {
+		t.Run(optName, func(t *testing.T) {
+			for _, world := range []int{2, 4} {
+				t.Run(fmt.Sprintf("P%d", world), func(t *testing.T) {
+					tr, te := vectorTask(31)
+					ref, err := RunElastic(world, netTrainCfg(2), ElasticConfig{Dir: t.TempDir(), Every: 1},
+						mlpBuilder(12, 3), tr, te, Classification(), precondFactories()[optName], 0)
+					if err != nil {
+						t.Fatalf("in-process reference: %v", err)
+					}
+
+					coordRanks := world / 2
+					helperRanks := world - coordRanks
+					// Either end state is healthy: gen 1 at full strength, or
+					// the benign end-of-run reform — the helper finished,
+					// closed, and its leave (a death under tree topology, see
+					// coordinator leave handling) reformed the survivors
+					// before the coordinator's own teardown completed. A
+					// mid-TRAINING shrink is excluded by the bit-parity
+					// assertion: recovery onto fewer ranks repartitions the
+					// batch and cannot reproduce the reference bits.
+					checkGen := func(w, gen int, label string) {
+						t.Helper()
+						if (w == world && gen == 1) || (w == coordRanks && gen == 2) {
+							return
+						}
+						t.Fatalf("%s: cluster ended at world=%d gen=%d; want %d/1 or the post-run reform %d/2",
+							label, w, gen, world, coordRanks)
+					}
+
+					res, w, gen := runNetCoordinator(t, optName, 2, coordRanks, helperRanks,
+						"", "", 0, distnet.TopologyTree, 64)
+					label := fmt.Sprintf("%s/P%d/tree-clean", optName, world)
+					bitsEqualResults(t, label, ref, res)
+					checkGen(w, gen, label)
+
+					res, w, gen = runNetCoordinator(t, optName, 2, coordRanks, helperRanks,
+						"drop:0.1,dup:0.1,reorder:0.1", "", 0, distnet.TopologyTree, 64)
+					label = fmt.Sprintf("%s/P%d/tree-faults", optName, world)
+					bitsEqualResults(t, label, ref, res)
+					checkGen(w, gen, label)
+				})
+			}
 		})
 	}
 }
@@ -318,7 +414,7 @@ func TestNetProcShrinkMatchesInProcess(t *testing.T) {
 		t.Fatalf("reference injected panics = %d; want 1 (step schedule is wrong)", n)
 	}
 
-	res, world, gen := runNetCoordinator(t, "HyLo", 4, 3, 1, "", "3@9", 0)
+	res, world, gen := runNetCoordinator(t, "HyLo", 4, 3, 1, "", "3@9", 0, distnet.TopologyHub, 0)
 	if world != 3 {
 		t.Fatalf("world after shrink = %d; want 3", world)
 	}
@@ -352,7 +448,7 @@ func TestNetProcParityWithParallelScheduler(t *testing.T) {
 
 	sched.SetWorkers(4)
 	defer sched.SetWorkers(prev)
-	res, world, gen := runNetCoordinator(t, "HyLo", 2, 2, 2, "", "", 4)
+	res, world, gen := runNetCoordinator(t, "HyLo", 2, 2, 2, "", "", 4, distnet.TopologyHub, 0)
 	if world != 4 || gen != 1 {
 		t.Fatalf("cluster ended at world=%d gen=%d; want 4/1", world, gen)
 	}
